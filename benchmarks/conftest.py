@@ -1,0 +1,117 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each module in this directory regenerates one table or figure from the
+paper's Section 4 (see DESIGN.md's experiment index).  Benchmarks run the
+datasets at ``REPRO_SCALE`` (default 0.02, i.e. ~10k-route tables, so the
+whole suite finishes in minutes of interpreter time); set ``REPRO_SCALE=1.0``
+to reproduce the published table sizes — the structural results in
+EXPERIMENTS.md were recorded at full scale.
+
+Every rendered table is printed *and* written to ``benchmarks/results/``
+so EXPERIMENTS.md can quote the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+import pytest
+
+from repro.bench.harness import standard_roster
+from repro.bench.report import Table
+from repro.data.datasets import load_dataset
+
+#: Dataset scale for the benchmark run (1.0 = published sizes).
+SCALE = float(os.environ.get("REPRO_SCALE", "0.02"))
+
+#: Scale for the cycle-model analyses (Figures 10/11, Tables 4/5, §5).
+#: These depend on absolute footprint-vs-cache-size ratios and structural
+#: encoding limits, so they default to the published table sizes even when
+#: the throughput benchmarks run scaled down.
+CYCLE_SCALE = float(os.environ.get("REPRO_CYCLE_SCALE", "1.0"))
+
+#: Query-stream sizes, scaled up alongside the tables.
+N_QUERIES = int(os.environ.get("REPRO_QUERIES", "100000"))
+N_CYCLE_QUERIES = int(os.environ.get("REPRO_CYCLE_QUERIES", "100000"))
+#: The warm pass must touch the structures' working sets to steady state —
+#: at full table scale that takes several hundred thousand random keys
+#: (the paper's loop does 2^24 and measures all of them; we measure after
+#: the caches converge instead).
+N_CYCLE_WARMUP = int(os.environ.get("REPRO_CYCLE_WARMUP", "500000"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_ROSTERS: Dict[tuple, dict] = {}
+
+
+def dataset(name: str):
+    return load_dataset(name, scale=SCALE)
+
+
+def roster_for(name: str, algorithms, modified_dxr: bool = False) -> dict:
+    """Build (and cache per-session) the algorithm roster for a dataset."""
+    key = (name, tuple(algorithms), modified_dxr)
+    if key not in _ROSTERS:
+        _ROSTERS[key] = standard_roster(
+            dataset(name).rib, names=algorithms, modified_dxr=modified_dxr
+        )
+    return _ROSTERS[key]
+
+
+def emit(table: Table, artifact: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"# scale={SCALE}\n"
+    (RESULTS_DIR / f"{artifact}.txt").write_text(header + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def random_queries():
+    from repro.data.traffic import random_addresses
+
+    return random_addresses(N_QUERIES, seed=2463534242)
+
+
+@pytest.fixture(scope="session")
+def cycle_query_keys():
+    from repro.data.xorshift import xorshift32_array
+
+    return [int(x) for x in xorshift32_array(N_CYCLE_QUERIES, seed=99)]
+
+
+@pytest.fixture(scope="session")
+def cycle_warmup_keys():
+    from repro.data.xorshift import xorshift32_array
+
+    return [int(x) for x in xorshift32_array(N_CYCLE_WARMUP, seed=5)]
+
+
+def measure_cycles(structure, warmup_keys, keys, profile=None):
+    """Steady-state per-lookup cycles for one structure."""
+    from repro.cachesim import CycleModel, HASWELL_I7_4770K
+
+    model = CycleModel(profile or HASWELL_I7_4770K)
+    model.measure(structure, warmup_keys, warmup=0)  # warm pass, discarded
+    return model.measure(structure, keys, warmup=0)
+
+
+#: The algorithm set of the paper's cycle analyses (Figures 10/11, Table 4).
+CYCLE_ALGORITHMS = ("SAIL", "D16R", "Poptrie16", "D18R", "Poptrie18")
+
+
+@pytest.fixture(scope="session")
+def cycle_data(cycle_warmup_keys, cycle_query_keys):
+    """One full-scale cycle measurement shared by every cycle benchmark:
+    ``(dataset, roster, {algorithm: per-lookup cycle array})``."""
+    ds = load_dataset("REAL-Tier1-A", scale=CYCLE_SCALE)
+    roster = standard_roster(ds.rib, names=CYCLE_ALGORITHMS)
+    cycles = {
+        name: measure_cycles(roster[name], cycle_warmup_keys, cycle_query_keys)
+        for name in CYCLE_ALGORITHMS
+    }
+    return ds, roster, cycles

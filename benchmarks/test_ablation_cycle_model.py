@@ -1,0 +1,80 @@
+"""Ablation: what each cycle-model component contributes.
+
+The paper measures cycles with PMCs; our substitute composes caches,
+TLBs and branch mispredictions (DESIGN.md).  This benchmark re-runs the
+Poptrie-vs-DXR comparison with components switched off, showing that
+
+- the *cache hierarchy alone* already produces SAIL's fat tail, and
+- the *misprediction term* is what separates DXR's deep lookups from
+  Poptrie's (the paper's "binary search stage" explanation), and
+- the *TLB term* mostly affects the structures with multi-MiB arrays.
+"""
+
+import numpy as np
+from dataclasses import replace
+
+from benchmarks.conftest import CYCLE_SCALE, emit
+
+from repro.bench.report import Table
+from repro.cachesim import CycleModel, HASWELL_I7_4770K
+from repro.data.xorshift import xorshift32_array
+
+ALGORITHMS = ("SAIL", "D18R", "Poptrie18")
+
+VARIANTS = {
+    "full model": HASWELL_I7_4770K,
+    "no TLB": replace(HASWELL_I7_4770K, tlb=None),
+    "no mispredicts": replace(HASWELL_I7_4770K, mispredict_penalty=0),
+    "caches only": replace(
+        HASWELL_I7_4770K, tlb=None, mispredict_penalty=0
+    ),
+}
+
+
+def test_ablation_cycle_model_components(benchmark, cycle_data):
+    _, roster, _ = cycle_data  # full-scale structures (REPRO_CYCLE_SCALE)
+    warm = [int(x) for x in xorshift32_array(300_000, seed=3)]
+    keys = [int(x) for x in xorshift32_array(50_000, seed=4)]
+
+    table = Table(
+        ["Variant"] + [f"{a} mean" for a in ALGORITHMS]
+        + [f"{a} p99" for a in ALGORITHMS],
+        title=f"Ablation: cycle-model components (scale={CYCLE_SCALE})",
+    )
+    means = {}
+    p99s = {}
+    for label, profile in VARIANTS.items():
+        row = [label]
+        tails = []
+        for name in ALGORITHMS:
+            model = CycleModel(profile)
+            model.measure(roster[name], warm, warmup=0)
+            cycles = model.measure(roster[name], keys, warmup=0)
+            means[(label, name)] = float(cycles.mean())
+            p99s[(label, name)] = float(np.percentile(cycles, 99))
+            row.append(means[(label, name)])
+            tails.append(p99s[(label, name)])
+        table.add_row(row + tails)
+    emit(table, "ablation_cycle_model")
+
+    # Each component only ever adds cost.
+    for name in ALGORITHMS:
+        assert means[("caches only", name)] <= means[("full model", name)]
+    # The misprediction term hits DXR harder than Poptrie (binary search
+    # vs popcount indexing) — paper Section 4.6's explanation.
+    dxr_penalty = means[("full model", "D18R")] - means[("no mispredicts", "D18R")]
+    poptrie_penalty = (
+        means[("full model", "Poptrie18")]
+        - means[("no mispredicts", "Poptrie18")]
+    )
+    assert dxr_penalty > poptrie_penalty
+    # SAIL's tail is cache-driven: it is fat even with caches only.
+    assert p99s[("caches only", "SAIL")] > p99s[("caches only", "Poptrie18")]
+
+    benchmark.pedantic(
+        lambda: CycleModel(HASWELL_I7_4770K).measure(
+            roster["Poptrie18"], keys[:2000], warmup=200
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,145 @@
+"""Ablations beyond the paper's own tables (DESIGN.md's extension list).
+
+1. Direct-pointing sweep: s ∈ {0, 8, 12, 16, 18, 20} — memory/depth
+   trade-off (extends Table 2's three points; the paper discusses why 18).
+2. Route aggregation: none vs the paper's simple merge vs optimal ORTC.
+3. Leaf width: 16-bit (paper) vs 32-bit (Section 5's structural headroom).
+4. Trie arity: k ∈ {2, 4, 6} — why the paper picks the register width.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SCALE, dataset, emit
+
+from repro.bench.harness import measure_rate_batch
+from repro.bench.report import Table
+from repro.core.aggregate import aggregate_ortc, aggregate_simple, aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.traffic import random_addresses
+from repro.net.rib import rib_from_routes
+
+
+def test_ablation_direct_pointing_sweep(benchmark, random_queries):
+    ds = dataset("REAL-Tier1-A")
+    rib = aggregated_rib(ds.rib)
+    fib_size = len(ds.fib) + 1
+    keys = [int(k) for k in random_queries[:3000]]
+
+    table = Table(
+        ["s", "Mem MiB", "direct MiB", "mean trie depth", "batch Mlps"],
+        title=f"Ablation: direct-pointing width sweep (scale={SCALE})",
+    )
+    depths = {}
+    for s in (0, 8, 12, 16, 18, 20):
+        trie = Poptrie.from_rib(rib, PoptrieConfig(s=s), fib_size=fib_size)
+        mean_depth = float(np.mean([trie.depth_of(k) for k in keys]))
+        depths[s] = mean_depth
+        rate = measure_rate_batch(trie, random_queries[:50_000], repeats=1)
+        table.add_row(
+            [s, trie.memory_mib(), (4 << s) / (1 << 20) if s else 0.0,
+             mean_depth, rate.mlps]
+        )
+    emit(table, "ablation_direct_pointing")
+
+    # Larger s strictly reduces traversal depth, at memory cost.
+    ordered = [depths[s] for s in (0, 8, 12, 16, 18, 20)]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+    benchmark.pedantic(
+        lambda: Poptrie.from_rib(rib, PoptrieConfig(s=12), fib_size=fib_size),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_aggregation_strategies(benchmark):
+    ds = dataset("REAL-Tier1-A")
+    fib_size = len(ds.fib) + 1
+
+    simple_routes = aggregate_simple(ds.rib)
+    ortc_routes = benchmark.pedantic(
+        lambda: aggregate_ortc(ds.rib), rounds=1, iterations=1
+    )
+
+    variants = {
+        "none": ds.rib,
+        "simple (paper)": rib_from_routes(simple_routes),
+        "ORTC (optimal)": rib_from_routes(ortc_routes),
+    }
+    table = Table(
+        ["Aggregation", "routes", "Poptrie18 MiB", "# inodes", "# leaves"],
+        title=f"Ablation: route aggregation strategies (scale={SCALE})",
+    )
+    memory = {}
+    for label, rib in variants.items():
+        trie = Poptrie.from_rib(rib, PoptrieConfig(s=18), fib_size=fib_size)
+        memory[label] = trie.memory_bytes()
+        table.add_row(
+            [label, len(rib), trie.memory_mib(), trie.inode_count,
+             trie.leaf_count]
+        )
+    emit(table, "ablation_aggregation")
+
+    assert len(variants["simple (paper)"]) <= len(variants["none"])
+    assert len(variants["ORTC (optimal)"]) <= len(variants["simple (paper)"])
+    assert memory["simple (paper)"] <= memory["none"]
+
+
+def test_ablation_leaf_width(benchmark, random_queries):
+    ds = dataset("REAL-Tier1-A")
+    rib = aggregated_rib(ds.rib)
+    fib_size = len(ds.fib) + 1
+
+    table = Table(
+        ["leaf bits", "Mem MiB", "max FIB entries", "batch Mlps"],
+        title=f"Ablation: leaf width (Section 5 headroom) (scale={SCALE})",
+    )
+    tries = {}
+    for bits in (16, 32):
+        trie = Poptrie.from_rib(
+            rib, PoptrieConfig(s=18, leaf_bits=bits), fib_size=fib_size
+        )
+        tries[bits] = trie
+        rate = measure_rate_batch(trie, random_queries[:50_000], repeats=1)
+        table.add_row([bits, trie.memory_mib(), 1 << bits, rate.mlps])
+    emit(table, "ablation_leaf_width")
+
+    # Same tree shape, wider leaves: only the leaf array grows.
+    assert tries[16].inode_count == tries[32].inode_count
+    assert tries[32].memory_bytes() > tries[16].memory_bytes()
+
+    benchmark.pedantic(
+        lambda: tries[32].lookup_batch(random_queries[:65536]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_trie_arity(benchmark, random_queries):
+    ds = dataset("REAL-Tier1-A")
+    rib = aggregated_rib(ds.rib)
+    fib_size = len(ds.fib) + 1
+    keys = [int(k) for k in random_queries[:2000]]
+
+    table = Table(
+        ["k", "# inodes", "Mem MiB", "mean trie depth"],
+        title=f"Ablation: multiway-trie arity (scale={SCALE})",
+    )
+    depths = {}
+    for k in (2, 4, 6):
+        trie = Poptrie.from_rib(
+            rib, PoptrieConfig(k=k, s=16), fib_size=fib_size
+        )
+        depths[k] = float(np.mean([trie.depth_of(key) for key in keys]))
+        table.add_row([k, trie.inode_count, trie.memory_mib(), depths[k]])
+    emit(table, "ablation_arity")
+
+    # The 64-ary trie needs the fewest levels — the paper's design point.
+    assert depths[6] <= depths[4] <= depths[2]
+
+    benchmark.pedantic(
+        lambda: Poptrie.from_rib(rib, PoptrieConfig(k=4, s=16),
+                                 fib_size=fib_size),
+        rounds=1,
+        iterations=1,
+    )

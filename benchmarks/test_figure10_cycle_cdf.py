@@ -1,0 +1,69 @@
+"""Figure 10: CDF of simulated CPU cycles per lookup (REAL-Tier1-A).
+
+Replays each algorithm's memory-access traces through the Haswell cache
+model (the paper's PMC substitute; see DESIGN.md) at the published table
+scale (REPRO_CYCLE_SCALE) and prints CDF points.
+
+Asserted shape, from the published figure:
+- SAIL has the steepest start (its 128 KiB top level is L2-resident, so
+  its median lookup is the cheapest of all algorithms), but
+- SAIL's tail is the worst — its full structure exceeds the L3, so the
+  high percentiles go toward DRAM, while
+- Poptrie18's tail is the tightest of the five (its whole structure is
+  cache-resident and its deep lookups are a bounded number of accesses).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    CYCLE_ALGORITHMS,
+    CYCLE_SCALE,
+    emit,
+    measure_cycles,
+)
+
+from repro.bench.report import Table
+from repro.cachesim.cycles import cdf_points
+
+
+def test_figure10_cycle_cdf(benchmark, cycle_data, cycle_warmup_keys,
+                            cycle_query_keys):
+    _, roster, cycles = cycle_data
+
+    thresholds = [20, 40, 60, 80, 100, 150, 200, 250, 300, 350]
+    table = Table(
+        ["cycles"] + list(CYCLE_ALGORITHMS),
+        title=(
+            "Figure 10: CDF of cycles per lookup, REAL-Tier1-A "
+            f"(scale={CYCLE_SCALE})"
+        ),
+    )
+    cdfs = {
+        name: dict(cdf_points(values, 350)) for name, values in cycles.items()
+    }
+    for threshold in thresholds:
+        table.add_row(
+            [threshold]
+            + [round(cdfs[name][threshold], 3) for name in CYCLE_ALGORITHMS]
+        )
+    emit(table, "figure10_cycle_cdf")
+
+    p50 = {name: float(np.percentile(v, 50)) for name, v in cycles.items()}
+    p99 = {name: float(np.percentile(v, 99)) for name, v in cycles.items()}
+
+    # SAIL: cheapest median of all five (steepest CDF start) ...
+    assert p50["SAIL"] <= min(p50.values()) + 1e-9
+    # ... and the worst tail of all five.
+    assert p99["SAIL"] >= max(p99.values()) - 1e-9
+    # Poptrie18's tail beats both DXRs and SAIL (paper Table 4: 169 vs
+    # 207/255/299).
+    assert p99["Poptrie18"] <= p99["D18R"]
+    assert p99["Poptrie18"] <= p99["D16R"]
+
+    benchmark.pedantic(
+        lambda: measure_cycles(
+            roster["Poptrie18"], cycle_warmup_keys[:2000], cycle_query_keys[:2000]
+        ),
+        rounds=1,
+        iterations=1,
+    )

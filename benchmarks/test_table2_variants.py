@@ -1,0 +1,80 @@
+"""Table 2: effect of Poptrie's extensions and the direct-pointing width.
+
+Rows: basic (no leafvec, no aggregation), leafvec (no aggregation), and
+full Poptrie (leafvec + route aggregation), each at s = 0, 16, 18.
+Columns: # of internal nodes, # of leaves, memory footprint, compilation
+time, and the lookup rate for the random pattern.
+"""
+
+import time
+
+from benchmarks.conftest import SCALE, dataset, emit
+
+from repro.bench.harness import measure_rate_batch
+from repro.bench.report import Table
+from repro.core.aggregate import aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+
+
+def test_table2_poptrie_variants(benchmark, random_queries):
+    ds = dataset("REAL-Tier1-A")
+    aggregated = aggregated_rib(ds.rib)
+    fib_size = len(ds.fib) + 1
+
+    benchmark.pedantic(
+        lambda: Poptrie.from_rib(ds.rib, PoptrieConfig(s=18), fib_size=fib_size),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = Table(
+        ["Variant", "s", "# inodes", "# leaves", "Mem MiB", "Compile ms", "Mlps"],
+        title=f"Table 2: Poptrie variants on REAL-Tier1-A (scale={SCALE})",
+    )
+    results = {}
+    for label, rib, use_leafvec in (
+        ("basic", ds.rib, False),
+        ("leafvec", ds.rib, True),
+        ("leafvec+aggregation", aggregated, True),
+    ):
+        for s in (0, 16, 18):
+            config = PoptrieConfig(s=s, use_leafvec=use_leafvec)
+            start = time.perf_counter()
+            trie = Poptrie.from_rib(rib, config, fib_size=fib_size)
+            compile_ms = (time.perf_counter() - start) * 1000
+            rate = measure_rate_batch(trie, random_queries, repeats=1)
+            results[(label, s)] = trie
+            table.add_row(
+                [
+                    label,
+                    s,
+                    trie.inode_count,
+                    trie.leaf_count,
+                    trie.memory_mib(),
+                    compile_ms,
+                    rate.mlps,
+                ]
+            )
+    emit(table, "table2_variants")
+
+    # Paper: leafvec removes > 90 % of leaves ("reduces more than 90 % of
+    # leaves as we will see in Section 4.3").
+    for s in (0, 16, 18):
+        basic = results[("basic", s)]
+        leafvec = results[("leafvec", s)]
+        assert leafvec.leaf_count < 0.1 * basic.leaf_count
+        # Table 2: leafvec cuts the total footprint by ~69–79 %.
+        assert leafvec.memory_bytes() < basic.memory_bytes()
+
+    # Aggregation shrinks the structure further (Table 2's bottom block).
+    for s in (0, 16, 18):
+        assert (
+            results[("leafvec+aggregation", s)].memory_bytes()
+            <= results[("leafvec", s)].memory_bytes()
+        )
+
+    # s = 18 costs < 1 MiB more than s = 16 yet shrinks node counts
+    # (Table 2: 2.75 -> 2.40 MiB via fewer nodes at a bigger direct array).
+    full16 = results[("leafvec+aggregation", 16)]
+    full18 = results[("leafvec+aggregation", 18)]
+    assert full18.inode_count < full16.inode_count

@@ -1,0 +1,71 @@
+"""Table 4: mean / 50th / 75th / 95th / 99th percentile cycles per lookup.
+
+The paper's per-lookup cycle statistics for random traffic on
+REAL-Tier1-A (we reproduce the -A table; the paper shows -B behaves the
+same).  Paper values for reference:
+
+    SAIL      57.43  22  76  279  299
+    D16R      60.92  44  49  189  255
+    D18R      54.84  46  48  154  207
+    Poptrie16 54.58  43  48  150  192
+    Poptrie18 53.59  46  48  150  169
+
+Asserted shape: all five means are near-ties (the paper's spread is ~13 %)
+but the tail ordering is decisive — Poptrie18 has the best 99th
+percentile, SAIL the worst, with DXR in between; the paper's Section 4.6
+reads the same ranking off the 95th/99th columns.
+"""
+
+from benchmarks.conftest import CYCLE_ALGORITHMS, CYCLE_SCALE, emit
+
+from repro.bench.report import Table
+from repro.cachesim.cycles import percentile_summary
+
+PAPER_ROWS = {
+    "SAIL": (57.43, 22, 76, 279, 299),
+    "D16R": (60.92, 44, 49, 189, 255),
+    "D18R": (54.84, 46, 48, 154, 207),
+    "Poptrie16": (54.58, 43, 48, 150, 192),
+    "Poptrie18": (53.59, 46, 48, 150, 169),
+}
+
+
+def test_table4_cycle_percentiles(benchmark, cycle_data):
+    _, roster, cycles = cycle_data
+    benchmark.pedantic(
+        lambda: percentile_summary(cycles["Poptrie18"]), rounds=3, iterations=1
+    )
+
+    table = Table(
+        ["Algorithm", "Mean", "50th", "75th", "95th", "99th",
+         "paper mean", "paper 99th"],
+        title=(
+            "Table 4: per-lookup cycles, random traffic, REAL-Tier1-A "
+            f"(scale={CYCLE_SCALE})"
+        ),
+    )
+    summaries = {}
+    for name in CYCLE_ALGORITHMS:
+        summary = percentile_summary(cycles[name])
+        summaries[name] = summary
+        paper = PAPER_ROWS[name]
+        table.add_row(
+            [name, summary.mean, summary.p50, summary.p75, summary.p95,
+             summary.p99, paper[0], paper[4]]
+        )
+    emit(table, "table4_cycle_percentiles")
+
+    p99 = {name: s.p99 for name, s in summaries.items()}
+    means = {name: s.mean for name, s in summaries.items()}
+
+    # Tail ordering (the decisive Section 4.6 result).
+    assert p99["Poptrie18"] <= min(p99.values()) + 1e-9
+    assert p99["SAIL"] >= max(p99.values()) - 1e-9
+    assert p99["Poptrie18"] < p99["D18R"] <= p99["SAIL"]
+
+    # Means are near-ties, as in the paper (max spread there ≈ 13 %).
+    spread = max(means.values()) / min(means.values())
+    assert spread < 1.6, means
+
+    # Magnitudes land in the paper's regime (tens of cycles, not hundreds).
+    assert 20 < means["Poptrie18"] < 120

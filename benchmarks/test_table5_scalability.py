@@ -1,0 +1,96 @@
+"""Table 5: scalability on the synthetic large RIBs (SYN1/SYN2).
+
+The paper's structural-scalability result, reproduced at full table scale
+(structural encoding limits are absolute, so this module always loads the
+SYN tables at scale 1.0 regardless of REPRO_SCALE):
+
+- SAIL compiles SYN1 but *cannot compile* SYN2 ("C16[i] in SAIL is
+  encoded in the 15 bits of BCN[i], but it exceeds 2^15") → "N/A";
+- unmodified DXR exceeds its 2^19-range limit on every SYN table; the
+  paper's modified variant (2^20, flag bit absorbed) compiles;
+- Poptrie compiles everything and keeps a cache-sized footprint.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+from repro.bench.harness import measure_rate_batch
+from repro.bench.report import Table
+from repro.core.aggregate import aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.datasets import load_dataset
+from repro.data.traffic import random_addresses
+from repro.errors import StructuralLimitError
+from repro.lookup.dxr import Dxr
+from repro.lookup.sail import Sail
+
+SYN_TABLES = ("SYN1-Tier1-A", "SYN1-Tier1-B", "SYN2-Tier1-A", "SYN2-Tier1-B")
+
+
+@pytest.fixture(scope="module")
+def syn_datasets():
+    return {name: load_dataset(name, scale=1.0) for name in SYN_TABLES}
+
+
+def _try(builder):
+    try:
+        return builder(), None
+    except StructuralLimitError as error:
+        return None, str(error)
+
+
+def test_table5_structural_scalability(benchmark, syn_datasets):
+    keys = random_addresses(100_000, seed=55)
+    table = Table(
+        ["Algorithm"] + [f"{name} ({len(syn_datasets[name])})"
+                         for name in SYN_TABLES],
+        title="Table 5: batch Mlps on synthetic large RIBs (scale=1.0; "
+        "N/A = structural limit)",
+    )
+    outcomes = {}
+    rows = {
+        "SAIL": lambda rib, fib: Sail.from_rib(rib),
+        "D18R": lambda rib, fib: Dxr.from_rib(rib, s=18, modified=False),
+        "D18R (modified)": lambda rib, fib: Dxr.from_rib(rib, s=18, modified=True),
+        "Poptrie18": lambda rib, fib: Poptrie.from_rib(
+            aggregated_rib(rib), PoptrieConfig(s=18), fib_size=fib
+        ),
+    }
+    for algorithm, build in rows.items():
+        cells = []
+        for name in SYN_TABLES:
+            ds = syn_datasets[name]
+            fib_size = max(hop for _, hop in ds.rib.routes()) + 1
+            structure, error = _try(lambda: build(ds.rib, fib_size))
+            outcomes[(algorithm, name)] = (structure, error)
+            if structure is None:
+                cells.append(None)
+            else:
+                cells.append(measure_rate_batch(structure, keys, repeats=1).mlps)
+        table.add_row([algorithm] + cells)
+    emit(table, "table5_scalability")
+
+    # SAIL: OK on SYN1, N/A on SYN2 (the paper's 15-bit chunk-id failure).
+    for name in ("SYN1-Tier1-A", "SYN1-Tier1-B"):
+        assert outcomes[("SAIL", name)][0] is not None, name
+    for name in ("SYN2-Tier1-A", "SYN2-Tier1-B"):
+        structure, error = outcomes[("SAIL", name)]
+        assert structure is None and "2^15" in error, name
+
+    # Unmodified DXR exceeds 2^19 ranges on every SYN table; the modified
+    # format compiles everywhere.
+    for name in SYN_TABLES:
+        assert outcomes[("D18R", name)][0] is None, name
+        assert outcomes[("D18R (modified)", name)][0] is not None, name
+
+    # Poptrie compiles everything and stays cache-resident.
+    for name in SYN_TABLES:
+        poptrie = outcomes[("Poptrie18", name)][0]
+        assert poptrie is not None
+        assert poptrie.memory_bytes() < 8 << 20, name
+
+    poptrie = outcomes[("Poptrie18", "SYN2-Tier1-A")][0]
+    benchmark.pedantic(
+        lambda: poptrie.lookup_batch(keys[:65536]), rounds=3, iterations=1
+    )

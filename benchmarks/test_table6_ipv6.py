@@ -1,0 +1,99 @@
+"""Table 6 + Section 4.10: IPv6.
+
+Poptrie on the IPv6 table (20,440 prefixes at full scale) for s = 0, 16,
+18: node/leaf counts, memory, compile time, and the random-pattern rate
+(2000::/8 addresses built from four xorshift32 words, as in the paper).
+Also the DXR IPv6 comparison (D16R/D18R with the extended format) and
+SAIL's absence (it "does not support more specific routes than /64").
+
+Asserted shape: direct pointing helps IPv6 too (s = 16/18 beat s = 0,
+Table 6's rate column), the whole structure stays small (the paper's is
+0.4–1.4 MiB), and SAIL rejects the workload.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+
+from repro.bench.harness import measure_rate_scalar_keys
+from repro.bench.report import Table
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.datasets import load_dataset_v6
+from repro.data.traffic import random_addresses_v6
+from repro.lookup.dxr import Dxr
+from repro.lookup.sail import Sail
+
+PAPER_TABLE6 = {0: (14925, 32586, 414), 16: (16554, 33047, 709),
+                18: (14910, 32569, 1437)}
+
+
+def test_table6_ipv6_poptrie(benchmark):
+    ds = load_dataset_v6(scale=1.0)
+    keys = random_addresses_v6(30_000, seed=6)
+    table = Table(
+        ["s", "# inodes", "# leaves", "Mem KiB", "Compile ms", "Mlps (scalar)",
+         "paper KiB"],
+        title=f"Table 6: Poptrie on IPv6 ({len(ds)} prefixes)",
+    )
+    results = {}
+    for s in (0, 16, 18):
+        start = time.perf_counter()
+        trie = Poptrie.from_rib(ds.rib, PoptrieConfig(s=s))
+        compile_ms = (time.perf_counter() - start) * 1000
+        rate = measure_rate_scalar_keys(trie, keys, repeats=1)
+        results[s] = (trie, rate)
+        table.add_row(
+            [s, trie.inode_count, trie.leaf_count,
+             trie.memory_bytes() / 1024, compile_ms, rate.mlps,
+             PAPER_TABLE6[s][2]]
+        )
+    emit(table, "table6_ipv6")
+
+    # Footprints land in the paper's sub-2-MiB regime, ordered by s.
+    for s in (0, 16, 18):
+        assert results[s][0].memory_bytes() < 4 << 20
+    assert results[0][0].memory_bytes() < results[16][0].memory_bytes()
+    assert results[16][0].memory_bytes() < results[18][0].memory_bytes()
+
+    # Direct pointing reduces trie depth for IPv6 as well (Table 6's rate
+    # gain); in the interpreter that shows as fewer node traversals.
+    deep_key = max(keys[:200], key=lambda k: results[0][0].depth_of(k))
+    assert results[18][0].depth_of(deep_key) <= results[0][0].depth_of(deep_key)
+
+    benchmark.pedantic(
+        lambda: [results[18][0].lookup(k) for k in keys[:5000]],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_section410_dxr_ipv6_and_sail_absence(benchmark):
+    ds = load_dataset_v6(scale=1.0)
+    keys = random_addresses_v6(15_000, seed=7)
+
+    table = Table(
+        ["Algorithm", "Mem KiB", "Mlps (scalar)"],
+        title="Section 4.10: IPv6 comparison",
+    )
+    structures = {
+        "D16R (IPv6)": Dxr.from_rib(ds.rib, s=16, modified=True),
+        "D18R (IPv6)": Dxr.from_rib(ds.rib, s=18, modified=True),
+        "Poptrie18": Poptrie.from_rib(ds.rib, PoptrieConfig(s=18)),
+    }
+    for name, structure in structures.items():
+        rate = measure_rate_scalar_keys(structure, keys, repeats=1)
+        table.add_row([name, structure.memory_bytes() / 1024, rate.mlps])
+        mismatches = structure.verify_against(ds.rib, keys[:3000])
+        assert mismatches == [], name
+    emit(table, "section410_ipv6_dxr")
+
+    # SAIL cannot participate (no IPv6 support).
+    with pytest.raises(ValueError):
+        Sail.from_rib(ds.rib)
+
+    poptrie = structures["Poptrie18"]
+    benchmark.pedantic(
+        lambda: [poptrie.lookup(k) for k in keys[:5000]], rounds=3, iterations=1
+    )

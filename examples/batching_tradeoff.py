@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The batching trade-off the paper's Section 2 raises against GPU engines.
+
+"The large packet batch size is likely to lead to the higher worst case
+packet forwarding latency, and jitters."  This example sweeps the batch
+size of a simulated forwarding pipeline at two arrival rates and prints
+throughput vs latency/jitter — the U-shape (queueing at tiny batches,
+fill-latency at huge ones) made visible.
+
+Run:  python examples/batching_tradeoff.py
+"""
+
+from repro.bench.report import Table
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.synth import generate_table
+from repro.data.traffic import real_trace
+from repro.router.pipeline import CostModel, batch_size_sweep
+
+
+def main() -> None:
+    rib, fib = generate_table(10_000, n_nexthops=8, seed=6)
+    trie = Poptrie.from_rib(rib, PoptrieConfig(s=18))
+    destinations = real_trace(rib, 30_000, seed=2)
+    cost = CostModel(batch_overhead=2.0, per_packet=0.01)
+
+    for label, interval in (
+        ("underload (0.33 Mpps offered)", 3.0),
+        ("near saturation (20 Mpps offered)", 0.05),
+    ):
+        table = Table(
+            ["batch", "Mpps", "mean us", "p99 us", "max us", "jitter us"],
+            title=f"Batch-size sweep, {label}",
+        )
+        for batch, report in batch_size_sweep(
+            trie, fib, destinations,
+            batch_sizes=(1, 8, 32, 128, 512),
+            arrival_interval=interval, cost=cost,
+        ):
+            table.add_row(
+                [batch, report.throughput_mpps, report.mean_latency,
+                 report.p99_latency, report.max_latency, report.jitter]
+            )
+        table.print()
+    print("Underload: worst-case latency and jitter grow with batch size")
+    print("(the paper's critique of GPU-scale batching).  Saturation:")
+    print("tiny batches cannot amortise per-batch overhead and queueing")
+    print("delay explodes — why software routers batch at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare every lookup structure's memory footprint on one table.
+
+Reproduces the flavour of the paper's Tables 2/3 interactively: compile
+the same routing table into all seven structures (plus Poptrie variants)
+and report size, node counts and a correctness cross-check.
+
+Run:  python examples/fib_compression_report.py [dataset] [scale]
+e.g.  python examples/fib_compression_report.py REAL-Tier1-A 0.05
+"""
+
+import sys
+
+from repro.bench.harness import standard_roster
+from repro.bench.report import Table
+from repro.core.aggregate import aggregate_simple
+from repro.data.datasets import EVALUATION_TABLES, load_dataset
+from repro.data.traffic import random_addresses
+
+ALGORITHMS = (
+    "Radix",
+    "Tree BitMap",
+    "Tree BitMap (64-ary)",
+    "SAIL",
+    "DIR-24-8",
+    "D16R",
+    "D18R",
+    "Poptrie0",
+    "Poptrie16",
+    "Poptrie18",
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "REAL-Tier1-A"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    if name not in EVALUATION_TABLES:
+        raise SystemExit(f"unknown dataset {name!r}; try {EVALUATION_TABLES[:3]}")
+
+    ds = load_dataset(name, scale=scale)
+    aggregated = aggregate_simple(ds.rib)
+    print(f"{name} at scale {scale}: {len(ds)} routes, "
+          f"{len(ds.fib)} next hops; "
+          f"route aggregation would keep {len(aggregated)} routes "
+          f"({100 * len(aggregated) / len(ds):.1f} %)")
+
+    roster = standard_roster(ds.rib, names=ALGORITHMS)
+    keys = random_addresses(20_000, seed=1)
+    expected = [ds.rib.lookup(int(k)) for k in keys]
+
+    table = Table(
+        ["Structure", "KiB", "bytes/route", "verified"],
+        title=f"FIB compression report: {name}",
+    )
+    for algorithm, structure in roster.items():
+        if structure is None:
+            table.add_row([algorithm, None, None, None])
+            continue
+        got = structure.lookup_batch(keys)
+        verified = "OK" if got.tolist() == expected else "MISMATCH"
+        table.add_row(
+            [
+                algorithm,
+                structure.memory_bytes() / 1024,
+                structure.memory_bytes() / max(len(ds), 1),
+                verified,
+            ]
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Poptrie reproduction library.
+
+A production-quality reimplementation of "Poptrie: A Compressed Trie with
+Population Count for Fast and Scalable Software IP Routing Table Lookup"
+(Asai & Ohara, SIGCOMM 2015), together with every substrate and baseline
+its evaluation depends on: the radix-tree RIB, Tree BitMap, DXR, SAIL,
+DIR-24-8, a buddy allocator, a cache/cycle simulator, dataset and traffic
+synthesis, and a benchmark harness that regenerates every table and
+figure of the paper's Section 4.
+
+Quick start::
+
+    from repro import Poptrie, PoptrieConfig, Prefix, Rib
+
+    rib = Rib()
+    rib.insert(Prefix.parse("192.0.2.0/24"), 1)
+    trie = Poptrie.from_rib(rib, PoptrieConfig(s=18))
+    trie.lookup(Prefix.parse("192.0.2.77/32").value)   # -> 1
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.core.update import UpdatablePoptrie
+from repro.errors import ReproError, StructuralLimitError
+from repro.net.fib import NO_ROUTE, Fib, NextHop
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Poptrie",
+    "PoptrieConfig",
+    "UpdatablePoptrie",
+    "ReproError",
+    "StructuralLimitError",
+    "NO_ROUTE",
+    "Fib",
+    "NextHop",
+    "Prefix",
+    "Rib",
+    "__version__",
+]

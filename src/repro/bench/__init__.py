@@ -1,0 +1,29 @@
+"""Benchmark harness: rate measurement, multi-core scaling, reporting.
+
+- :mod:`repro.bench.harness` — lookup-rate and compile-time measurement,
+  plus the standard algorithm roster used across Tables 2–5 and
+  Figures 9/12.
+- :mod:`repro.bench.parallel` — the Figure 8 multi-process scaling rig.
+- :mod:`repro.bench.report` — fixed-width table rendering for the
+  paper-shaped outputs every benchmark prints.
+"""
+
+from repro.bench.harness import (
+    RateResult,
+    build_structures,
+    measure_compile_time,
+    measure_rate_batch,
+    measure_rate_scalar,
+    standard_roster,
+)
+from repro.bench.report import Table
+
+__all__ = [
+    "RateResult",
+    "build_structures",
+    "measure_compile_time",
+    "measure_rate_batch",
+    "measure_rate_scalar",
+    "standard_roster",
+    "Table",
+]

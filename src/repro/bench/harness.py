@@ -1,0 +1,189 @@
+"""Lookup-rate measurement and the standard algorithm roster.
+
+Rates are reported in Mlps (million lookups per second) as in the paper.
+Two engines are measured:
+
+- **scalar** — one ``lookup()`` call per address, generating each random
+  address immediately before its lookup with xorshift32, exactly as the
+  paper's measurement loop does (Section 4.2, including the generator
+  overhead in the result);
+- **batch** — the numpy engines, which amortise the interpreter overhead
+  and are the better proxy for compiled relative performance.
+
+Absolute numbers are of course far below the paper's C implementation —
+the shape comparisons (who wins, by what factor, where the crossovers
+fall) are the reproduction target; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregate import aggregated_rib
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.data.xorshift import Xorshift32
+from repro.errors import StructuralLimitError
+from repro.lookup.base import LookupStructure
+from repro.lookup.dir24_8 import Dir24_8
+from repro.lookup.dxr import Dxr
+from repro.lookup.radix import RadixLookup
+from repro.lookup.sail import Sail
+from repro.lookup.treebitmap import TreeBitmap
+from repro.net.rib import Rib
+
+
+@dataclass
+class RateResult:
+    """One measured rate."""
+
+    name: str
+    lookups: int
+    seconds: float
+    memory_bytes: int = 0
+
+    @property
+    def mlps(self) -> float:
+        return self.lookups / self.seconds / 1e6 if self.seconds else 0.0
+
+    @property
+    def memory_mib(self) -> float:
+        return self.memory_bytes / (1 << 20)
+
+
+def measure_rate_scalar(
+    structure: LookupStructure,
+    count: int,
+    seed: int = 2463534242,
+    repeats: int = 1,
+) -> RateResult:
+    """Scalar rate for the paper's random pattern: generate-then-look-up,
+    per address, per the Section 4.2 methodology.  ``repeats`` takes the
+    best of N timing passes (the paper averages ten runs; min-of-N is the
+    standard Python timing hygiene and is what we report)."""
+    best = float("inf")
+    for _ in range(repeats):
+        generator = Xorshift32(seed)
+        step = generator.next
+        lookup = structure.lookup
+        start = time.perf_counter()
+        for _ in range(count):
+            lookup(step())
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return RateResult(structure.name, count, best, structure.memory_bytes())
+
+
+def measure_rate_scalar_keys(
+    structure: LookupStructure, keys: Sequence[int], repeats: int = 1
+) -> RateResult:
+    """Scalar rate over a pre-materialised key stream (sequential /
+    repeated / real-trace patterns, where the paper also pre-loads the
+    destinations into an array)."""
+    best = float("inf")
+    lookup = structure.lookup
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for key in keys:
+            lookup(key)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return RateResult(structure.name, len(keys), best, structure.memory_bytes())
+
+
+def measure_rate_batch(
+    structure: LookupStructure,
+    keys: np.ndarray,
+    repeats: int = 3,
+    chunk: int = 1 << 16,
+) -> RateResult:
+    """Batch-engine rate over a prepared key array, processed in chunks
+    (chunking keeps the working set realistic rather than letting one
+    giant gather hide all control flow)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for begin in range(0, len(keys), chunk):
+            structure.lookup_batch(keys[begin : begin + chunk])
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return RateResult(structure.name, len(keys), best, structure.memory_bytes())
+
+
+def measure_compile_time(
+    builder: Callable[[], LookupStructure], repeats: int = 3
+) -> Tuple[LookupStructure, float]:
+    """Build a structure ``repeats`` times; returns (structure, best s)."""
+    best = float("inf")
+    structure: Optional[LookupStructure] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        structure = builder()
+        best = min(best, time.perf_counter() - start)
+    assert structure is not None
+    return structure, best
+
+
+#: The Figure 9 roster, in the paper's plotting order.
+STANDARD_ALGORITHMS = (
+    "Radix",
+    "Tree BitMap",
+    "SAIL",
+    "D16R",
+    "Poptrie16",
+    "D18R",
+    "Poptrie18",
+)
+
+
+def standard_roster(
+    rib: Rib,
+    names: Sequence[str] = STANDARD_ALGORITHMS,
+    aggregate_for_poptrie: bool = True,
+    modified_dxr: bool = False,
+) -> Dict[str, Optional[LookupStructure]]:
+    """Build the paper's comparison roster from one RIB.
+
+    Poptrie entries compile from the route-aggregated table (the paper's
+    default, Section 3); the baselines see the raw table, as they did in
+    the paper.  A structure whose structural limit is exceeded maps to
+    ``None`` — the Table 5 "N/A" case.
+    """
+    poptrie_rib = aggregated_rib(rib) if aggregate_for_poptrie else rib
+    fib_size = max((idx for _, idx in rib.routes()), default=0) + 1
+
+    builders: Dict[str, Callable[[], LookupStructure]] = {
+        "Radix": lambda: RadixLookup.from_rib(rib),
+        "Tree BitMap": lambda: TreeBitmap.from_rib(rib, stride=4),
+        "Tree BitMap (64-ary)": lambda: TreeBitmap.from_rib(rib, stride=6),
+        "SAIL": lambda: Sail.from_rib(rib),
+        "DIR-24-8": lambda: Dir24_8.from_rib(rib),
+        "D16R": lambda: Dxr.from_rib(rib, s=16, modified=modified_dxr),
+        "D18R": lambda: Dxr.from_rib(rib, s=18, modified=modified_dxr),
+        "Poptrie0": lambda: Poptrie.from_rib(
+            poptrie_rib, PoptrieConfig(s=0), fib_size=fib_size
+        ),
+        "Poptrie16": lambda: Poptrie.from_rib(
+            poptrie_rib, PoptrieConfig(s=16), fib_size=fib_size
+        ),
+        "Poptrie18": lambda: Poptrie.from_rib(
+            poptrie_rib, PoptrieConfig(s=18), fib_size=fib_size
+        ),
+    }
+    roster: Dict[str, Optional[LookupStructure]] = {}
+    for name in names:
+        try:
+            roster[name] = builders[name]()
+        except StructuralLimitError:
+            roster[name] = None
+    return roster
+
+
+def build_structures(
+    rib: Rib, names: Sequence[str] = STANDARD_ALGORITHMS, **kwargs
+) -> List[LookupStructure]:
+    """Like :func:`standard_roster` but drops the N/A entries."""
+    return [s for s in standard_roster(rib, names, **kwargs).values() if s]

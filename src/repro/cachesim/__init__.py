@@ -1,0 +1,33 @@
+"""Cache-hierarchy and CPU-cycle simulation.
+
+Section 4.6 of the paper measures per-lookup CPU cycles with hardware
+performance counters on a single-task OS, then explains every feature of
+the distributions (Figures 10/11, Table 4) in terms of which cache level
+each algorithm's memory accesses hit.  A Python interpreter cannot run
+those counters meaningfully, so this package replays each algorithm's
+*actual* memory-access traces (recorded by ``lookup_traced``) through a
+set-associative LRU cache hierarchy configured with the paper's published
+sizes and latencies, and converts instruction estimates plus access
+latencies into per-lookup cycle counts.
+
+The model is deterministic, which is a feature: the paper itself built a
+single-task OS to remove measurement noise.
+"""
+
+from repro.cachesim.cache import Cache
+from repro.cachesim.hierarchy import CacheHierarchy, HierarchyConfig, LevelConfig, TlbConfig
+from repro.cachesim.cycles import CycleModel, CycleSummary, percentile_summary
+from repro.cachesim.profiles import HASWELL_I7_4770K, XEON_X3430
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "LevelConfig",
+    "TlbConfig",
+    "CycleModel",
+    "CycleSummary",
+    "percentile_summary",
+    "HASWELL_I7_4770K",
+    "XEON_X3430",
+]

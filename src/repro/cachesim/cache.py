@@ -1,0 +1,60 @@
+"""A set-associative LRU cache over 64-byte lines."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Cache:
+    """One cache level.
+
+    ``access(line)`` returns True on a hit and installs the line on a miss
+    (LRU replacement within the set).  Line numbers — not byte addresses —
+    are passed in; the hierarchy does the address-to-line conversion once.
+
+    >>> c = Cache(size_bytes=128, ways=2, line_bytes=64)
+    >>> c.access(0), c.access(0)
+    (False, True)
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of way * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.set_count = size_bytes // (ways * line_bytes)
+        # One insertion-ordered dict per set: oldest entry = LRU victim.
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(self.set_count)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; True on hit.  Misses install the line."""
+        cache_set = self._sets[line % self.set_count]
+        if line in cache_set:
+            # Refresh recency: move to the most-recently-used position.
+            del cache_set[line]
+            cache_set[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.ways:
+            cache_set.pop(next(iter(cache_set)))
+        cache_set[line] = None
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence probe without touching recency or counters."""
+        return line in self._sets[line % self.set_count]
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,142 @@
+"""The per-lookup cycle model and the Section 4.6 analyses.
+
+:class:`CycleModel` drives a lookup structure's ``lookup_traced`` path for
+a stream of keys, replays the accesses through a :class:`CacheHierarchy`
+and returns one cycle count per lookup:
+
+    cycles = ceil(instructions / IPC) + Σ access latency
+             + expected mispredictions × penalty
+
+The paper excludes the 83-cycle PMC read overhead from its numbers; our
+model has no such overhead to exclude.  A warm-up pass (not measured)
+brings the caches to steady state, like the paper's measurement loop does
+implicitly after the first few million lookups.
+
+Helpers at module level compute the published statistics: the CDF of
+Figure 10, the mean/50/75/95/99th percentiles of Table 4, and the
+per-binary-radix-depth quartiles of Figure 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cachesim.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cachesim.profiles import HASWELL_I7_4770K
+from repro.lookup.base import LookupStructure
+from repro.mem.layout import AccessTrace
+from repro.net.rib import Rib
+
+
+@dataclass
+class CycleSummary:
+    """Table 4's row: mean and percentiles of per-lookup cycles."""
+
+    mean: float
+    p50: float
+    p75: float
+    p95: float
+    p99: float
+
+    def row(self) -> Tuple[float, float, float, float, float]:
+        return (self.mean, self.p50, self.p75, self.p95, self.p99)
+
+
+def percentile_summary(cycles: np.ndarray) -> CycleSummary:
+    return CycleSummary(
+        mean=float(cycles.mean()),
+        p50=float(np.percentile(cycles, 50)),
+        p75=float(np.percentile(cycles, 75)),
+        p95=float(np.percentile(cycles, 95)),
+        p99=float(np.percentile(cycles, 99)),
+    )
+
+
+class CycleModel:
+    """Measures simulated per-lookup CPU cycles for one structure."""
+
+    def __init__(self, config: HierarchyConfig = HASWELL_I7_4770K) -> None:
+        self.config = config
+        self.hierarchy = CacheHierarchy(config)
+
+    def measure(
+        self,
+        structure: LookupStructure,
+        keys: Sequence[int],
+        warmup: int = 4096,
+    ) -> np.ndarray:
+        """Cycle counts for looking up ``keys``, after a warm-up pass.
+
+        Warm-up uses the leading ``warmup`` keys (cycling if fewer are
+        given) and is not included in the result.
+        """
+        trace = AccessTrace()
+        hierarchy = self.hierarchy
+        ipc = self.config.instructions_per_cycle
+        traced = structure.lookup_traced
+        for i in range(min(warmup, len(keys))):
+            trace.reset()
+            traced(keys[i], trace)
+            hierarchy.replay(trace.accesses)
+        penalty = self.config.mispredict_penalty
+        cycles = np.empty(len(keys), dtype=np.int64)
+        for i, key in enumerate(keys):
+            trace.reset()
+            traced(key, trace)
+            memory = hierarchy.replay(trace.accesses)
+            cycles[i] = (
+                math.ceil(trace.instructions / ipc)
+                + memory
+                + round(trace.mispredicts * penalty)
+            )
+        return cycles
+
+    def flush(self) -> None:
+        self.hierarchy.flush()
+
+
+def cdf_points(cycles: np.ndarray, max_cycles: int = 350) -> List[Tuple[int, float]]:
+    """Figure 10: ``(cycle value, cumulative fraction)`` points."""
+    values = np.sort(cycles)
+    points: List[Tuple[int, float]] = []
+    n = len(values)
+    for threshold in range(0, max_cycles + 1, 5):
+        fraction = float(np.searchsorted(values, threshold, side="right")) / n
+        points.append((threshold, fraction))
+    return points
+
+
+def cycles_by_radix_depth(
+    cycles: np.ndarray, keys: Sequence[int], rib: Rib
+) -> Dict[int, np.ndarray]:
+    """Figure 11: bucket per-lookup cycles by the binary radix depth of the
+    queried key (computed against the RIB that built the structures)."""
+    buckets: Dict[int, List[int]] = {}
+    for cycle_count, key in zip(cycles, keys):
+        _, _, depth = rib.lookup_with_depth(key)
+        buckets.setdefault(depth, []).append(int(cycle_count))
+    return {depth: np.array(vals) for depth, vals in sorted(buckets.items())}
+
+
+def depth_quartiles(
+    buckets: Dict[int, np.ndarray]
+) -> List[Tuple[int, float, float, float, float, float]]:
+    """Figure 11's candlesticks: per depth, the 5th/25th/50th/75th/95th
+    percentiles of per-lookup cycles."""
+    rows = []
+    for depth, values in buckets.items():
+        rows.append(
+            (
+                depth,
+                float(np.percentile(values, 5)),
+                float(np.percentile(values, 25)),
+                float(np.percentile(values, 50)),
+                float(np.percentile(values, 75)),
+                float(np.percentile(values, 95)),
+            )
+        )
+    return rows

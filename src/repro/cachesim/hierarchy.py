@@ -1,0 +1,164 @@
+"""A multi-level cache hierarchy with per-level latencies.
+
+Latencies follow the paper's Section 4: "The latencies of L1, L2, L3
+cache, and DRAM access are 4-5 cycles, 12 cycles, 36 cycles, and 36 cycles
+plus Column Address Strobe latency, respectively."  The concrete DRAM
+figure (the 36 cycles plus CAS and row activation) is a profile parameter;
+see :mod:`repro.cachesim.profiles` for the values we use and why.
+
+The hierarchy is inclusive: a miss at level N installs the line at every
+level from N up, and the access costs the latency of the level that hit
+(DRAM when none did).  Accesses that straddle a line boundary touch both
+lines and cost the slower of the two — rare for the 2–24-byte aligned
+elements these structures use, but the structures do not all align their
+records to lines (DXR deliberately packs ranges 16 per line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cachesim.cache import Cache
+
+
+class _Tlb:
+    """Fully-associative LRU TLB level over page numbers."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._pages: Dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        if page in self._pages:
+            del self._pages[page]
+            self._pages[page] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(next(iter(self._pages)))
+        self._pages[page] = None
+        return False
+
+    def flush(self) -> None:
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class LevelConfig:
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Two-level data TLB.
+
+    Random accesses over multi-megabyte structures (SAIL's level-24
+    arrays, the 2^s direct array) miss the first-level TLB routinely; the
+    page walk adds a real, size-dependent cost the pure cache model
+    understates.  Entries are 4 KiB pages; the walk penalty models a
+    mostly-cached page-table walk.
+    """
+
+    l1_entries: int = 64
+    l2_entries: int = 1024
+    l2_latency: int = 8
+    walk_penalty: int = 30
+    page_bytes: int = 4096
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Everything the cycle model needs to know about a CPU."""
+
+    name: str
+    levels: Tuple[LevelConfig, ...]
+    dram_latency: int
+    #: Instructions retired per cycle for the non-memory work; superscalar
+    #: x86 sustains ~2 on these pointer-light integer kernels.
+    instructions_per_cycle: float
+    #: Pipeline-flush cost of one branch misprediction (Haswell ≈ 15–20).
+    mispredict_penalty: int = 15
+    line_bytes: int = 64
+    #: Data TLB model; None disables address-translation costs.
+    tlb: Optional[TlbConfig] = None
+
+
+class CacheHierarchy:
+    """Replays memory accesses, returning the cycle cost of each."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.caches: List[Cache] = [
+            Cache(level.size_bytes, level.ways, config.line_bytes)
+            for level in config.levels
+        ]
+        self._latencies = [level.latency for level in config.levels]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self.dram_accesses = 0
+        self._tlb_l1: Optional[_Tlb] = None
+        self._tlb_l2: Optional[_Tlb] = None
+        if config.tlb is not None:
+            self._tlb_l1 = _Tlb(config.tlb.l1_entries)
+            self._tlb_l2 = _Tlb(config.tlb.l2_entries)
+            self._page_shift = config.tlb.page_bytes.bit_length() - 1
+
+    def access(self, address: int, size: int = 4) -> int:
+        """Access ``size`` bytes at ``address``; returns the cycle cost."""
+        first_line = address >> self._line_shift
+        last_line = (address + size - 1) >> self._line_shift
+        cost = self._access_line(first_line)
+        for line in range(first_line + 1, last_line + 1):
+            cost = max(cost, self._access_line(line))
+        if self._tlb_l1 is not None:
+            cost += self._translate(address)
+        return cost
+
+    def _translate(self, address: int) -> int:
+        page = address >> self._page_shift
+        if self._tlb_l1.access(page):
+            return 0
+        tlb = self.config.tlb
+        if self._tlb_l2.access(page):
+            return tlb.l2_latency
+        return tlb.l2_latency + tlb.walk_penalty
+
+    def _access_line(self, line: int) -> int:
+        hit_level = -1
+        for i, cache in enumerate(self.caches):
+            if cache.access(line):
+                hit_level = i
+                break
+        # Levels above the hit level (or all levels, on a DRAM access) have
+        # already installed the line on their miss path inside access().
+        if hit_level == -1:
+            self.dram_accesses += 1
+            return self.config.dram_latency
+        return self._latencies[hit_level]
+
+    def replay(self, accesses: Sequence[Tuple[int, int]]) -> int:
+        """Total cycle cost of an ordered access sequence."""
+        return sum(self.access(addr, size) for addr, size in accesses)
+
+    def flush(self) -> None:
+        for cache in self.caches:
+            cache.flush()
+        self.dram_accesses = 0
+        if self._tlb_l1 is not None:
+            self._tlb_l1.flush()
+            self._tlb_l2.flush()
+
+    def stats(self) -> List[Tuple[str, int, int]]:
+        """Per-level ``(name, hits, misses)``."""
+        return [
+            (level.name, cache.hits, cache.misses)
+            for level, cache in zip(self.config.levels, self.caches)
+        ]

@@ -1,0 +1,218 @@
+"""Command-line interface: generate, compile, look up, inspect, benchmark.
+
+Usage examples::
+
+    python -m repro generate --dataset REAL-Tier1-A --scale 0.05 -o rib.txt
+    python -m repro generate --routes 50000 --nexthops 64 -o rib.txt
+    python -m repro compile rib.txt -o fib.poptrie --s 18
+    python -m repro lookup fib.poptrie 192.0.2.7 10.1.2.3
+    python -m repro lookup rib.txt 192.0.2.7        # text tables work too
+    python -m repro info rib.txt                    # per-structure footprints
+    python -m repro bench rib.txt --queries 200000  # quick Mlps comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.core import serialize
+from repro.data import tableio
+from repro.net.ip import parse_address
+
+
+def _load_structure(path: str) -> Poptrie:
+    """Load either a compiled snapshot or a text table (compiled on load)."""
+    with open(path, "rb") as stream:
+        magic = stream.read(len(serialize.MAGIC))
+    if magic == serialize.MAGIC:
+        return serialize.load(path)
+    return Poptrie.from_rib(tableio.load_table(path))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        from repro.data.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset, scale=args.scale)
+        rib = dataset.rib
+    elif args.ipv6:
+        from repro.data.synth import generate_table_v6
+
+        rib, _ = generate_table_v6(
+            n_prefixes=args.routes, n_nexthops=args.nexthops, seed=args.seed
+        )
+    else:
+        from repro.data.synth import generate_table
+
+        rib, _ = generate_table(
+            n_prefixes=args.routes,
+            n_nexthops=args.nexthops,
+            seed=args.seed,
+            igp_fraction=args.igp_fraction,
+        )
+    count = tableio.save_table(rib, args.output)
+    print(f"wrote {count} routes to {args.output}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    rib = tableio.load_table(args.table)
+    config = PoptrieConfig(
+        s=args.s, use_leafvec=not args.no_leafvec, leaf_bits=args.leaf_bits
+    )
+    start = time.perf_counter()
+    if args.aggregate:
+        from repro.core.aggregate import aggregated_rib
+
+        rib = aggregated_rib(rib)
+    trie = Poptrie.from_rib(rib, config)
+    elapsed = time.perf_counter() - start
+    size = serialize.save(trie, args.output)
+    print(
+        f"compiled {len(rib)} routes in {elapsed * 1000:.1f} ms: "
+        f"{trie.inode_count} inodes, {trie.leaf_count} leaves, "
+        f"{trie.memory_bytes() / 1024:.1f} KiB in-memory, "
+        f"{size / 1024:.1f} KiB snapshot -> {args.output}"
+    )
+    return 0
+
+
+def cmd_lookup(args: argparse.Namespace) -> int:
+    structure = _load_structure(args.table)
+    status = 0
+    for text in args.addresses:
+        try:
+            value, width = parse_address(text)
+        except ValueError as error:
+            print(f"{text}: {error}", file=sys.stderr)
+            status = 2
+            continue
+        if width != structure.width:
+            print(f"{text}: wrong address family for this table",
+                  file=sys.stderr)
+            status = 2
+            continue
+        index = structure.lookup(value)
+        if index:
+            print(f"{text} -> FIB[{index}]")
+        else:
+            print(f"{text} -> no route")
+    return status
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.bench.harness import standard_roster
+    from repro.bench.report import Table
+
+    rib = tableio.load_table(args.table)
+    names = (
+        "Radix", "Tree BitMap", "Tree BitMap (64-ary)", "SAIL",
+        "D16R", "D18R", "Poptrie0", "Poptrie16", "Poptrie18",
+    )
+    if rib.width != 32:
+        names = ("Radix", "Poptrie0", "Poptrie16", "Poptrie18")
+    roster = standard_roster(rib, names=names)
+    table = Table(["Structure", "KiB", "bytes/route"],
+                  title=f"{args.table}: {len(rib)} routes")
+    for name, structure in roster.items():
+        if structure is None:
+            table.add_row([name, None, None])
+        else:
+            table.add_row(
+                [name, structure.memory_bytes() / 1024,
+                 structure.memory_bytes() / max(len(rib), 1)]
+            )
+    print(table.render())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import measure_rate_batch, standard_roster
+    from repro.bench.report import Table
+    from repro.data.traffic import random_addresses
+
+    rib = tableio.load_table(args.table)
+    roster = standard_roster(rib)
+    keys = random_addresses(args.queries, seed=args.seed)
+    table = Table(["Structure", "KiB", "batch Mlps"],
+                  title=f"random-pattern batch rates ({args.queries} queries)")
+    for name, structure in roster.items():
+        if structure is None:
+            table.add_row([name, None, None])
+            continue
+        result = measure_rate_batch(structure, keys, repeats=args.repeats)
+        table.add_row([name, structure.memory_bytes() / 1024, result.mlps])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Poptrie reproduction toolkit (SIGCOMM 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a routing table")
+    p.add_argument("--dataset", help="a Table 1 dataset name (see DESIGN.md)")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--routes", type=int, default=10_000)
+    p.add_argument("--nexthops", type=int, default=64)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--igp-fraction", type=float, default=0.0)
+    p.add_argument("--ipv6", action="store_true",
+                   help="generate an IPv6 table (2000::/8)")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("compile", help="compile a table to a FIB snapshot")
+    p.add_argument("table")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--s", type=int, default=18, help="direct-pointing bits")
+    p.add_argument("--no-leafvec", action="store_true")
+    p.add_argument("--leaf-bits", type=int, default=16, choices=(16, 32))
+    p.add_argument("--aggregate", action="store_true",
+                   help="apply route aggregation before compiling")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("lookup", help="look addresses up in a table/snapshot")
+    p.add_argument("table")
+    p.add_argument("addresses", nargs="+")
+    p.set_defaults(func=cmd_lookup)
+
+    p = sub.add_parser("info", help="per-structure footprint report")
+    p.add_argument("table")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("bench", help="quick batch-rate comparison")
+    p.add_argument("table")
+    p.add_argument("--queries", type=int, default=100_000)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2463534242)
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — normal exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

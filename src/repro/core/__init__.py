@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the Poptrie lookup structure.
+
+- :mod:`repro.core.poptrie` — the compressed 2^k-ary trie with population
+  count (Sections 3.1–3.4): bit-vector descendant arrays, leafvec leaf
+  compression, direct pointing.
+- :mod:`repro.core.builder` — compilation from the radix-tree RIB
+  (controlled prefix expansion and node serialization).
+- :mod:`repro.core.update` — incremental, swap-on-commit updates
+  (Section 3.5).
+- :mod:`repro.core.aggregate` — route aggregation (the FIB compression the
+  paper applies before compilation) plus an optimal ORTC variant.
+- :mod:`repro.core.vectorized` — numpy batch-lookup engine used by the
+  throughput benchmarks.
+"""
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.core.update import UpdatablePoptrie, UpdateStats
+
+__all__ = ["Poptrie", "PoptrieConfig", "UpdatablePoptrie", "UpdateStats"]

@@ -1,0 +1,205 @@
+"""Route aggregation — the FIB compression applied before compilation.
+
+Section 3 of the paper: "the route aggregation performs merger of a set of
+prefixes with the identical next hop that belong to a subtree without any
+gap, into the single prefix representing the whole subtree", and notes the
+optimisation is applicable to any lookup structure.  Unless stated
+otherwise the paper's Poptrie numbers include it (Table 2's bottom block).
+
+Two algorithms are provided:
+
+- :func:`aggregate_simple` — the paper's aggregation: bottom-up subtree
+  merging plus removal of routes made redundant by their covering route.
+  Exact (lookup results are unchanged for every address).
+- :func:`aggregate_ortc` — the classic Optimal Route Table Construction
+  algorithm (Draves et al.) as an ablation extension: produces the minimal
+  equivalent table, at higher construction cost.  Note ORTC minimises the
+  number of *routes*; because it may relocate where next hops change, a
+  default route can appear.  It preserves lookup semantics for every
+  address wherever the original table matched; addresses the original
+  table did not cover may map to a real next hop instead of NO_ROUTE
+  (standard ORTC behaviour — forwarding correctness is unaffected when the
+  table has a default route, and the property tests pin this contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib, RibNode
+
+#: Summary sentinel: the subtree maps addresses to ≥ 2 distinct next hops.
+_MIXED = -1
+#: Summary sentinel: the subtree maps every address to "no route".
+_EMPTY = -2
+
+
+def _summarise(node: Optional[RibNode], summaries: Dict[int, Tuple[int, bool]]):
+    """Post-order summary of each subtree as ``(value, has_gap)``.
+
+    ``value`` is the unique next hop the covered part of the subtree maps
+    to, ``_MIXED`` when there are at least two, or ``_EMPTY`` when nothing
+    is covered.  ``has_gap`` records whether some addresses are uncovered.
+    """
+    if node is None:
+        return _EMPTY, True
+    left = _summarise(node.left, summaries)
+    right = _summarise(node.right, summaries)
+    value, has_gap = _combine(left, right)
+    if node.route != NO_ROUTE:
+        # The node's own route fills the gaps below it.
+        if value == _EMPTY:
+            value, has_gap = node.route, False
+        elif has_gap:
+            value = node.route if value == node.route else _MIXED
+            has_gap = False
+    summary = (value, has_gap)
+    summaries[id(node)] = summary
+    return summary
+
+
+def _combine(left: Tuple[int, bool], right: Tuple[int, bool]) -> Tuple[int, bool]:
+    lv, lg = left
+    rv, rg = right
+    has_gap = lg or rg
+    if lv == _EMPTY:
+        return rv, has_gap
+    if rv == _EMPTY:
+        return lv, has_gap
+    if lv == _MIXED or rv == _MIXED or lv != rv:
+        return _MIXED, has_gap
+    return lv, has_gap
+
+
+def aggregate_simple(rib: Rib) -> List[Tuple[Prefix, int]]:
+    """The paper's route aggregation.  Returns the reduced route list.
+
+    Exactness: for every address, looking up the returned table gives the
+    same FIB index as the input table (including NO_ROUTE misses).
+    """
+    summaries: Dict[int, Tuple[int, bool]] = {}
+    _summarise(rib.root, summaries)
+    routes: List[Tuple[Prefix, int]] = []
+
+    def emit(node: Optional[RibNode], value: int, length: int, inherited: int):
+        if node is None:
+            return
+        summary_value, has_gap = summaries[id(node)]
+        effective = node.route if node.route != NO_ROUTE else inherited
+        # Does the whole subtree collapse to one value, given what is
+        # inherited from above fills any remaining gaps?
+        collapsed: Optional[int] = None
+        if summary_value == _EMPTY:
+            collapsed = effective
+        elif summary_value != _MIXED and not has_gap:
+            collapsed = summary_value
+        elif summary_value != _MIXED and has_gap and summary_value == effective:
+            collapsed = summary_value
+        if collapsed is not None:
+            if collapsed != inherited and collapsed != NO_ROUTE:
+                routes.append((Prefix(value, length, rib.width), collapsed))
+            return
+        if node.route != NO_ROUTE and node.route != inherited:
+            routes.append((Prefix(value, length, rib.width), node.route))
+            inherited = node.route
+        bit = 1 << (rib.width - length - 1)
+        emit(node.left, value, length + 1, inherited)
+        emit(node.right, value | bit, length + 1, inherited)
+
+    emit(rib.root, 0, 0, NO_ROUTE)
+    return routes
+
+
+def aggregated_rib(rib: Rib) -> Rib:
+    """Convenience: a new RIB holding the :func:`aggregate_simple` output."""
+    out = Rib(width=rib.width)
+    for prefix, fib_index in aggregate_simple(rib):
+        out.insert(prefix, fib_index)
+    return out
+
+
+# -- ORTC (extension / ablation) ---------------------------------------------
+
+
+def aggregate_ortc(rib: Rib) -> List[Tuple[Prefix, int]]:
+    """Optimal Route Table Construction (Draves et al., INFOCOM'99).
+
+    Three passes over a normalised binary trie: (1) leaf-push the inherited
+    next hops, (2) compute candidate next-hop sets bottom-up (intersection
+    when non-empty, else union), (3) top-down, keep a route only where the
+    inherited choice is not in the candidate set.
+    """
+    width = rib.width
+
+    class _N:
+        __slots__ = ("left", "right", "route", "candidates")
+
+        def __init__(self) -> None:
+            self.left: Optional[_N] = None
+            self.right: Optional[_N] = None
+            self.route = NO_ROUTE
+            self.candidates: FrozenSet[int] = frozenset()
+
+    # Copy the RIB into a mutable trie, then normalise so every node has
+    # zero or two children (ORTC's passes assume a full binary trie).
+    def copy(node: Optional[RibNode]) -> Optional[_N]:
+        if node is None:
+            return None
+        out = _N()
+        out.route = node.route
+        out.left = copy(node.left)
+        out.right = copy(node.right)
+        return out
+
+    root = copy(rib.root)
+    assert root is not None
+    if root.route == NO_ROUTE:
+        root.route = NO_ROUTE  # the implicit "no route" default
+
+    def normalise(node: _N) -> None:
+        if (node.left is None) != (node.right is None):
+            if node.left is None:
+                node.left = _N()
+            else:
+                node.right = _N()
+        if node.left is not None:
+            normalise(node.left)
+        if node.right is not None:
+            normalise(node.right)
+
+    normalise(root)
+
+    # Pass 1+2 fused: push inherited down; compute candidate sets up.
+    def up(node: _N, inherited: int) -> FrozenSet[int]:
+        if node.route != NO_ROUTE:
+            inherited = node.route
+        if node.left is None:  # leaf
+            node.candidates = frozenset((inherited,))
+            return node.candidates
+        left = up(node.left, inherited)
+        right = up(node.right, inherited)
+        both = left & right
+        node.candidates = both if both else (left | right)
+        return node.candidates
+
+    up(root, NO_ROUTE)
+
+    routes: List[Tuple[Prefix, int]] = []
+
+    # Pass 3: choose next hops top-down.
+    def down(node: _N, value: int, length: int, inherited: int) -> None:
+        chosen = inherited
+        if inherited not in node.candidates:
+            chosen = min(node.candidates)  # deterministic pick
+            if chosen != NO_ROUTE:
+                routes.append((Prefix(value, length, width), chosen))
+        if node.left is None:
+            return
+        bit = 1 << (width - length - 1)
+        down(node.left, value, length + 1, chosen)
+        down(node.right, value | bit, length + 1, chosen)
+
+    down(root, 0, 0, NO_ROUTE)
+    return routes

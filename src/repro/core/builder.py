@@ -1,0 +1,181 @@
+"""Compilation of a radix-tree RIB into Poptrie nodes.
+
+The build runs in two phases, mirroring what the paper's C implementation
+does in one pass but keeping the logic testable in isolation:
+
+1. **Expansion** (:func:`expand_node`): controlled prefix expansion of the
+   binary radix tree into temporary 2^k-ary nodes.  Each temporary node
+   records its ``vector`` (bit v set ⇔ slot v has a descendant internal
+   node, Section 3.1), its ``leafvec`` and compressed leaf list
+   (Section 3.3), and its child list.
+
+2. **Serialization** (:class:`Serializer`): lays the temporary nodes out in
+   the contiguous internal-node and leaf arrays.  Children of one node are
+   placed in one contiguous block (that is what makes ``base1 + popcount``
+   indexing work), allocated from the buddy allocator so the incremental
+   update path can later free and reallocate subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.net.fib import NO_ROUTE
+from repro.net.rib import RibNode
+
+
+class TmpNode:
+    """A poptrie internal node before serialization."""
+
+    __slots__ = ("vector", "leafvec", "leaves", "children")
+
+    def __init__(self) -> None:
+        self.vector = 0
+        self.leafvec = 0
+        self.leaves: List[int] = []
+        self.children: List[TmpNode] = []
+
+    def shallow_signature(self) -> tuple:
+        """The fields compared by the incremental updater to decide whether a
+        node can be updated in place (Section 3.5: "when neither of the
+        root's vector nor leafvec change...")."""
+        return self.vector, self.leafvec
+
+    def count_nodes(self) -> tuple:
+        """(internal nodes, leaf slots) in this subtree — for Table 2."""
+        inodes, leaves = 1, len(self.leaves)
+        for child in self.children:
+            ci, cl = child.count_nodes()
+            inodes += ci
+            leaves += cl
+        return inodes, leaves
+
+
+#: A slot of an expanded chunk: either a leaf FIB index (int) or a pending
+#: internal node (radix node to expand further + its inherited FIB index).
+Slot = Union[int, tuple]
+
+
+def _fill_slots(
+    node: Optional[RibNode],
+    depth: int,
+    base: int,
+    inherited: int,
+    k: int,
+    slots: List[Slot],
+) -> None:
+    """Expand ``k - depth`` remaining chunk bits of the radix subtree rooted
+    at ``node`` into ``slots[base : base + 2^(k-depth)]``."""
+    if node is not None and node.route != NO_ROUTE:
+        inherited = node.route
+    if depth == k:
+        if node is not None and not node.is_leaf():
+            slots[base] = (node, inherited)
+        else:
+            slots[base] = inherited
+        return
+    if node is None:
+        # The whole value range under this point inherits one leaf.
+        for i in range(base, base + (1 << (k - depth))):
+            slots[i] = inherited
+        return
+    half = 1 << (k - depth - 1)
+    _fill_slots(node.left, depth + 1, base, inherited, k, slots)
+    _fill_slots(node.right, depth + 1, base + half, inherited, k, slots)
+
+
+def expand_chunk(
+    node: Optional[RibNode], inherited: int, k: int
+) -> List[Slot]:
+    """Expand one k-bit chunk of the radix tree into 2^k slots."""
+    slots: List[Slot] = [NO_ROUTE] * (1 << k)
+    _fill_slots(node, 0, 0, inherited, k, slots)
+    return slots
+
+
+def make_shallow(slots: List[Slot], use_leafvec: bool) -> TmpNode:
+    """Build one TmpNode from expanded slots, without recursing into
+    children (children are left as ``(radix_node, inherited)`` markers in
+    ``tmp.children`` order-preserving positions for the caller to expand)."""
+    tmp = TmpNode()
+    pending: List[tuple] = []
+    previous: Optional[int] = None
+    for v, slot in enumerate(slots):
+        if isinstance(slot, tuple):
+            tmp.vector |= 1 << v
+            pending.append(slot)
+            continue
+        if use_leafvec:
+            # Section 3.3: emit a leaf only when the value changes; slots
+            # shadowed by internal nodes are "irrelevant" and the run of
+            # identical leaves continues across them (hole punching).
+            if previous is None or slot != previous:
+                tmp.leafvec |= 1 << v
+                tmp.leaves.append(slot)
+                previous = slot
+        else:
+            tmp.leaves.append(slot)
+    tmp.children = pending  # type: ignore[assignment]
+    return tmp
+
+
+def expand_node(
+    node: Optional[RibNode], inherited: int, k: int, use_leafvec: bool
+) -> TmpNode:
+    """Recursively expand the radix subtree at ``node`` into a TmpNode tree.
+
+    ``inherited`` is the FIB index of the longest prefix already matched on
+    the way down to ``node`` (including ``node.route`` itself when set).
+    """
+    slots = expand_chunk(node, inherited, k)
+    tmp = make_shallow(slots, use_leafvec)
+    tmp.children = [
+        expand_node(child, child_inherited, k, use_leafvec)
+        for child, child_inherited in tmp.children  # type: ignore[misc]
+    ]
+    return tmp
+
+
+class Serializer:
+    """Writes TmpNode trees into a Poptrie's node and leaf arrays.
+
+    The target object must expose ``alloc_nodes(n)``, ``alloc_leaves(n)``,
+    ``write_node(index, vector, leafvec, base0, base1)`` and
+    ``write_leaf(index, value)`` — :class:`repro.core.poptrie.Poptrie` does.
+    Children of each node form one contiguous block starting at ``base1``;
+    compressed leaves form one contiguous block starting at ``base0``.
+    """
+
+    def __init__(self, target) -> None:
+        self.target = target
+        self.nodes_written = 0
+        self.leaves_written = 0
+
+    def serialize(self, tmp: TmpNode) -> int:
+        """Place ``tmp``'s subtree; returns the root's node index."""
+        root_index = self.target.alloc_nodes(1)
+        self._emit(tmp, root_index)
+        return root_index
+
+    def serialize_into(self, tmp: TmpNode, index: int) -> None:
+        """Place ``tmp``'s subtree with the root at a pre-existing index
+        (in-place root replacement used by the incremental updater)."""
+        self._emit(tmp, index)
+
+    def _emit(self, tmp: TmpNode, index: int) -> None:
+        queue: List[tuple] = [(tmp, index)]
+        while queue:
+            node, at = queue.pop()
+            base1 = 0
+            if node.children:
+                base1 = self.target.alloc_nodes(len(node.children))
+                for i, child in enumerate(node.children):
+                    queue.append((child, base1 + i))
+            base0 = 0
+            if node.leaves:
+                base0 = self.target.alloc_leaves(len(node.leaves))
+                for i, value in enumerate(node.leaves):
+                    self.target.write_leaf(base0 + i, value)
+                self.leaves_written += len(node.leaves)
+            self.target.write_node(at, node.vector, node.leafvec, base0, base1)
+            self.nodes_written += 1

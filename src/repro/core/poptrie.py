@@ -1,0 +1,410 @@
+"""Poptrie: the compressed 2^k-ary trie with population count.
+
+Implements Sections 3.1–3.4 of the paper with the same data layout:
+
+- an internal node is ``(vector, base0, base1)`` — 16 bytes — or, with the
+  leafvec extension, ``(vector, leafvec, base0, base1)`` — 24 bytes;
+- leaves are 16-bit FIB indices (configurable to 32 for the structural
+  scalability discussion of Section 5);
+- descendant internal nodes and compressed leaves of each node live in
+  contiguous array blocks reached through ``base1``/``base0`` plus a
+  population count over ``vector``/``leafvec`` (Algorithms 1 and 2);
+- direct pointing (Section 3.4) replaces the first ``s`` bits with a
+  2^s-entry array whose entries are either node indices or FIB indices
+  tagged with the most significant bit (Algorithm 3).
+
+The paper fixes ``k = 6`` so a vector fills one 64-bit register; we default
+to 6 but keep ``k`` configurable, which lets the unit tests exercise the
+``k = 2`` worked example of the paper's Figures 1–4 directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import builder
+from repro.errors import StructuralLimitError
+from repro.lookup.base import LookupStructure
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.layout import AccessTrace, MemoryMap
+from repro.net.fib import NO_ROUTE
+from repro.net.rib import Rib
+
+#: Most-significant-bit tag of a direct-pointing entry: set ⇒ the remaining
+#: 31 bits are a FIB index; clear ⇒ they are an internal-node index.
+DIRECT_LEAF = 1 << 31
+
+#: Per-slot instruction estimates used by the cycle model (Section 4.6
+#: substitute): one trie step is roughly extract + test + popcount + add.
+_STEP_INSTRUCTIONS = 6
+_LEAF_INSTRUCTIONS = 5
+_DIRECT_INSTRUCTIONS = 4
+
+
+@dataclass(frozen=True)
+class PoptrieConfig:
+    """Build-time options (the rows of Table 2).
+
+    ``s = 0`` disables direct pointing; the paper evaluates 0, 16 and 18.
+    ``use_leafvec`` enables the Section 3.3 leaf compression.  ``leaf_bits``
+    is 16 in the paper (2-byte leaves, max 2^16 FIB entries) and may be 32
+    here per the Section 5 structural-scalability discussion.
+    """
+
+    k: int = 6
+    s: int = 18
+    use_leafvec: bool = True
+    leaf_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= 6:
+            raise ValueError("k must be in 1..6 (vector must fit 64 bits)")
+        if self.s < 0:
+            raise ValueError("s must be non-negative")
+        if self.leaf_bits not in (16, 32):
+            raise ValueError("leaf_bits must be 16 or 32")
+
+    @property
+    def node_bytes(self) -> int:
+        """16 bytes basic, 24 with leafvec (Section 3)."""
+        return 24 if self.use_leafvec else 16
+
+    @property
+    def leaf_bytes(self) -> int:
+        return self.leaf_bits // 8
+
+
+class Poptrie(LookupStructure):
+    """The Poptrie lookup structure.
+
+    Build one with :meth:`from_rib` (or through
+    :class:`repro.core.update.UpdatablePoptrie` when incremental updates are
+    needed):
+
+    >>> from repro.net.rib import Rib
+    >>> from repro.net.prefix import Prefix
+    >>> rib = Rib()
+    >>> rib.insert(Prefix.parse("192.0.2.0/24"), 1)
+    0
+    >>> rib.insert(Prefix.parse("0.0.0.0/0"), 2)
+    0
+    >>> t = Poptrie.from_rib(rib)
+    >>> t.lookup(Prefix.parse("192.0.2.55/32").value)
+    1
+    >>> t.lookup(Prefix.parse("198.51.100.1/32").value)
+    2
+    """
+
+    def __init__(self, config: PoptrieConfig = PoptrieConfig(), width: int = 32):
+        if config.s > width:
+            raise ValueError(f"direct pointing s={config.s} exceeds width {width}")
+        self.config = config
+        self.width = width
+        self.k = config.k
+        self.s = config.s
+        # The paper's naming convention: "Poptrie18" means s = 18.
+        self.name = f"Poptrie{self.s}"
+        if not config.use_leafvec:
+            self.name += " (basic)"
+        # Padded key width so every chunk read stays in-range (Algorithm 1's
+        # extract() zero-pads past the end of the address).
+        levels = -(-(width - self.s) // self.k) if width > self.s else 1
+        self._padded_width = self.s + self.k * levels
+        self._pad = self._padded_width - width
+        self._kmask = (1 << self.k) - 1
+
+        self.node_alloc = BuddyAllocator(capacity=64)
+        self.leaf_alloc = BuddyAllocator(capacity=64)
+        self.vec = array("Q", bytes(8 * self.node_alloc.capacity))
+        self.lvec = array("Q", bytes(8 * self.node_alloc.capacity))
+        self.base0 = array("I", bytes(4 * self.node_alloc.capacity))
+        self.base1 = array("I", bytes(4 * self.node_alloc.capacity))
+        leaf_code = "H" if config.leaf_bits == 16 else "I"
+        self.leaves = array(leaf_code, bytes(config.leaf_bytes * 64))
+        self.direct = array("I", bytes(4 << self.s)) if self.s else array("I")
+        self.root_index = 0
+
+        #: Logical counts — what Table 2 reports as "# of inodes"/"# of
+        #: leaves" (buddy blocks may be rounded up beyond these).
+        self.inode_count = 0
+        self.leaf_count = 0
+
+        # Virtual addresses for cache-simulation traces.
+        self.memmap = MemoryMap()
+        self._node_region = self.memmap.add_region(
+            "poptrie.nodes", config.node_bytes, self.node_alloc.capacity
+        )
+        self._leaf_region = self.memmap.add_region(
+            "poptrie.leaves", config.leaf_bytes, len(self.leaves)
+        )
+        self._direct_region = self.memmap.add_region(
+            "poptrie.direct", 4, max(len(self.direct), 1)
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rib(
+        cls,
+        rib: Rib,
+        config: PoptrieConfig = PoptrieConfig(),
+        fib_size: Optional[int] = None,
+    ) -> "Poptrie":
+        """Compile a Poptrie from a radix-tree RIB.
+
+        ``fib_size`` (defaults to the largest FIB index in the RIB) is
+        validated against the leaf width — Section 5's structural limit.
+        """
+        trie = cls(config, width=rib.width)
+        trie._check_fib_capacity(rib, fib_size)
+        if config.s == 0:
+            tmp = builder.expand_node(rib.root, NO_ROUTE, config.k, config.use_leafvec)
+            trie.root_index = builder.Serializer(trie).serialize(tmp)
+        else:
+            trie._build_direct(rib)
+        return trie
+
+    def _check_fib_capacity(self, rib: Rib, fib_size: Optional[int]) -> None:
+        limit = 1 << self.config.leaf_bits
+        if fib_size is None:
+            fib_size = max((idx for _, idx in rib.routes()), default=0) + 1
+        if fib_size > limit:
+            raise StructuralLimitError(
+                f"{fib_size} FIB entries exceed {self.config.leaf_bits}-bit leaves"
+            )
+
+    def _build_direct(self, rib: Rib) -> None:
+        """Fill the 2^s top-level array (Section 3.4) by walking the radix
+        tree to depth ``s``, expanding a subtree where one exists and filling
+        address ranges with tagged FIB indices where it does not."""
+        serializer = builder.Serializer(self)
+
+        def fill(node, depth: int, base: int, inherited: int) -> None:
+            if node is not None and node.route != NO_ROUTE:
+                inherited = node.route
+            if depth == self.s:
+                if node is not None and not node.is_leaf():
+                    tmp = builder.expand_node(
+                        node, inherited, self.k, self.config.use_leafvec
+                    )
+                    self.direct[base] = serializer.serialize(tmp)
+                else:
+                    self.direct[base] = DIRECT_LEAF | inherited
+                return
+            if node is None:
+                value = DIRECT_LEAF | inherited
+                span = 1 << (self.s - depth)
+                self.direct[base : base + span] = array("I", [value]) * span
+                return
+            half = 1 << (self.s - depth - 1)
+            fill(node.left, depth + 1, base, inherited)
+            fill(node.right, depth + 1, base + half, inherited)
+
+        fill(rib.root, 0, 0, NO_ROUTE)
+
+    # -- serialization target interface (used by builder.Serializer) ----------
+
+    def alloc_nodes(self, count: int) -> int:
+        offset = self.node_alloc.alloc(count)
+        self.inode_count += count
+        self._sync_node_arrays()
+        return offset
+
+    def free_nodes(self, offset: int, count: int) -> None:
+        self.node_alloc.free(offset)
+        self.inode_count -= count
+
+    def alloc_leaves(self, count: int) -> int:
+        offset = self.leaf_alloc.alloc(count)
+        self.leaf_count += count
+        self._sync_leaf_array()
+        return offset
+
+    def free_leaves(self, offset: int, count: int) -> None:
+        self.leaf_alloc.free(offset)
+        self.leaf_count -= count
+
+    def write_node(
+        self, index: int, vector: int, leafvec: int, base0: int, base1: int
+    ) -> None:
+        self.vec[index] = vector
+        self.lvec[index] = leafvec
+        self.base0[index] = base0
+        self.base1[index] = base1
+
+    def write_leaf(self, index: int, value: int) -> None:
+        if value >= (1 << self.config.leaf_bits):
+            raise StructuralLimitError(
+                f"FIB index {value} exceeds {self.config.leaf_bits}-bit leaf"
+            )
+        self.leaves[index] = value
+
+    def _sync_node_arrays(self) -> None:
+        capacity = self.node_alloc.capacity
+        if len(self.vec) < capacity:
+            grow = capacity - len(self.vec)
+            self.vec.extend([0] * grow)
+            self.lvec.extend([0] * grow)
+            self.base0.extend([0] * grow)
+            self.base1.extend([0] * grow)
+            self._node_region = self.memmap.resize_region("poptrie.nodes", capacity)
+
+    def _sync_leaf_array(self) -> None:
+        capacity = self.leaf_alloc.capacity
+        if len(self.leaves) < capacity:
+            self.leaves.extend([0] * (capacity - len(self.leaves)))
+            self._leaf_region = self.memmap.resize_region("poptrie.leaves", capacity)
+
+    # -- lookup (Algorithms 1–3) -----------------------------------------------
+
+    def lookup(self, key: int) -> int:
+        """Longest-prefix-match ``key`` (an integer address) to a FIB index."""
+        k = self.k
+        kmask = self._kmask
+        vec = self.vec
+        if self.s:
+            entry = self.direct[key >> (self.width - self.s)]
+            if entry & DIRECT_LEAF:
+                return entry & (DIRECT_LEAF - 1)
+            index = entry
+            shift = self._padded_width - k - self.s
+        else:
+            index = self.root_index
+            shift = self._padded_width - k
+        keyp = key << self._pad
+        vector = vec[index]
+        v = (keyp >> shift) & kmask
+        while (vector >> v) & 1:
+            bc = (vector & ((2 << v) - 1)).bit_count()
+            index = self.base1[index] + bc - 1
+            vector = vec[index]
+            shift -= k
+            v = (keyp >> shift) & kmask
+        if self.config.use_leafvec:
+            bc = (self.lvec[index] & ((2 << v) - 1)).bit_count()
+        else:
+            bc = ((~vector) & ((2 << v) - 1)).bit_count()
+        return self.leaves[self.base0[index] + bc - 1]
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Vectorised batch lookup for IPv4 (uint64 array) and IPv6
+        (sequence of 128-bit ints); see :mod:`repro.core.vectorized`."""
+        if self.width == 32:
+            from repro.core.vectorized import poptrie_lookup_batch
+
+            return poptrie_lookup_batch(self, keys)
+        if self.width == 128 and self.s <= 64:
+            from repro.core.vectorized import poptrie_lookup_batch_v6
+
+            return poptrie_lookup_batch_v6(self, keys)
+        return LookupStructure.lookup_batch(self, keys)
+
+    def lookup_traced(self, key: int, trace: AccessTrace) -> int:
+        """Like :meth:`lookup` but records every memory access and an
+        instruction estimate into ``trace`` for the cycle simulator."""
+        k = self.k
+        kmask = self._kmask
+        if self.s:
+            trace.read(self._direct_region, key >> (self.width - self.s))
+            trace.work(_DIRECT_INSTRUCTIONS)
+            entry = self.direct[key >> (self.width - self.s)]
+            if entry & DIRECT_LEAF:
+                return entry & (DIRECT_LEAF - 1)
+            index = entry
+            shift = self._padded_width - k - self.s
+        else:
+            index = self.root_index
+            shift = self._padded_width - k
+        keyp = key << self._pad
+        trace.read(self._node_region, index)
+        vector = self.vec[index]
+        v = (keyp >> shift) & kmask
+        while (vector >> v) & 1:
+            trace.work(_STEP_INSTRUCTIONS)
+            bc = (vector & ((2 << v) - 1)).bit_count()
+            index = self.base1[index] + bc - 1
+            trace.read(self._node_region, index)
+            vector = self.vec[index]
+            shift -= k
+            v = (keyp >> shift) & kmask
+        # One mostly-biased loop-exit branch per lookup (descend vs leaf).
+        trace.mispredict(0.2)
+        trace.work(_LEAF_INSTRUCTIONS)
+        if self.config.use_leafvec:
+            bc = (self.lvec[index] & ((2 << v) - 1)).bit_count()
+        else:
+            bc = ((~vector) & ((2 << v) - 1)).bit_count()
+        leaf_index = self.base0[index] + bc - 1
+        trace.read(self._leaf_region, leaf_index)
+        return self.leaves[leaf_index]
+
+    # -- introspection -----------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Data-structure footprint as the paper reports it: live internal
+        nodes, live leaf slots, plus the direct-pointing array."""
+        return (
+            self.inode_count * self.config.node_bytes
+            + self.leaf_count * self.config.leaf_bytes
+            + 4 * len(self.direct)
+        )
+
+    def allocated_bytes(self) -> int:
+        """Footprint including buddy-allocator rounding (implementation
+        honest; always ≥ :meth:`memory_bytes`)."""
+        return (
+            self.node_alloc.capacity * self.config.node_bytes
+            + self.leaf_alloc.capacity * self.config.leaf_bytes
+            + 4 * len(self.direct)
+        )
+
+    def depth_of(self, key: int) -> int:
+        """Number of internal nodes traversed to look ``key`` up (0 when the
+        direct array resolves it).  Drives the Figure 11-style analysis."""
+        k = self.k
+        if self.s:
+            entry = self.direct[key >> (self.width - self.s)]
+            if entry & DIRECT_LEAF:
+                return 0
+            index = entry
+            shift = self._padded_width - k - self.s
+        else:
+            index = self.root_index
+            shift = self._padded_width - k
+        keyp = key << self._pad
+        depth = 1
+        vector = self.vec[index]
+        v = (keyp >> shift) & self._kmask
+        while (vector >> v) & 1:
+            bc = (vector & ((2 << v) - 1)).bit_count()
+            index = self.base1[index] + bc - 1
+            vector = self.vec[index]
+            shift -= k
+            v = (keyp >> shift) & self._kmask
+            depth += 1
+        return depth
+
+    def iter_nodes(self) -> Iterable[Tuple[int, int, int, int, int]]:
+        """Yield ``(index, vector, leafvec, base0, base1)`` for every node
+        reachable from the root(s) — used by the structure-invariant tests."""
+        roots: List[int] = []
+        if self.s:
+            roots = [e for e in self.direct if not e & DIRECT_LEAF]
+        else:
+            roots = [self.root_index]
+        seen = set()
+        stack = list(dict.fromkeys(roots))
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            vector = self.vec[index]
+            yield index, vector, self.lvec[index], self.base0[index], self.base1[index]
+            base1 = self.base1[index]
+            for rank in range(vector.bit_count()):
+                stack.append(base1 + rank)

@@ -1,0 +1,269 @@
+"""Binary serialization of compiled Poptries.
+
+A router restarting should not have to recompile its FIB from the RIB if
+nothing changed; routers also ship compiled FIBs from a control plane to
+line cards.  This module freezes a :class:`~repro.core.poptrie.Poptrie`
+into a compact, versioned, self-describing binary blob and thaws it back.
+
+Format (little-endian):
+
+    magic   8 bytes   b"POPTRIE1"
+    header  u32 × 8   k, s, use_leafvec, leaf_bits, width,
+                      node_count, leaf_count, root_index
+    nodes   node_count × (vec u64, lvec u64, base0 u32, base1 u32)
+    leaves  leaf_count × (u16 | u32)
+    direct  2^s × u32 (when s > 0)
+    crc32   u32 over everything above
+
+Thawed tries are *compacted*: the node/leaf arrays are written out in
+live-block order and indices are remapped, so a trie that went through
+heavy incremental updating (buddy fragmentation) deserializes into the
+tight layout a fresh compile would produce.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from array import array
+from typing import BinaryIO, Dict, Tuple, Union
+
+from repro.core.poptrie import DIRECT_LEAF, Poptrie, PoptrieConfig
+
+MAGIC = b"POPTRIE1"
+_HEADER = struct.Struct("<8I")
+
+
+class CorruptSnapshot(ValueError):
+    """The blob is not a valid Poptrie snapshot (bad magic, CRC, bounds)."""
+
+
+def _remap(trie: Poptrie) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Old-index → compact-index maps for reachable nodes and leaves."""
+    node_map: Dict[int, int] = {}
+    leaf_map: Dict[int, int] = {}
+    k_slots = 1 << trie.k
+
+    order = []
+    roots = (
+        [entry for entry in trie.direct if not entry & DIRECT_LEAF]
+        if trie.s
+        else [trie.root_index]
+    )
+    stack = list(dict.fromkeys(roots))
+    seen = set(stack)
+    while stack:
+        index = stack.pop()
+        order.append(index)
+        vector = trie.vec[index]
+        base1 = trie.base1[index]
+        for rank in range(vector.bit_count()):
+            child = base1 + rank
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+
+    # Nodes first: keep each node's children contiguous by assigning child
+    # blocks as whole runs.
+    for index in order:
+        node_map.setdefault(index, len(node_map))
+        vector = trie.vec[index]
+        count = vector.bit_count()
+        if count:
+            base1 = trie.base1[index]
+            for rank in range(count):
+                node_map.setdefault(base1 + rank, len(node_map))
+    for index in order:
+        if trie.config.use_leafvec:
+            leaf_count = trie.lvec[index].bit_count()
+        else:
+            leaf_count = k_slots - trie.vec[index].bit_count()
+        base0 = trie.base0[index]
+        for offset in range(leaf_count):
+            leaf_map.setdefault(base0 + offset, len(leaf_map))
+    return node_map, leaf_map
+
+
+def dump_bytes(trie: Poptrie) -> bytes:
+    """Freeze ``trie`` to a compact binary snapshot."""
+    node_map, leaf_map = _remap(trie)
+    node_count = len(node_map)
+    leaf_count = len(leaf_map)
+
+    header = _HEADER.pack(
+        trie.k,
+        trie.s,
+        1 if trie.config.use_leafvec else 0,
+        trie.config.leaf_bits,
+        trie.width,
+        node_count,
+        leaf_count,
+        node_map.get(trie.root_index, 0) if not trie.s else 0,
+    )
+
+    vec = array("Q", bytes(8 * node_count))
+    lvec = array("Q", bytes(8 * node_count))
+    base0 = array("I", bytes(4 * node_count))
+    base1 = array("I", bytes(4 * node_count))
+    leaf_code = "H" if trie.config.leaf_bits == 16 else "I"
+    leaves = array(leaf_code, bytes(trie.config.leaf_bytes * max(leaf_count, 1)))
+    if leaf_count == 0:
+        leaves = array(leaf_code)
+    for old, new in node_map.items():
+        vec[new] = trie.vec[old]
+        lvec[new] = trie.lvec[old]
+        old_children = trie.vec[old].bit_count()
+        base1[new] = node_map[trie.base1[old]] if old_children else 0
+        if trie.config.use_leafvec:
+            old_leaves = trie.lvec[old].bit_count()
+        else:
+            old_leaves = (1 << trie.k) - old_children
+        base0[new] = leaf_map[trie.base0[old]] if old_leaves else 0
+    for old, new in leaf_map.items():
+        leaves[new] = trie.leaves[old]
+
+    direct = array("I")
+    if trie.s:
+        direct = array("I", bytes(4 << trie.s))
+        for i, entry in enumerate(trie.direct):
+            direct[i] = entry if entry & DIRECT_LEAF else node_map[entry]
+
+    body = (
+        MAGIC
+        + header
+        + vec.tobytes()
+        + lvec.tobytes()
+        + base0.tobytes()
+        + base1.tobytes()
+        + leaves.tobytes()
+        + direct.tobytes()
+    )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def load_bytes(blob: bytes) -> Poptrie:
+    """Thaw a snapshot produced by :func:`dump_bytes`."""
+    if len(blob) < len(MAGIC) + _HEADER.size + 4:
+        raise CorruptSnapshot("snapshot truncated")
+    if blob[: len(MAGIC)] != MAGIC:
+        raise CorruptSnapshot("bad magic")
+    (crc,) = struct.unpack("<I", blob[-4:])
+    if zlib.crc32(blob[:-4]) != crc:
+        raise CorruptSnapshot("CRC mismatch")
+
+    offset = len(MAGIC)
+    k, s, use_leafvec, leaf_bits, width, node_count, leaf_count, root = (
+        _HEADER.unpack_from(blob, offset)
+    )
+    offset += _HEADER.size
+    config = PoptrieConfig(
+        k=k, s=s, use_leafvec=bool(use_leafvec), leaf_bits=leaf_bits
+    )
+    trie = Poptrie(config, width=width)
+
+    def take(code: str, count: int) -> array:
+        nonlocal offset
+        out = array(code)
+        nbytes = out.itemsize * count
+        out.frombytes(blob[offset : offset + nbytes])
+        if len(out) != count:
+            raise CorruptSnapshot("snapshot truncated in arrays")
+        offset += nbytes
+        return out
+
+    vec = take("Q", node_count)
+    lvec = take("Q", node_count)
+    base0 = take("I", node_count)
+    base1 = take("I", node_count)
+    leaves = take("H" if leaf_bits == 16 else "I", leaf_count)
+    direct = take("I", (1 << s) if s else 0)
+
+    # Pre-size the allocators so the first allocation starts at offset 0
+    # (growing a small allocator would otherwise place the block higher).
+    from repro.mem.buddy import BuddyAllocator
+
+    trie.node_alloc = BuddyAllocator(capacity=max(64, node_count))
+    trie.leaf_alloc = BuddyAllocator(capacity=max(64, leaf_count))
+    if node_count:
+        base = trie.alloc_nodes(node_count)
+        assert base == 0, "fresh trie must allocate from offset zero"
+        trie.vec[:node_count] = vec
+        trie.lvec[:node_count] = lvec
+        trie.base0[:node_count] = base0
+        trie.base1[:node_count] = base1
+    if leaf_count:
+        leaf_base = trie.alloc_leaves(leaf_count)
+        assert leaf_base == 0
+        trie.leaves[:leaf_count] = leaves
+    if s:
+        trie.direct[:] = direct
+    else:
+        trie.root_index = root
+
+    validate(trie)
+    return trie
+
+
+def save(trie: Poptrie, destination: Union[str, BinaryIO]) -> int:
+    """Write a snapshot to a path or binary stream; returns byte count."""
+    blob = dump_bytes(trie)
+    if isinstance(destination, str):
+        with open(destination, "wb") as stream:
+            stream.write(blob)
+    else:
+        destination.write(blob)
+    return len(blob)
+
+
+def load(source: Union[str, BinaryIO]) -> Poptrie:
+    """Read a snapshot from a path or binary stream."""
+    if isinstance(source, str):
+        with open(source, "rb") as stream:
+            return load_bytes(stream.read())
+    return load_bytes(source.read())
+
+
+def validate(trie: Poptrie) -> None:
+    """Structural self-check; raises :class:`CorruptSnapshot` on violation.
+
+    Verifies that every reachable node/leaf index is in bounds, that
+    leafvec runs are well-formed (every leaf slot has a run start at or
+    below it — Algorithm 2 never underflows), and that direct entries
+    point at sane targets.
+    """
+    node_limit = len(trie.vec)
+    leaf_limit = len(trie.leaves)
+    k_slots = 1 << trie.k
+
+    roots = (
+        [entry for entry in trie.direct if not entry & DIRECT_LEAF]
+        if trie.s
+        else [trie.root_index]
+    )
+    seen = set()
+    stack = list(dict.fromkeys(roots))
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        if index >= node_limit:
+            raise CorruptSnapshot(f"node index {index} out of bounds")
+        vector = trie.vec[index]
+        leafvec = trie.lvec[index]
+        children = vector.bit_count()
+        if children:
+            if trie.base1[index] + children > node_limit:
+                raise CorruptSnapshot(f"child block of node {index} overflows")
+            stack.extend(trie.base1[index] + i for i in range(children))
+        if trie.config.use_leafvec:
+            leaf_count = leafvec.bit_count()
+            for v in range(k_slots):
+                if not (vector >> v) & 1 and not leafvec & ((2 << v) - 1):
+                    raise CorruptSnapshot(
+                        f"node {index}: leaf slot {v} has no run start"
+                    )
+        else:
+            leaf_count = k_slots - children
+        if leaf_count and trie.base0[index] + leaf_count > leaf_limit:
+            raise CorruptSnapshot(f"leaf block of node {index} overflows")

@@ -1,0 +1,305 @@
+"""Incremental Poptrie updates (Section 3.5).
+
+The paper's update protocol builds the replacement part of the trie on the
+side, then publishes it with a single atomic pointer/index write so readers
+never observe a half-built structure.  This module reproduces that shape:
+
+- :class:`UpdatablePoptrie` owns the RIB (a radix tree) and the compiled
+  Poptrie.  ``announce``/``withdraw`` update the RIB, then surgically
+  rebuild only the affected poptrie subtree.
+- The rebuild descends the chunk path while the node's ``(vector,
+  leafvec)`` signature is unchanged — those nodes are kept and only a child
+  pointer swap is needed — and rebuilds the deepest subtree whose shape
+  changed, exactly the paper's "replace the root of the affected subtree"
+  rule.  New blocks come from the buddy allocator; old blocks are freed
+  after the swap.
+- When the updated prefix is shorter than the direct-pointing width ``s``,
+  the affected slice of the top-level array is rewritten (the paper
+  replaces the whole 2^s array; the observable effect is identical and we
+  count it as a top-level replacement either way).
+
+:class:`UpdateStats` mirrors the quantities reported in Section 4.9: how
+many internal nodes, leaves and top-level entries each update replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import builder
+from repro.core.poptrie import DIRECT_LEAF, Poptrie, PoptrieConfig
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib, RibNode
+
+
+@dataclass
+class UpdateStats:
+    """Replacement accounting per Section 4.9."""
+
+    updates: int = 0
+    toplevel_replacements: int = 0
+    inodes_replaced: int = 0
+    leaves_replaced: int = 0
+
+    def per_update(self) -> Tuple[float, float, float]:
+        """(top-level, leaves, inodes) replaced per update, as in §4.9."""
+        n = max(self.updates, 1)
+        return (
+            self.toplevel_replacements / n,
+            self.leaves_replaced / n,
+            self.inodes_replaced / n,
+        )
+
+
+class UpdatablePoptrie:
+    """A Poptrie kept in sync with its RIB by incremental updates.
+
+    >>> up = UpdatablePoptrie()
+    >>> up.announce(Prefix.parse("10.0.0.0/8"), 1)
+    >>> up.announce(Prefix.parse("10.64.0.0/10"), 2)
+    >>> up.lookup(Prefix.parse("10.64.1.1/32").value)
+    2
+    >>> up.withdraw(Prefix.parse("10.64.0.0/10"))
+    >>> up.lookup(Prefix.parse("10.64.1.1/32").value)
+    1
+    """
+
+    def __init__(
+        self,
+        config: PoptrieConfig = PoptrieConfig(),
+        width: int = 32,
+        rib: Optional[Rib] = None,
+    ) -> None:
+        self.rib = rib if rib is not None else Rib(width=width)
+        self.trie = Poptrie.from_rib(self.rib, config)
+        self.stats = UpdateStats()
+        #: Incremented once per committed update; a reader observing the same
+        #: generation before and after a lookup saw a consistent structure.
+        self.generation = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def lookup(self, key: int) -> int:
+        return self.trie.lookup(key)
+
+    def announce(self, prefix: Prefix, fib_index: int) -> None:
+        """Insert or replace a route and incrementally update the FIB."""
+        previous = self.rib.insert(prefix, fib_index)
+        if previous != fib_index:
+            self._apply(prefix)
+
+    def withdraw(self, prefix: Prefix) -> None:
+        """Remove a route and incrementally update the FIB."""
+        self.rib.delete(prefix)
+        self._apply(prefix)
+
+    # -- update machinery ------------------------------------------------------
+
+    def _apply(self, prefix: Prefix) -> None:
+        self.stats.updates += 1
+        trie = self.trie
+        if trie.s and prefix.length <= trie.s:
+            self._replace_toplevel_range(prefix)
+        elif trie.s:
+            self._update_direct_entry(prefix)
+        else:
+            rnode, inherited = self._radix_at(prefix, 0)
+            self._refine(trie.root_index, rnode, inherited, 0, prefix)
+        self.generation += 1
+
+    def _radix_at(self, prefix: Prefix, depth: int) -> Tuple[Optional[RibNode], int]:
+        """Radix node on ``prefix``'s path at ``depth`` bits, plus the best
+        route strictly above it (its inherited FIB index)."""
+        node: Optional[RibNode] = self.rib.root
+        inherited = NO_ROUTE
+        for i in range(depth):
+            if node is None:
+                break
+            if node.route != NO_ROUTE:
+                inherited = node.route
+            node = node.child(prefix.bit(i))
+        return node, inherited
+
+    # -- top-level (direct pointing) updates ------------------------------------
+
+    def _replace_toplevel_range(self, prefix: Prefix) -> None:
+        """Rewrite the direct-array slice covered by a prefix with length ≤ s.
+
+        The paper replaces the entire 2^s array in this case; rewriting the
+        covered slice has the same observable result and the same accounting
+        (one top-level replacement event).
+        """
+        trie = self.trie
+        s, width = trie.s, trie.width
+        base = prefix.value >> (width - s)
+        span = 1 << (s - prefix.length)
+        for i in range(base, base + span):
+            entry = trie.direct[i]
+            if not entry & DIRECT_LEAF:
+                self._free_subtree(entry, include_root=True)
+        rnode, inherited = self._radix_at(prefix, prefix.length)
+        self._fill_direct_range(rnode, prefix.length, base, inherited)
+        self.stats.toplevel_replacements += 1
+
+    def _fill_direct_range(
+        self, node: Optional[RibNode], depth: int, base: int, inherited: int
+    ) -> None:
+        trie = self.trie
+        if node is not None and node.route != NO_ROUTE:
+            inherited = node.route
+        if depth == trie.s:
+            if node is not None and not node.is_leaf():
+                tmp = builder.expand_node(
+                    node, inherited, trie.k, trie.config.use_leafvec
+                )
+                serializer = builder.Serializer(trie)
+                trie.direct[base] = serializer.serialize(tmp)
+                self.stats.inodes_replaced += serializer.nodes_written
+                self.stats.leaves_replaced += serializer.leaves_written
+            else:
+                trie.direct[base] = DIRECT_LEAF | inherited
+            return
+        if node is None:
+            for i in range(base, base + (1 << (trie.s - depth))):
+                trie.direct[i] = DIRECT_LEAF | inherited
+            return
+        half = 1 << (trie.s - depth - 1)
+        self._fill_direct_range(node.left, depth + 1, base, inherited)
+        self._fill_direct_range(node.right, depth + 1, base + half, inherited)
+
+    def _update_direct_entry(self, prefix: Prefix) -> None:
+        """Update under exactly one direct entry (prefix longer than s)."""
+        trie = self.trie
+        index = prefix.value >> (trie.width - trie.s)
+        entry = trie.direct[index]
+        rnode, inherited = self._radix_at(prefix, trie.s)
+        effective = inherited
+        if rnode is not None and rnode.route != NO_ROUTE:
+            effective = rnode.route
+        subtree_needed = rnode is not None and not rnode.is_leaf()
+        if entry & DIRECT_LEAF:
+            if subtree_needed:
+                tmp = builder.expand_node(
+                    rnode, effective, trie.k, trie.config.use_leafvec
+                )
+                serializer = builder.Serializer(trie)
+                trie.direct[index] = serializer.serialize(tmp)
+                self.stats.inodes_replaced += serializer.nodes_written
+                self.stats.leaves_replaced += serializer.leaves_written
+            else:
+                trie.direct[index] = DIRECT_LEAF | effective
+            return
+        if not subtree_needed:
+            # The subtree collapsed to a single leaf: free it and store the
+            # FIB index directly (the paper's "leaf brought to the upper
+            # level" case, taken all the way to the direct array).
+            self._free_subtree(entry, include_root=True)
+            trie.direct[index] = DIRECT_LEAF | effective
+            return
+        self._refine(entry, rnode, inherited, trie.s, prefix)
+
+    # -- subtree refinement -------------------------------------------------
+
+    def _refine(
+        self,
+        index: int,
+        rnode: Optional[RibNode],
+        inherited: int,
+        offset: int,
+        prefix: Prefix,
+    ) -> None:
+        """Descend while the node's shape is unchanged, then rebuild the
+        deepest affected subtree in place at ``index``."""
+        trie = self.trie
+        k = trie.k
+        use_leafvec = trie.config.use_leafvec
+        while True:
+            slots = builder.expand_chunk(rnode, inherited, k)
+            shallow = builder.make_shallow(slots, use_leafvec)
+            old_sig = (trie.vec[index], trie.lvec[index] if use_leafvec else 0)
+            if shallow.shallow_signature() != old_sig:
+                break
+            if prefix.length <= offset + k:
+                break
+            v = _chunk_of(prefix, offset, k)
+            if not (trie.vec[index] >> v) & 1:
+                break
+            rank = (trie.vec[index] & ((2 << v) - 1)).bit_count() - 1
+            child_index = trie.base1[index] + rank
+            rnode, inherited = _walk_chunk(rnode, inherited, v, k)
+            index = child_index
+            offset += k
+        self._rebuild_at(index, rnode, inherited)
+
+    def _rebuild_at(
+        self, index: int, rnode: Optional[RibNode], inherited: int
+    ) -> None:
+        """Replace the subtree rooted at node ``index`` (keeping its slot)."""
+        trie = self.trie
+        old_blocks = self._collect_blocks(index)
+        tmp = builder.expand_node(rnode, inherited, trie.k, trie.config.use_leafvec)
+        serializer = builder.Serializer(trie)
+        serializer.serialize_into(tmp, index)
+        self.stats.inodes_replaced += serializer.nodes_written
+        self.stats.leaves_replaced += serializer.leaves_written
+        for kind, offset, count in old_blocks:
+            if kind == "nodes":
+                trie.free_nodes(offset, count)
+            else:
+                trie.free_leaves(offset, count)
+
+    def _collect_blocks(self, index: int) -> List[Tuple[str, int, int]]:
+        """Blocks owned by the subtree at ``index`` (excluding its own slot)."""
+        trie = self.trie
+        blocks: List[Tuple[str, int, int]] = []
+        stack = [index]
+        while stack:
+            at = stack.pop()
+            vector = trie.vec[at]
+            leaf_count = self._leaf_count_of(at)
+            if leaf_count:
+                blocks.append(("leaves", trie.base0[at], leaf_count))
+            child_count = vector.bit_count()
+            if child_count:
+                blocks.append(("nodes", trie.base1[at], child_count))
+                stack.extend(trie.base1[at] + i for i in range(child_count))
+        return blocks
+
+    def _leaf_count_of(self, index: int) -> int:
+        trie = self.trie
+        if trie.config.use_leafvec:
+            return trie.lvec[index].bit_count()
+        return (1 << trie.k) - trie.vec[index].bit_count()
+
+    def _free_subtree(self, index: int, include_root: bool) -> None:
+        for kind, offset, count in self._collect_blocks(index):
+            if kind == "nodes":
+                self.trie.free_nodes(offset, count)
+            else:
+                self.trie.free_leaves(offset, count)
+        if include_root:
+            self.trie.free_nodes(index, 1)
+
+
+def _chunk_of(prefix: Prefix, offset: int, k: int) -> int:
+    """The k-bit chunk of ``prefix.value`` at bit offset ``offset``."""
+    from repro.net.ip import extract
+
+    return extract(prefix.value, offset, k, prefix.width)
+
+
+def _walk_chunk(
+    node: Optional[RibNode], inherited: int, v: int, k: int
+) -> Tuple[Optional[RibNode], int]:
+    """Walk ``k`` bits of value ``v`` down the radix tree, tracking the best
+    route seen *before* the destination node (its inherited index)."""
+    cur = node
+    for i in range(k):
+        if cur is None:
+            return None, inherited
+        if cur.route != NO_ROUTE:
+            inherited = cur.route
+        cur = cur.child((v >> (k - 1 - i)) & 1)
+    return cur, inherited

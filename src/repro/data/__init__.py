@@ -1,0 +1,44 @@
+"""Datasets, traffic patterns and update streams.
+
+The paper evaluates on 35 BGP routing tables (RouteViews archives plus
+three operational ISP tables), four traffic patterns, and real BGP update
+archives.  None of those inputs ship with this reproduction (no network
+access; the ISP tables were never public), so this package synthesises
+statistically faithful equivalents — seeded and deterministic — per the
+substitution table in DESIGN.md:
+
+- :mod:`repro.data.xorshift` — Marsaglia's xorshift RNGs, which the paper
+  itself uses to generate its random query stream (Section 4.2).
+- :mod:`repro.data.synth` — synthetic RIB generation with an empirical
+  BGP prefix-length mix, clustered address allocation (for realistic
+  hole punching) and skewed next-hop popularity.
+- :mod:`repro.data.datasets` — the named registry reproducing Table 1.
+- :mod:`repro.data.expand` — the SYN1/SYN2 table expansions (Section 4.1).
+- :mod:`repro.data.traffic` — random / sequential / repeated / real-trace
+  query streams (Section 4.2).
+- :mod:`repro.data.updates` — BGP update-stream synthesis (Section 4.9).
+- :mod:`repro.data.tableio` — snapshot save/load in a plain text format.
+"""
+
+from repro.data.datasets import DATASETS, Dataset, load_dataset
+from repro.data.synth import generate_table, generate_table_v6
+from repro.data.traffic import (
+    random_addresses,
+    random_addresses_v6,
+    real_trace,
+    repeated_addresses,
+    sequential_addresses,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "load_dataset",
+    "generate_table",
+    "generate_table_v6",
+    "random_addresses",
+    "random_addresses_v6",
+    "real_trace",
+    "repeated_addresses",
+    "sequential_addresses",
+]

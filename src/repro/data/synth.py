@@ -1,0 +1,313 @@
+"""Synthetic routing-table generation.
+
+Substitutes for the RouteViews / ISP tables the paper evaluates on (see
+DESIGN.md).  What the lookup structures are sensitive to, and what this
+generator therefore controls:
+
+- **size** — number of prefixes (Table 1: ~510k–530k, scaled here);
+- **prefix-length mix** — Section 4.1: "most prefixes in the real
+  datasets are distributed in the range of prefix length from /11 through
+  /24", with the large mode at /24 and a secondary mode at /16;
+- **address clustering** — real prefixes concentrate inside registry
+  *allocation blocks* rather than spreading uniformly.  This matters
+  structurally: SAIL's 15-bit chunk identifiers survive a real 520k-route
+  table only because the deep prefixes fall into < 2^15 distinct /16
+  chunks, and DXR's range table stays under 2^19 only because adjacent
+  routes often share a next hop and merge.  The generator allocates
+  prefixes inside a bounded set of blocks sized like registry allocations;
+- **hole punching** — longer prefixes nest inside shorter ones within a
+  block, which makes the binary radix depth exceed the matched prefix
+  length (Figure 7) and exercises the leafvec irrelevant-slot rule;
+- **next-hop locality** — routes in one block mostly share the block's
+  "home" next hop (real tables route a region via the same peer), with a
+  configurable noise floor.  This drives leafvec compressibility, route
+  aggregation, and DXR range merging — with i.i.d. next hops all three
+  collapse and none of the paper's footprints can be reproduced;
+- **IGP routes** — the REAL-* tables contain /25–/32 IGP prefixes that
+  force deeper searches (Sections 4.1 and 4.7); they are confined to a
+  few internal blocks, as an ISP's own infrastructure space is.
+
+Everything is driven by a seeded ``random.Random`` so each named dataset
+is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.fib import Fib, synthetic_fib
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+#: Empirical BGP prefix-length mix (fractions; normalised at use).  Modeled
+#: on the 2014-era global table: ~55 % /24, ~10 % /16, bulk in /19–/23.
+BGP_LENGTH_WEIGHTS: Dict[int, float] = {
+    8: 0.0008,
+    9: 0.0006,
+    10: 0.0018,
+    11: 0.0024,
+    12: 0.0050,
+    13: 0.0095,
+    14: 0.0170,
+    15: 0.0170,
+    16: 0.1020,
+    17: 0.0280,
+    18: 0.0480,
+    19: 0.0650,
+    20: 0.0720,
+    21: 0.0760,
+    22: 0.0920,
+    23: 0.0700,
+    24: 0.3930,
+}
+
+#: IGP prefix lengths for the REAL-* tables: loopbacks (/32), point-to-point
+#: links (/30, /31) and internal aggregates.
+IGP_LENGTH_WEIGHTS: Dict[int, float] = {
+    25: 0.08,
+    26: 0.12,
+    27: 0.10,
+    28: 0.12,
+    29: 0.13,
+    30: 0.20,
+    31: 0.05,
+    32: 0.20,
+}
+
+#: Registry allocation-block sizes (the address pools prefixes live in).
+BLOCK_LENGTH_WEIGHTS: Dict[int, float] = {
+    12: 0.04,
+    13: 0.08,
+    14: 0.18,
+    15: 0.30,
+    16: 0.40,
+}
+
+#: IPv6 mix (Section 4.10): allocations peak at /32 and /48.
+IPV6_LENGTH_WEIGHTS: Dict[int, float] = {
+    20: 0.01,
+    24: 0.02,
+    28: 0.03,
+    29: 0.04,
+    32: 0.28,
+    36: 0.06,
+    40: 0.07,
+    44: 0.05,
+    48: 0.38,
+    52: 0.02,
+    56: 0.02,
+    64: 0.02,
+}
+
+
+class _NexthopSampler:
+    """Zipf-like (1/rank) next-hop popularity with precomputed CDF."""
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.cumulative: List[float] = []
+        acc = 0.0
+        for rank in range(1, count + 1):
+            acc += 1.0 / rank
+            self.cumulative.append(acc)
+
+    def sample(self, rng: random.Random) -> int:
+        x = rng.random() * self.cumulative[-1]
+        return bisect.bisect_left(self.cumulative, x) + 1
+
+
+@dataclass
+class _Block:
+    """One allocation block with its routing policy.
+
+    ``affinity`` is the probability a route in the block takes the block's
+    home next hop.  Real tables mix *uniform* regions (one upstream per
+    allocation), *mixed* regions, and legacy *swamp* space where adjacent
+    /24s are routed to many different peers.  The swamp is what gives DXR
+    chunks with dozens-to-hundreds of ranges (deep binary searches) and
+    Poptrie nodes with poorly compressible leaves — without it every
+    structure looks artificially cheap on deep lookups.
+    """
+
+    value: int
+    length: int
+    home_nexthop: int
+    alt_nexthop: int
+    affinity: float = 0.95
+
+
+#: (class weight, affinity, placement weight) for uniform/mixed/swamp.
+BLOCK_CLASSES = (
+    (0.55, 0.995, 1.0),
+    (0.33, 0.90, 1.0),
+    (0.12, 0.04, 3.5),
+)
+
+
+def _choices(weights: Dict[int, float]) -> Tuple[List[int], List[float]]:
+    keys = sorted(weights)
+    return keys, [weights[k] for k in keys]
+
+
+def generate_table(
+    n_prefixes: int,
+    n_nexthops: int,
+    seed: int,
+    igp_fraction: float = 0.0,
+    width: int = 32,
+    home_affinity: float = 0.82,
+    fib: Optional[Fib] = None,
+) -> Tuple[Rib, Fib]:
+    """Generate a BGP-like routing table (see module docstring).
+
+    ``home_affinity`` is the probability a route uses its block's home
+    next hop; the remainder splits between the block's alternate and a
+    global Zipf draw.  ``igp_fraction`` of the routes are IGP-style /25–/32
+    prefixes confined to a handful of internal blocks.
+    """
+    rng = random.Random(seed)
+    rib = Rib(width=width)
+    if fib is None:
+        fib = synthetic_fib(n_nexthops)
+    sampler = _NexthopSampler(n_nexthops)
+    lengths, weights = _choices(BGP_LENGTH_WEIGHTS)
+    igp_lengths, igp_weights = _choices(IGP_LENGTH_WEIGHTS)
+    block_lengths, block_weights = _choices(BLOCK_LENGTH_WEIGHTS)
+
+    # Allocation blocks.  The count is bounded so the number of /16 chunks
+    # holding deep prefixes stays realistic (< 2^15: real tables compile
+    # under SAIL; see module docstring).  Blocks start above 1.0.0.0 to
+    # leave 0/8 unrouted, as in the real Internet.
+    n_blocks = min(max(n_prefixes // 70, 16), 7800)
+    blocks: List[_Block] = []
+    class_weights = [c[0] for c in BLOCK_CLASSES]
+    placement_weights: List[float] = []
+    for _ in range(n_blocks):
+        block_len = rng.choices(block_lengths, block_weights)[0]
+        value = rng.randrange(1 << block_len) << (width - block_len)
+        _, affinity, placement = BLOCK_CLASSES[
+            rng.choices(range(len(BLOCK_CLASSES)), class_weights)[0]
+        ]
+        blocks.append(
+            _Block(
+                value, block_len, sampler.sample(rng), sampler.sample(rng), affinity
+            )
+        )
+        placement_weights.append(placement)
+    placement_cdf: List[float] = []
+    acc = 0.0
+    for w in placement_weights:
+        acc += w
+        placement_cdf.append(acc)
+    # A few internal blocks hold the IGP routes (an ISP's own space).
+    igp_blocks = blocks[: max(2, min(6, n_blocks // 64))]
+
+    #: Recently generated prefixes per block, for deep nesting chains.
+    recent: Dict[int, List[Prefix]] = {}
+
+    def pick_block() -> _Block:
+        x = rng.random() * placement_cdf[-1]
+        return blocks[bisect.bisect_left(placement_cdf, x)]
+
+    def pick_nexthop(block: _Block) -> int:
+        affinity = block.affinity * home_affinity / 0.82
+        x = rng.random()
+        if x < affinity:
+            return block.home_nexthop
+        if x < affinity + 0.5 * (1.0 - affinity):
+            return block.alt_nexthop
+        return sampler.sample(rng)
+
+    attempts = 0
+    max_attempts = n_prefixes * 30
+    while len(rib) < n_prefixes and attempts < max_attempts:
+        attempts += 1
+        igp = igp_fraction > 0 and rng.random() < igp_fraction
+        if igp:
+            length = rng.choices(igp_lengths, igp_weights)[0]
+            block = igp_blocks[rng.randrange(len(igp_blocks))]
+        else:
+            length = rng.choices(lengths, weights)[0]
+            block = pick_block()
+        if length <= block.length:
+            # A route at or above its block's size: place it on the block
+            # itself (covering aggregate) or uniformly for the rare giants.
+            if length == block.length:
+                value = block.value
+            else:
+                value = rng.getrandbits(length) << (width - length)
+        else:
+            extra = length - block.length
+            chain = recent.get(id(block))
+            if chain and rng.random() < 0.5:
+                parent = chain[rng.randrange(len(chain))]
+                if parent.length < length:
+                    sub = rng.getrandbits(length - parent.length)
+                    value = parent.value | (sub << (width - length))
+                else:
+                    value = block.value | (rng.getrandbits(extra) << (width - length))
+            else:
+                value = block.value | (rng.getrandbits(extra) << (width - length))
+        prefix = Prefix(value, length, width)
+        if rib.get(prefix):
+            continue
+        rib.insert(prefix, pick_nexthop(block))
+        if not igp and 14 <= length <= 20:
+            chain = recent.setdefault(id(block), [])
+            if len(chain) < 32:
+                chain.append(prefix)
+    return rib, fib
+
+
+def generate_table_v6(
+    n_prefixes: int,
+    n_nexthops: int,
+    seed: int,
+    home_affinity: float = 0.8,
+) -> Tuple[Rib, Fib]:
+    """Generate an IPv6 table inside 2000::/3 (global unicast).
+
+    Section 4.10 queries random addresses within 2000::/8; placing every
+    prefix under 2000::/8 keeps the query stream meaningful.
+    """
+    rng = random.Random(seed)
+    width = 128
+    rib = Rib(width=width)
+    fib = synthetic_fib(n_nexthops)
+    sampler = _NexthopSampler(n_nexthops)
+    lengths, weights = _choices(IPV6_LENGTH_WEIGHTS)
+    base = 0x20 << (width - 8)  # 2000::/8
+
+    # RIR-style allocation blocks: /23–/29 pools under 2000::/8.
+    n_blocks = min(max(n_prefixes // 40, 8), 1024)
+    blocks: List[_Block] = []
+    for _ in range(n_blocks):
+        block_len = rng.choice([23, 24, 25, 26, 27, 28, 29])
+        value = base | (rng.getrandbits(block_len - 8) << (width - block_len))
+        blocks.append(
+            _Block(value, block_len, sampler.sample(rng), sampler.sample(rng))
+        )
+
+    attempts = 0
+    while len(rib) < n_prefixes and attempts < n_prefixes * 30:
+        attempts += 1
+        length = rng.choices(lengths, weights)[0]
+        block = blocks[rng.randrange(n_blocks)]
+        if length <= block.length:
+            value = base | (rng.getrandbits(length - 8) << (width - length))
+        else:
+            extra = length - block.length
+            value = block.value | (rng.getrandbits(extra) << (width - length))
+        prefix = Prefix(value, length, width)
+        if rib.get(prefix):
+            continue
+        nexthop = (
+            block.home_nexthop
+            if rng.random() < home_affinity
+            else sampler.sample(rng)
+        )
+        rib.insert(prefix, nexthop)
+    return rib, fib

@@ -1,0 +1,77 @@
+"""Routing-table snapshot I/O.
+
+A plain text format, one route per line::
+
+    # repro-table v1 width=32
+    192.0.2.0/24 7
+    10.0.0.0/8 3
+
+The integer after the prefix is the FIB index.  Comments (``#``) and blank
+lines are ignored; the header pins the address family.  The format exists
+so experiments can be frozen to disk and reloaded (the paper works from
+RouteViews MRT archives; a full MRT parser would add nothing to the
+algorithms under study, so snapshots use this transparent format instead).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+_HEADER = "# repro-table v1 width="
+
+
+def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
+    """Write ``rib`` as text; returns the number of routes written."""
+    owned = isinstance(destination, str)
+    stream = open(destination, "w") if owned else destination
+    try:
+        stream.write(f"{_HEADER}{rib.width}\n")
+        count = 0
+        for prefix, fib_index in rib.routes():
+            stream.write(f"{prefix.text} {fib_index}\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            stream.close()
+
+
+def load_table(source: Union[str, TextIO]) -> Rib:
+    """Read a table written by :func:`save_table`."""
+    owned = isinstance(source, str)
+    stream = open(source, "r") if owned else source
+    try:
+        first = stream.readline()
+        if not first.startswith(_HEADER):
+            raise ValueError("not a repro-table snapshot (missing header)")
+        width = int(first[len(_HEADER):].strip())
+        rib = Rib(width=width)
+        for line_no, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                prefix_text, fib_text = line.split()
+                rib.insert(Prefix.parse(prefix_text), int(fib_text))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"line {line_no}: bad route {line!r}") from exc
+        return rib
+    finally:
+        if owned:
+            stream.close()
+
+
+def dumps_table(rib: Rib) -> str:
+    """Snapshot to a string (round-trips through :func:`loads_table`)."""
+    buffer = io.StringIO()
+    save_table(rib, buffer)
+    return buffer.getvalue()
+
+
+def loads_table(text: str) -> Rib:
+    """Load a snapshot from a string."""
+    return load_table(io.StringIO(text))

@@ -1,0 +1,17 @@
+"""Library-wide exception types."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class StructuralLimitError(ReproError):
+    """A data structure's encoding limit was exceeded.
+
+    Section 4.8 of the paper turns on exactly these limits: SAIL cannot
+    encode more than 2^15 chunk identifiers in a 15-bit BCN field, DXR
+    supports at most 2^19 address ranges (2^20 when "modified"), and a
+    Poptrie with 16-bit leaves supports at most 2^16 FIB entries.  Raising a
+    dedicated error lets the scalability benchmark report "N/A" for the
+    structures that cannot hold a table, as Table 5 does.
+    """

@@ -1,0 +1,69 @@
+"""The common interface of every lookup structure in the library.
+
+Poptrie and each baseline compile from a :class:`repro.net.rib.Rib` and
+resolve integer addresses to FIB indices.  The benchmark harness, the
+cross-algorithm equivalence tests and the cycle simulator all program
+against this interface only.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.mem.layout import AccessTrace
+from repro.net.rib import Rib
+
+
+class LookupStructure(abc.ABC):
+    """Abstract base for longest-prefix-match structures.
+
+    Subclasses must implement :meth:`lookup`, :meth:`memory_bytes` and the
+    :meth:`from_rib` constructor.  :meth:`lookup_traced` (for the cycle
+    simulator) and :meth:`lookup_batch` (numpy engine) default to the
+    scalar path so partial implementations stay usable.
+    """
+
+    #: Human-readable name used in benchmark reports ("Poptrie18", "D16R"...).
+    name: str = "abstract"
+
+    @classmethod
+    @abc.abstractmethod
+    def from_rib(cls, rib: Rib, **options) -> "LookupStructure":
+        """Compile the structure from a RIB."""
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> int:
+        """Longest-prefix-match ``key`` to a FIB index (0 = no route)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Data-structure footprint in bytes, as compared in Table 3."""
+
+    def lookup_traced(self, key: int, trace: AccessTrace) -> int:
+        """Lookup while recording memory accesses; default: no trace."""
+        return self.lookup(key)
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised batch lookup; default: scalar loop."""
+        lookup = self.lookup
+        return np.fromiter(
+            (lookup(int(key)) for key in keys), dtype=np.uint32, count=len(keys)
+        )
+
+    def supports_batch(self) -> bool:
+        """True when :meth:`lookup_batch` is a real vectorised engine."""
+        return type(self).lookup_batch is not LookupStructure.lookup_batch
+
+    def memory_mib(self) -> float:
+        return self.memory_bytes() / (1 << 20)
+
+    def verify_against(
+        self, rib: Rib, keys: Iterable[int]
+    ) -> List[int]:
+        """Return the keys (if any) where this structure disagrees with the
+        RIB — the paper validated all algorithms against each other over the
+        whole IPv4 space; the integration tests use this hook."""
+        return [key for key in keys if self.lookup(key) != rib.lookup(key)]

@@ -1,0 +1,214 @@
+"""DXR (Zec, Rizzo, Mikuc — CCR 2012): D16R and D18R.
+
+DXR transforms the routing table into per-chunk arrays of address ranges.
+A 2^s-entry lookup table (s = 16 for D16R, 18 for D18R) either resolves
+the query directly (chunks whose address space maps to one next hop) or
+points at a slice of the global range array, which is binary-searched for
+the last range starting at or below the queried offset.
+
+Structural limits, exactly as Section 4.8 of the Poptrie paper describes:
+the range index is 19 bits, so at most 2^19 ranges are supported; the
+paper's "modified" DXR absorbs the short-format flag bit to reach 2^20
+(``modified=True`` here).  Section 4.10's IPv6 variant extends the
+per-chunk entry budget to 2^13 (``ipv6 tables are accepted when
+modified=True``); range starts then cover the remaining ``width - s`` bits.
+
+Each range is one 4-byte record on IPv4 — 16-bit start offset and 16-bit
+next hop packed together — so one binary-search probe costs exactly one
+memory access, which is what makes DXR's cache behaviour in Figures 10/11
+reproducible from traces.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import StructuralLimitError
+from repro.lookup.base import LookupStructure
+from repro.mem.layout import AccessTrace, MemoryMap
+from repro.net.fib import NO_ROUTE
+from repro.net.rib import Rib
+
+_DIRECT_FLAG = 1 << 31
+
+MAX_RANGES = 1 << 19
+MAX_RANGES_MODIFIED = 1 << 20
+MAX_CHUNK_RANGES = 1 << 12
+MAX_CHUNK_RANGES_IPV6 = 1 << 13
+
+_TABLE_INSTRUCTIONS = 4
+_PROBE_INSTRUCTIONS = 4
+
+
+class Dxr(LookupStructure):
+    """DXR with configurable direct-table width ``s`` (D16R / D18R)."""
+
+    name = "DXR"
+
+    def __init__(
+        self,
+        s: int,
+        width: int,
+        table: array,
+        starts: List[int],
+        nexthops: array,
+        chunk_bounds: List[Tuple[int, int]],
+        modified: bool,
+    ) -> None:
+        self.s = s
+        self.width = width
+        self.offset_bits = width - s
+        self.table = table
+        self.starts = starts      # range start offsets (within chunk)
+        self.nexthops = nexthops  # parallel next-hop array
+        self.chunk_bounds = chunk_bounds
+        self.modified = modified
+        self.name = f"D{s}R" + (" (modified)" if modified else "")
+        range_bytes = 2 + max(2, (self.offset_bits + 7) // 8)
+        self._range_bytes = range_bytes
+        self.memmap = MemoryMap()
+        self._table_region = self.memmap.add_region("dxr.table", 4, len(table))
+        self._range_region = self.memmap.add_region(
+            "dxr.ranges", range_bytes, max(len(starts), 1)
+        )
+        # Global sorted keys for the vectorised engine (IPv4 only).
+        self._gkeys = None
+        if width == 32 and starts:
+            chunk_of = np.zeros(len(starts), dtype=np.uint64)
+            for chunk, (base, count) in enumerate(chunk_bounds):
+                if count:
+                    chunk_of[base : base + count] = chunk
+            self._gkeys = (chunk_of << np.uint64(self.offset_bits)) | np.array(
+                starts, dtype=np.uint64
+            )
+            self._gnh = np.frombuffer(self.nexthops, dtype=np.uint16)
+
+    @classmethod
+    def from_rib(cls, rib: Rib, s: int = 18, modified: bool = False) -> "Dxr":
+        width = rib.width
+        if width != 32 and not modified:
+            raise StructuralLimitError(
+                "DXR requires the modified (flag-absorbing) format for IPv6"
+            )
+        offset_bits = width - s
+        table = array("I", bytes(4 << s))
+        starts: List[int] = []
+        nexthops = array("H")
+        chunk_bounds: List[Tuple[int, int]] = [(0, 0)] * (1 << s)
+        range_limit = MAX_RANGES_MODIFIED if modified else MAX_RANGES
+        # Section 4.10: the IPv6 variant widens the per-chunk entry budget by
+        # one bit; the IPv4 "modified" variant only widens the global index.
+        chunk_limit = MAX_CHUNK_RANGES_IPV6 if width != 32 else MAX_CHUNK_RANGES
+
+        def emit_ranges(node, depth: int, pos: int, inherited: int, out) -> None:
+            """Append (start, nexthop) runs for the subtree at ``node``,
+            merging adjacent runs with equal next hops."""
+            if node is not None and node.route != NO_ROUTE:
+                inherited = node.route
+            if node is None or node.is_leaf() or depth == width:
+                if not out or out[-1][1] != inherited:
+                    out.append((pos, inherited))
+                return
+            half = 1 << (width - depth - 1)
+            emit_ranges(node.left, depth + 1, pos, inherited, out)
+            emit_ranges(node.right, depth + 1, pos + half, inherited, out)
+
+        def fill(node, depth: int, base: int, inherited: int) -> None:
+            if node is not None and node.route != NO_ROUTE:
+                inherited = node.route
+            if depth == s:
+                if node is None or node.is_leaf():
+                    table[base] = _DIRECT_FLAG | inherited
+                    return
+                runs: List[Tuple[int, int]] = []
+                emit_ranges(node, depth, 0, inherited, runs)
+                if len(runs) == 1:
+                    table[base] = _DIRECT_FLAG | runs[0][1]
+                    return
+                if len(runs) > chunk_limit:
+                    raise StructuralLimitError(
+                        f"DXR: {len(runs)} ranges in one chunk exceed the "
+                        f"{chunk_limit}-entry chunk format"
+                    )
+                range_base = len(starts)
+                if range_base + len(runs) > range_limit:
+                    raise StructuralLimitError(
+                        f"DXR: range table exceeds {range_limit} entries"
+                        + ("" if modified else " (try modified=True)")
+                    )
+                for start, nexthop in runs:
+                    starts.append(start)
+                    nexthops.append(nexthop)
+                chunk_bounds[base] = (range_base, len(runs))
+                table[base] = range_base  # flag bit clear ⇒ range format
+                return
+            if node is None:
+                value = _DIRECT_FLAG | inherited
+                span = 1 << (s - depth)
+                table[base : base + span] = array("I", [value]) * span
+                return
+            half = 1 << (s - depth - 1)
+            fill(node.left, depth + 1, base, inherited)
+            fill(node.right, depth + 1, base + half, inherited)
+
+        fill(rib.root, 0, 0, NO_ROUTE)
+        return cls(s, width, table, starts, nexthops, chunk_bounds, modified)
+
+    # -- LookupStructure -----------------------------------------------------
+
+    def lookup(self, key: int) -> int:
+        chunk = key >> self.offset_bits
+        entry = self.table[chunk]
+        if entry & _DIRECT_FLAG:
+            return entry & (_DIRECT_FLAG - 1)
+        base, count = self.chunk_bounds[chunk]
+        offset = key & ((1 << self.offset_bits) - 1)
+        i = bisect_right(self.starts, offset, base, base + count) - 1
+        return self.nexthops[i]
+
+    def lookup_traced(self, key: int, trace: AccessTrace) -> int:
+        chunk = key >> self.offset_bits
+        trace.work(_TABLE_INSTRUCTIONS)
+        trace.read(self._table_region, chunk)
+        entry = self.table[chunk]
+        if entry & _DIRECT_FLAG:
+            return entry & (_DIRECT_FLAG - 1)
+        base, count = self.chunk_bounds[chunk]
+        offset = key & ((1 << self.offset_bits) - 1)
+        # Explicit binary search so every probe is traced.  Each comparison
+        # is a data-dependent 50/50 branch — the defining cost of the
+        # search stage (Section 4.6's analysis of DXR's deep lookups).
+        lo, hi = base, base + count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            trace.work(_PROBE_INSTRUCTIONS)
+            trace.mispredict(0.5)
+            trace.read(self._range_region, mid)
+            if self.starts[mid] <= offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.nexthops[lo - 1]
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        if self.width != 32:
+            return super().lookup_batch(keys)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        table = np.frombuffer(self.table, dtype=np.uint32)
+        chunk = keys >> np.uint64(self.offset_bits)
+        entries = table[chunk.astype(np.int64)]
+        direct = (entries & np.uint32(_DIRECT_FLAG)) != 0
+        result = entries & np.uint32(_DIRECT_FLAG - 1)
+        deep = ~direct
+        if deep.any():
+            gkey = keys[deep]  # (chunk << offset_bits) | offset == the key itself
+            index = np.searchsorted(self._gkeys, gkey, side="right") - 1
+            result[deep] = self._gnh[index]
+        return result.astype(np.uint32)
+
+    def memory_bytes(self) -> int:
+        return 4 * len(self.table) + self._range_bytes * len(self.starts)

@@ -1,0 +1,15 @@
+"""Memory management substrate.
+
+- :mod:`repro.mem.buddy` — the Knowlton buddy allocator the paper uses to
+  manage the contiguous internal-node and leaf arrays ("the contiguous
+  arrays of internal and leaf nodes are managed by the buddy memory
+  allocator", Section 3).
+- :mod:`repro.mem.layout` — a virtual address map that assigns stable
+  addresses to each structure's arrays so lookups can emit memory-access
+  traces for the cache/cycle simulator (Section 4.6's PMC analysis).
+"""
+
+from repro.mem.buddy import BuddyAllocator, OutOfMemory
+from repro.mem.layout import MemoryMap, Region
+
+__all__ = ["BuddyAllocator", "OutOfMemory", "MemoryMap", "Region"]

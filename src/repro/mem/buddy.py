@@ -1,0 +1,161 @@
+"""A Knowlton buddy memory allocator.
+
+The paper manages Poptrie's contiguous internal-node and leaf arrays with a
+buddy allocator (Section 3, citing Knowlton 1965) because the incremental
+update path (Section 3.5) repeatedly allocates and frees variable-length
+*contiguous* runs of node slots; the buddy system bounds fragmentation and
+makes coalescing O(log n).
+
+This implementation allocates *slots* (array indices), not bytes: the unit
+of allocation is one element of whichever array the allocator manages.
+Blocks are powers of two, naturally aligned (a block of size ``2^k`` starts
+at an offset that is a multiple of ``2^k``), and freeing coalesces with the
+buddy block recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class OutOfMemory(Exception):
+    """Raised when an allocation cannot be satisfied and growth is disabled."""
+
+
+def _ceil_log2(n: int) -> int:
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+class BuddyAllocator:
+    """Buddy allocator over a slot index space of power-of-two capacity.
+
+    >>> a = BuddyAllocator(capacity=16)
+    >>> x = a.alloc(3)          # rounds to 4 slots
+    >>> y = a.alloc(5)          # rounds to 8 slots
+    >>> a.free(x)
+    >>> a.free(y)
+    >>> a.used_slots
+    0
+    """
+
+    def __init__(self, capacity: int = 64, auto_grow: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._order = _ceil_log2(capacity)
+        self.capacity = 1 << self._order
+        self.auto_grow = auto_grow
+        # free_lists[k] holds offsets of free blocks of size 2^k.
+        self._free_lists: List[Set[int]] = [set() for _ in range(self._order + 1)]
+        self._free_lists[self._order].add(0)
+        # offset -> order of each live allocation.
+        self._live: Dict[int, int] = {}
+        self.used_slots = 0
+        #: Cumulative counters; the update benchmarks report allocator churn.
+        self.alloc_count = 0
+        self.free_count = 0
+        self.grow_count = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def block_size(self, offset: int) -> int:
+        """Slot count of the live block at ``offset``."""
+        return 1 << self._live[offset]
+
+    def is_live(self, offset: int) -> bool:
+        return offset in self._live
+
+    def live_blocks(self) -> Dict[int, int]:
+        """Mapping of offset -> size for all live blocks (copy)."""
+        return {off: 1 << order for off, order in self._live.items()}
+
+    def free_slots(self) -> int:
+        return self.capacity - self.used_slots
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate a naturally aligned block of at least ``size`` slots.
+
+        Returns the starting slot offset.  Grows the managed space (doubling)
+        when needed and permitted, else raises :class:`OutOfMemory`.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        order = _ceil_log2(size)
+        while True:
+            offset = self._take(order)
+            if offset is not None:
+                self._live[offset] = order
+                self.used_slots += 1 << order
+                self.alloc_count += 1
+                return offset
+            if not self.auto_grow:
+                raise OutOfMemory(f"cannot allocate {size} slots")
+            self._grow(max(order, self._order + 1))
+
+    def free(self, offset: int) -> None:
+        """Free the block at ``offset``, coalescing with free buddies."""
+        order = self._live.pop(offset, None)
+        if order is None:
+            raise ValueError(f"double free or unknown block at offset {offset}")
+        self.used_slots -= 1 << order
+        self.free_count += 1
+        # Coalesce upward while the buddy is also free.
+        while order < self._order:
+            buddy = offset ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].discard(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free_lists[order].add(offset)
+
+    # -- internals ---------------------------------------------------------
+
+    def _take(self, order: int) -> int | None:
+        """Pop a block of exactly 2^order slots, splitting larger ones."""
+        if order > self._order:
+            return None
+        for k in range(order, self._order + 1):
+            if self._free_lists[k]:
+                offset = min(self._free_lists[k])
+                self._free_lists[k].discard(offset)
+                # Split down to the requested order, freeing the high halves.
+                while k > order:
+                    k -= 1
+                    self._free_lists[k].add(offset + (1 << k))
+                return offset
+        return None
+
+    def _grow(self, new_order: int) -> None:
+        """Double the slot space until it reaches ``2^new_order`` slots."""
+        while self._order < new_order:
+            # The new upper half becomes one free block of the old capacity.
+            self._free_lists.append(set())
+            self._free_lists[self._order].add(self.capacity)
+            self._order += 1
+            self.capacity = 1 << self._order
+            self.grow_count += 1
+
+    # -- invariant checking (used by the property tests) ----------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        seen: List[tuple] = []
+        for offset, order in self._live.items():
+            size = 1 << order
+            assert offset % size == 0, "live block not naturally aligned"
+            seen.append((offset, offset + size))
+        for k, blocks in enumerate(self._free_lists):
+            for offset in blocks:
+                size = 1 << k
+                assert offset % size == 0, "free block not naturally aligned"
+                seen.append((offset, offset + size))
+        seen.sort()
+        total = 0
+        for (start, end), nxt in zip(seen, seen[1:] + [(self.capacity, None)]):
+            assert end <= nxt[0], "overlapping blocks"
+            total += end - start
+        assert total == self.capacity, "lost or duplicated slots"

@@ -1,0 +1,126 @@
+"""Virtual address layout for memory-access tracing.
+
+The paper's Section 4.6 analyses per-lookup CPU cycles with hardware
+performance counters.  Our substitute (see DESIGN.md) replays each
+algorithm's real sequence of memory accesses through a simulated cache
+hierarchy.  For that, every array a structure touches needs a stable
+*virtual address*, so that two accesses to nearby elements map to the same
+cache line exactly as they would in the C implementation.
+
+:class:`MemoryMap` hands out page-aligned regions; a region knows its
+element size, so ``region.address(index)`` gives the byte address of an
+element, and ``region.access(index)`` returns the ``(address, size)`` pair
+the cache simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+PAGE = 4096
+
+
+@dataclass
+class Region:
+    """A named, page-aligned array region in the simulated address space."""
+
+    name: str
+    base: int
+    element_size: int
+    length: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.element_size * self.length
+
+    def address(self, index: int) -> int:
+        """Byte address of element ``index`` (bounds are the caller's job:
+        structures may over-allocate via the buddy allocator)."""
+        return self.base + index * self.element_size
+
+    def access(self, index: int) -> Tuple[int, int]:
+        """``(address, size)`` of a read of element ``index``."""
+        return self.base + index * self.element_size, self.element_size
+
+
+class MemoryMap:
+    """Allocates non-overlapping page-aligned regions in a virtual space.
+
+    >>> mm = MemoryMap()
+    >>> r = mm.add_region("leaves", element_size=2, length=1000)
+    >>> r.base % PAGE == 0
+    True
+    """
+
+    def __init__(self, base: int = 0x10000) -> None:
+        self._next = base
+        self.regions: Dict[str, Region] = {}
+
+    def add_region(self, name: str, element_size: int, length: int) -> Region:
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already mapped")
+        region = Region(name, self._next, element_size, max(length, 1))
+        self.regions[name] = region
+        span = region.size_bytes
+        self._next += ((span + PAGE - 1) // PAGE + 1) * PAGE  # guard page
+        return region
+
+    def resize_region(self, name: str, length: int) -> Region:
+        """Grow a region in place if it still fits before the next region,
+        otherwise move it to a fresh range (arrays that doubled)."""
+        region = self.regions[name]
+        if length <= region.length:
+            region.length = length
+            return region
+        needed = region.base + region.element_size * length
+        limit = min(
+            (r.base for r in self.regions.values() if r.base > region.base),
+            default=self._next,
+        )
+        if needed <= limit:
+            region.length = length
+            return region
+        del self.regions[name]
+        moved = self.add_region(name, region.element_size, length)
+        return moved
+
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.regions.values())
+
+
+class AccessTrace:
+    """Collects the ordered memory accesses of one lookup.
+
+    Structures append ``(address, size)`` pairs during a traced lookup; the
+    cache simulator replays them.  ``instructions`` counts the non-memory
+    work (arithmetic, popcount, branches) the structure reports, and
+    ``mispredicts`` accumulates the *expected* number of branch
+    mispredictions — binary-search comparisons are inherently ~50/50 and
+    unpredictable, which is a real, first-order cost of DXR's search stage
+    that popcount-indexed structures avoid (the paper attributes DXR's
+    deep-lookup penalty to "the binary search stage in DXR", Section 4.6).
+    """
+
+    __slots__ = ("accesses", "instructions", "mispredicts")
+
+    def __init__(self) -> None:
+        self.accesses: List[Tuple[int, int]] = []
+        self.instructions = 0
+        self.mispredicts = 0.0
+
+    def read(self, region: Region, index: int) -> None:
+        self.accesses.append(region.access(index))
+
+    def work(self, instructions: int) -> None:
+        self.instructions += instructions
+
+    def mispredict(self, expected: float) -> None:
+        """Record an expected misprediction count for one branch (e.g. 0.5
+        for a balanced, unpredictable comparison)."""
+        self.mispredicts += expected
+
+    def reset(self) -> None:
+        self.accesses.clear()
+        self.instructions = 0
+        self.mispredicts = 0.0

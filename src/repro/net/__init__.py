@@ -1,0 +1,37 @@
+"""Networking substrate: IP addresses, prefixes, FIB and the radix-tree RIB.
+
+This package provides the data model every lookup structure in the library
+is compiled from:
+
+- :mod:`repro.net.ip` — IPv4/IPv6 address parsing, formatting and bit algebra.
+- :mod:`repro.net.prefix` — the :class:`~repro.net.prefix.Prefix` value type.
+- :mod:`repro.net.fib` — the next-hop table (FIB) with interned indices.
+- :mod:`repro.net.rib` — the binary radix tree holding the RIB, which is the
+  source of truth that Poptrie and all baseline structures compile from
+  (paper, Section 3: "the routes are preserved in a separate routing table").
+"""
+
+from repro.net.ip import (
+    IPV4_BITS,
+    IPV6_BITS,
+    format_address,
+    parse_address,
+    parse_prefix,
+)
+from repro.net.prefix import Prefix
+from repro.net.fib import NO_ROUTE, Fib, NextHop
+from repro.net.rib import Rib, RibNode
+
+__all__ = [
+    "IPV4_BITS",
+    "IPV6_BITS",
+    "format_address",
+    "parse_address",
+    "parse_prefix",
+    "Prefix",
+    "NO_ROUTE",
+    "Fib",
+    "NextHop",
+    "Rib",
+    "RibNode",
+]

@@ -1,0 +1,116 @@
+"""IPv4/IPv6 address parsing, formatting and bit-level helpers.
+
+Addresses are represented as plain Python integers together with an address
+*width* (32 for IPv4, 128 for IPv6).  Working on integers keeps the lookup
+hot paths free of object allocation and mirrors how the paper's C
+implementation treats the key as a machine word.
+
+The :func:`extract` helper implements the ``extract(key, off, len)``
+primitive from Algorithm 1 of the paper: it reads ``len`` bits starting at
+bit offset ``off`` counted from the most significant bit, zero-padding past
+the end of the address.  Zero padding matters because with direct pointing
+(e.g. ``s = 16``) the 6-bit chunk offsets (16, 22, 28, ...) are not aligned
+to the address width, so the final chunk of an IPv4 key reads past bit 32.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+IPV4_BITS = 32
+IPV6_BITS = 128
+
+_V4_MAX = (1 << IPV4_BITS) - 1
+_V6_MAX = (1 << IPV6_BITS) - 1
+
+
+def mask_of(length: int) -> int:
+    """Return a bit mask of ``length`` ones (``mask_of(3) == 0b111``)."""
+    return (1 << length) - 1
+
+
+def extract(key: int, offset: int, length: int, width: int) -> int:
+    """Extract ``length`` bits of ``key`` starting ``offset`` bits from the MSB.
+
+    ``key`` is an integer address of ``width`` bits.  Bits beyond the address
+    width read as zero, matching the chunk extraction in the paper's
+    Algorithm 1 when the last 6-bit chunk overruns a 32-bit IPv4 key.
+
+    >>> extract(0b10110000, 0, 3, 8)
+    5
+    >>> extract(0xFFFFFFFF, 30, 6, 32)  # two real bits, four zero pads
+    48
+    """
+    if offset >= width:
+        return 0
+    end = offset + length
+    if end <= width:
+        return (key >> (width - end)) & mask_of(length)
+    # Overrun: take the available low bits and shift them up, padding zeros.
+    avail = width - offset
+    return (key & mask_of(avail)) << (end - width)
+
+
+def canonical_prefix_value(value: int, length: int, width: int) -> int:
+    """Zero out host bits so ``value`` is a valid ``length``-bit prefix value."""
+    if length == 0:
+        return 0
+    keep = mask_of(length) << (width - length)
+    return value & keep
+
+
+def parse_address(text: str) -> tuple[int, int]:
+    """Parse a textual IPv4/IPv6 address, returning ``(value, width)``.
+
+    >>> parse_address("10.0.0.1")
+    (167772161, 32)
+    >>> parse_address("::1")
+    (1, 128)
+    """
+    addr = ipaddress.ip_address(text)
+    width = IPV4_BITS if addr.version == 4 else IPV6_BITS
+    return int(addr), width
+
+
+def format_address(value: int, width: int) -> str:
+    """Format an integer address of the given width back to text.
+
+    >>> format_address(167772161, 32)
+    '10.0.0.1'
+    """
+    if width == IPV4_BITS:
+        if not 0 <= value <= _V4_MAX:
+            raise ValueError(f"IPv4 address out of range: {value:#x}")
+        return str(ipaddress.IPv4Address(value))
+    if width == IPV6_BITS:
+        if not 0 <= value <= _V6_MAX:
+            raise ValueError(f"IPv6 address out of range: {value:#x}")
+        return str(ipaddress.IPv6Address(value))
+    raise ValueError(f"unsupported address width: {width}")
+
+
+def parse_prefix(text: str) -> tuple[int, int, int]:
+    """Parse ``"addr/len"`` into ``(value, length, width)``.
+
+    A bare address parses as a host prefix (/32 or /128).
+
+    >>> parse_prefix("192.0.2.0/24")
+    (3221225984, 24, 32)
+    """
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        value, width = parse_address(addr_text)
+        length = int(len_text)
+        if not 0 <= length <= width:
+            raise ValueError(f"prefix length {length} out of range for /{width}")
+        canonical = canonical_prefix_value(value, length, width)
+        if canonical != value:
+            raise ValueError(f"host bits set in prefix {text!r}")
+        return value, length, width
+    value, width = parse_address(text)
+    return value, width, width
+
+
+def format_prefix(value: int, length: int, width: int) -> str:
+    """Format an integer prefix back to ``"addr/len"`` text."""
+    return f"{format_address(value, width)}/{length}"

@@ -1,0 +1,139 @@
+"""The :class:`Prefix` value type.
+
+A prefix is an immutable ``(value, length, width)`` triple where ``value``
+is the integer form of the network address (host bits zero), ``length`` is
+the prefix length and ``width`` is the address family width (32 or 128).
+
+Prefixes order lexicographically by their bit string, which makes a sorted
+list of prefixes group covering prefixes next to their subtrees — handy for
+building tries and for the aggregation passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net import ip
+
+
+@dataclass(frozen=True, order=False)
+class Prefix:
+    """An immutable IP prefix.
+
+    >>> p = Prefix.parse("192.0.2.0/24")
+    >>> p.length, p.width
+    (24, 32)
+    >>> p.contains_address(int(__import__("ipaddress").ip_address("192.0.2.7")))
+    True
+    """
+
+    value: int
+    length: int
+    width: int = ip.IPV4_BITS
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= self.width:
+            raise ValueError(f"prefix length {self.length} out of /{self.width}")
+        canonical = ip.canonical_prefix_value(self.value, self.length, self.width)
+        if canonical != self.value:
+            raise ValueError(
+                f"host bits set: value={self.value:#x} length={self.length}"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse from ``"addr/len"`` text."""
+        value, length, width = ip.parse_prefix(text)
+        return cls(value, length, width)
+
+    @classmethod
+    def from_bits(cls, bits: str, width: int = ip.IPV4_BITS) -> "Prefix":
+        """Build from a bit string such as ``"1100"`` (MSB first).
+
+        >>> Prefix.from_bits("11000000").text
+        '192.0.0.0/8'
+        """
+        length = len(bits)
+        value = int(bits, 2) << (width - length) if length else 0
+        return cls(value, length, width)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """The canonical ``"addr/len"`` representation."""
+        return ip.format_prefix(self.value, self.length, self.width)
+
+    @property
+    def bits(self) -> str:
+        """The prefix as an MSB-first bit string of ``length`` characters."""
+        if self.length == 0:
+            return ""
+        return format(self.value >> (self.width - self.length), f"0{self.length}b")
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = MSB) of the prefix value."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"bit {index} out of /{self.length}")
+        return (self.value >> (self.width - 1 - index)) & 1
+
+    # -- prefix algebra ----------------------------------------------------
+
+    def first_address(self) -> int:
+        """Lowest address covered by the prefix."""
+        return self.value
+
+    def last_address(self) -> int:
+        """Highest address covered by the prefix."""
+        return self.value | ip.mask_of(self.width - self.length)
+
+    def contains_address(self, address: int) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        if self.length == 0:
+            return True
+        shift = self.width - self.length
+        return (address >> shift) == (self.value >> shift)
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if other.width != self.width or other.length < self.length:
+            return False
+        return self.contains_address(other.value)
+
+    def child(self, bit: int) -> "Prefix":
+        """The left (``bit=0``) or right (``bit=1``) half of this prefix."""
+        if self.length >= self.width:
+            raise ValueError("cannot split a host prefix")
+        length = self.length + 1
+        value = self.value | (bit << (self.width - length))
+        return Prefix(value, length, self.width)
+
+    def parent(self) -> "Prefix":
+        """The covering prefix one bit shorter."""
+        if self.length == 0:
+            raise ValueError("the default route has no parent")
+        length = self.length - 1
+        return Prefix(
+            ip.canonical_prefix_value(self.value, length, self.width),
+            length,
+            self.width,
+        )
+
+    def sibling(self) -> "Prefix":
+        """The other half of this prefix's parent."""
+        if self.length == 0:
+            raise ValueError("the default route has no sibling")
+        flip = 1 << (self.width - self.length)
+        return Prefix(self.value ^ flip, self.length, self.width)
+
+    def sort_key(self) -> tuple:
+        """Lexicographic-by-bit-string ordering key (shorter first on ties)."""
+        return (self.width, self.bits)
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Prefix({self.text!r})"

@@ -1,0 +1,304 @@
+"""The RIB: a binary radix tree over prefixes.
+
+The paper keeps the routes "in a separate routing table (RIB: Routing
+Information Base) such as radix or Patricia trie" (Section 3) and compiles
+Poptrie — and, in our reproduction, every baseline structure — from it.
+This module implements that substrate as a plain binary radix tree (one bit
+per level).  It also provides:
+
+- longest-prefix-match lookup (the "Radix" baseline row of Tables 2 and 3),
+- :meth:`Rib.lookup_with_depth`, which reports the *binary radix depth*:
+  the number of bits that had to be examined to decide the longest match.
+  Section 4.1 and Figures 7 and 11 of the paper are built on this quantity,
+- subtree walking primitives used by the Poptrie / Tree BitMap / SAIL / DXR
+  builders (controlled prefix expansion),
+- change marking used by the incremental update engine (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+
+#: Bytes we account per radix node: two child pointers, a parent/route word
+#: and the route index — comparable to the C implementation the paper
+#: benchmarks (its radix occupies ~30 MiB at 520 k routes; ours matches with
+#: 24-byte nodes plus per-route overhead).
+NODE_BYTES = 24
+
+
+class RibNode:
+    """One node of the binary radix tree.
+
+    ``route`` is a FIB index (``NO_ROUTE`` when the node carries no route).
+    ``marked`` supports the incremental-update protocol of Section 3.5: the
+    update engine marks the nodes whose effective next hop changed and the
+    Poptrie updater rebuilds only the corresponding subtrie.
+    """
+
+    __slots__ = ("left", "right", "route", "marked")
+
+    def __init__(self) -> None:
+        self.left: Optional[RibNode] = None
+        self.right: Optional[RibNode] = None
+        self.route: int = NO_ROUTE
+        self.marked: bool = False
+
+    def child(self, bit: int) -> Optional["RibNode"]:
+        return self.right if bit else self.left
+
+    def set_child(self, bit: int, node: Optional["RibNode"]) -> None:
+        if bit:
+            self.right = node
+        else:
+            self.left = node
+
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class Rib:
+    """A binary radix tree mapping prefixes to FIB indices.
+
+    >>> rib = Rib(width=32)
+    >>> rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+    0
+    >>> rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+    0
+    >>> rib.lookup(int(__import__("ipaddress").ip_address("10.1.2.3")))
+    2
+    >>> rib.lookup(int(__import__("ipaddress").ip_address("10.2.0.1")))
+    1
+    """
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self.root = RibNode()
+        self._route_count = 0
+        self._node_count = 1
+
+    def __len__(self) -> int:
+        """Number of routes currently installed."""
+        return self._route_count
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint, for the Table 2/3 "Radix" row."""
+        return self._node_count * NODE_BYTES
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, fib_index: int) -> int:
+        """Insert or replace a route; returns the previous FIB index."""
+        self._check(prefix)
+        if fib_index == NO_ROUTE:
+            raise ValueError("use delete() to remove a route")
+        node = self._descend_create(prefix)
+        previous = node.route
+        node.route = fib_index
+        if previous == NO_ROUTE:
+            self._route_count += 1
+        return previous
+
+    def delete(self, prefix: Prefix) -> int:
+        """Remove a route; returns the FIB index it had.
+
+        Raises :class:`KeyError` if the prefix is not present.  Interior
+        nodes left without routes or children are pruned so the node count
+        tracks the live tree.
+        """
+        self._check(prefix)
+        path: List[Tuple[RibNode, int]] = []
+        node = self.root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            nxt = node.child(bit)
+            if nxt is None:
+                raise KeyError(prefix.text)
+            path.append((node, bit))
+            node = nxt
+        if node.route == NO_ROUTE:
+            raise KeyError(prefix.text)
+        previous = node.route
+        node.route = NO_ROUTE
+        self._route_count -= 1
+        # Prune childless, routeless nodes bottom-up.
+        while path and node.is_leaf() and node.route == NO_ROUTE:
+            parent, bit = path.pop()
+            parent.set_child(bit, None)
+            self._node_count -= 1
+            node = parent
+        return previous
+
+    def get(self, prefix: Prefix) -> int:
+        """Exact-match: FIB index of ``prefix`` or ``NO_ROUTE``."""
+        self._check(prefix)
+        node: Optional[RibNode] = self.root
+        for i in range(prefix.length):
+            if node is None:
+                return NO_ROUTE
+            node = node.child(prefix.bit(i))
+        return node.route if node is not None else NO_ROUTE
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, address: int) -> int:
+        """Longest-prefix-match ``address`` to a FIB index."""
+        node: Optional[RibNode] = self.root
+        best = NO_ROUTE
+        shift = self.width - 1
+        while node is not None:
+            if node.route != NO_ROUTE:
+                best = node.route
+            if shift < 0:
+                break
+            node = node.child((address >> shift) & 1)
+            shift -= 1
+        return best
+
+    def lookup_with_depth(self, address: int) -> Tuple[int, int, int]:
+        """LPM plus the paper's depth metrics.
+
+        Returns ``(fib_index, matched_prefix_length, binary_radix_depth)``.
+        The binary radix depth is the number of bits examined before the
+        search bottomed out — i.e. the depth of the deepest node visited —
+        which the paper shows (Figure 7) is often much larger than the
+        matched prefix length because longer prefixes punch holes in
+        shorter ones.
+        """
+        node: Optional[RibNode] = self.root
+        best = NO_ROUTE
+        best_len = 0
+        depth = 0
+        shift = self.width - 1
+        while True:
+            if node.route != NO_ROUTE:
+                best = node.route
+                best_len = depth
+            if shift < 0:
+                break
+            nxt = node.child((address >> shift) & 1)
+            if nxt is None:
+                break
+            node = nxt
+            depth += 1
+            shift -= 1
+        return best, best_len, depth
+
+    # -- iteration / walking -----------------------------------------------
+
+    def routes(self) -> Iterator[Tuple[Prefix, int]]:
+        """Yield ``(prefix, fib_index)`` in lexicographic bit order."""
+        stack: List[Tuple[RibNode, int, int]] = [(self.root, 0, 0)]
+        while stack:
+            node, value, length = stack.pop()
+            if node.route != NO_ROUTE:
+                yield Prefix(value, length, self.width), node.route
+            # Push right first so left pops (and yields) first.
+            if node.right is not None:
+                stack.append(
+                    (node.right, value | (1 << (self.width - length - 1)), length + 1)
+                )
+            if node.left is not None:
+                stack.append((node.left, value, length + 1))
+
+    def node_at(self, prefix: Prefix) -> Optional[RibNode]:
+        """The radix node exactly at ``prefix``, or ``None``."""
+        self._check(prefix)
+        node: Optional[RibNode] = self.root
+        for i in range(prefix.length):
+            if node is None:
+                return None
+            node = node.child(prefix.bit(i))
+        return node
+
+    def best_route_on_path(self, prefix: Prefix) -> int:
+        """FIB index of the longest route covering ``prefix``'s network address
+        with length ≤ ``prefix.length`` (the inherited next hop at that point
+        in the tree).  Used by the builders when expanding subtrees.
+        """
+        self._check(prefix)
+        node: Optional[RibNode] = self.root
+        best = NO_ROUTE
+        for i in range(prefix.length):
+            if node is None:
+                return best
+            if node.route != NO_ROUTE:
+                best = node.route
+            node = node.child(prefix.bit(i))
+        if node is not None and node.route != NO_ROUTE:
+            best = node.route
+        return best
+
+    # -- incremental-update marking (Section 3.5) ---------------------------
+
+    def mark_subtree(self, prefix: Prefix) -> int:
+        """Mark every node in the subtree rooted at ``prefix``.
+
+        Returns the number of nodes marked.  The Poptrie updater consumes the
+        marks to decide which internal nodes must be rebuilt.
+        """
+        root = self.node_at(prefix)
+        if root is None:
+            return 0
+        count = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if not node.marked:
+                node.marked = True
+                count += 1
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return count
+
+    def clear_marks(self, prefix: Optional[Prefix] = None) -> None:
+        """Clear marks in the subtree at ``prefix`` (whole tree if omitted)."""
+        root = self.root if prefix is None else self.node_at(prefix)
+        if root is None:
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.marked = False
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check(self, prefix: Prefix) -> None:
+        if prefix.width != self.width:
+            raise ValueError(
+                f"prefix width {prefix.width} does not match RIB width {self.width}"
+            )
+
+    def _descend_create(self, prefix: Prefix) -> RibNode:
+        node = self.root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            nxt = node.child(bit)
+            if nxt is None:
+                nxt = RibNode()
+                node.set_child(bit, nxt)
+                self._node_count += 1
+            node = nxt
+        return node
+
+
+def rib_from_routes(
+    routes, width: int = 32
+) -> Rib:
+    """Build a :class:`Rib` from an iterable of ``(prefix, fib_index)``."""
+    rib = Rib(width=width)
+    for prefix, fib_index in routes:
+        rib.insert(prefix, fib_index)
+    return rib

@@ -1,0 +1,14 @@
+"""A miniature software forwarding plane built on the library's FIBs.
+
+The paper's motivation (Section 1) is NFV-style software routers on
+commodity machines, where table lookup has long been the bottleneck.
+This package is the example-application substrate: a batch forwarding
+loop that classifies packets by destination through any
+:class:`~repro.lookup.base.LookupStructure` and dispatches them to egress
+ports, with per-port counters and TTL handling.
+"""
+
+from repro.router.packet import Packet, synth_packets
+from repro.router.forwarding import ForwardingPlane, PortCounters
+
+__all__ = ["Packet", "synth_packets", "ForwardingPlane", "PortCounters"]

@@ -1,0 +1,35 @@
+"""A minimal IP packet model for the forwarding-plane examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+
+@dataclass
+class Packet:
+    """Just enough of an IP header to route: destination, TTL, size."""
+
+    dst: int
+    ttl: int = 64
+    size: int = 64  # the wire-rate argument is about minimum-size packets
+    src: int = 0
+
+    def decremented(self) -> "Packet":
+        return Packet(self.dst, self.ttl - 1, self.size, self.src)
+
+
+def synth_packets(
+    destinations: Iterable[int], ttl: int = 64, size: int = 64
+) -> Iterator[Packet]:
+    """Wrap a destination-address stream (any generator from
+    :mod:`repro.data.traffic`) into packets."""
+    for dst in destinations:
+        yield Packet(int(dst), ttl=ttl, size=size)
+
+
+def destinations_array(packets: List[Packet]) -> np.ndarray:
+    """Destination column of a packet batch, for the batch lookup path."""
+    return np.fromiter((p.dst for p in packets), dtype=np.uint64, count=len(packets))

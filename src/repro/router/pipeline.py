@@ -1,0 +1,205 @@
+"""A batched forwarding pipeline with ring buffers and latency accounting.
+
+Section 2 of the paper argues against GPU-offload lookup engines because
+"the large packet batch size is likely to lead to the higher worst case
+packet forwarding latency, and jitters".  This module makes that argument
+measurable: an rx ring feeds a lookup stage that drains packets in fixed
+batches, on a deterministic virtual clock; per-packet latency is the gap
+between arrival and batch completion.  Sweeping the batch size trades
+throughput (per-batch overhead amortised) against worst-case latency
+(early packets wait for the batch to fill) — exactly the §2 trade-off.
+
+Everything is simulated time (microseconds as floats), so results are
+deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lookup.base import LookupStructure
+from repro.net.fib import NO_ROUTE, Fib
+
+
+class RingBuffer:
+    """A fixed-capacity FIFO with tail-drop, like a NIC descriptor ring.
+
+    Stores ``(arrival_time, destination)`` pairs.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._items: List[Tuple[float, int]] = []
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, arrival: float, destination: int) -> bool:
+        """Enqueue one packet; False (and a drop) when the ring is full."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append((arrival, destination))
+        self.enqueued += 1
+        return True
+
+    def pop_batch(self, count: int) -> List[Tuple[float, int]]:
+        batch = self._items[:count]
+        del self._items[:count]
+        return batch
+
+
+@dataclass
+class LatencyReport:
+    """Per-run latency/throughput summary (microseconds)."""
+
+    packets: int
+    dropped: int
+    throughput_mpps: float
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    max_latency: float
+    jitter: float  # standard deviation of latency
+
+    def row(self) -> Tuple:
+        return (
+            self.packets,
+            self.dropped,
+            self.throughput_mpps,
+            self.mean_latency,
+            self.p99_latency,
+            self.max_latency,
+            self.jitter,
+        )
+
+
+@dataclass
+class CostModel:
+    """Virtual-time costs of the lookup stage (microseconds).
+
+    ``batch_overhead`` models the fixed kernel/DMA/launch cost the paper's
+    GPU discussion is about; ``per_packet`` the lookup itself.
+    """
+
+    batch_overhead: float = 2.0
+    per_packet: float = 0.01
+
+
+class ForwardingPipeline:
+    """rx ring → batched lookup stage → per-port counters."""
+
+    def __init__(
+        self,
+        structure: LookupStructure,
+        fib: Fib,
+        batch_size: int = 32,
+        ring_capacity: int = 4096,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self.structure = structure
+        self.fib = fib
+        self.batch_size = batch_size
+        self.rx = RingBuffer(ring_capacity)
+        self.cost = cost if cost is not None else CostModel()
+        self.port_packets: Dict[int, int] = {}
+        self.no_route_drops = 0
+
+    def run(
+        self,
+        destinations: Sequence[int],
+        arrival_interval: float = 0.05,
+    ) -> LatencyReport:
+        """Feed packets at a fixed arrival rate and drain in batches.
+
+        The stage starts a batch when either a full ``batch_size`` is
+        queued or no more packets will arrive (end of input flushes).
+        Returns the latency/throughput report.
+        """
+        latencies: List[float] = []
+        clock = 0.0
+        index = 0
+        total = len(destinations)
+        arrivals = [i * arrival_interval for i in range(total)]
+        done_feeding = total == 0
+
+        while not done_feeding or len(self.rx):
+            # Feed everything that has arrived by `clock`.
+            while index < total and arrivals[index] <= clock:
+                self.rx.push(arrivals[index], int(destinations[index]))
+                index += 1
+            done_feeding = index >= total
+
+            if len(self.rx) >= self.batch_size or (done_feeding and len(self.rx)):
+                batch = self.rx.pop_batch(self.batch_size)
+                start = max(clock, batch[0][0])
+                finish = (
+                    start
+                    + self.cost.batch_overhead
+                    + self.cost.per_packet * len(batch)
+                )
+                self._forward(batch)
+                latencies.extend(finish - arrival for arrival, _ in batch)
+                clock = finish
+            elif index < total:
+                # Idle until the next arrival.
+                clock = max(clock, arrivals[index])
+            else:
+                break
+
+        if not latencies:
+            return LatencyReport(0, self.rx.dropped, 0.0, 0, 0, 0, 0, 0.0)
+        values = np.array(latencies)
+        duration = clock if clock > 0 else 1.0
+        return LatencyReport(
+            packets=len(latencies),
+            dropped=self.rx.dropped,
+            throughput_mpps=len(latencies) / duration,
+            mean_latency=float(values.mean()),
+            p50_latency=float(np.percentile(values, 50)),
+            p99_latency=float(np.percentile(values, 99)),
+            max_latency=float(values.max()),
+            jitter=float(values.std()),
+        )
+
+    def _forward(self, batch: List[Tuple[float, int]]) -> None:
+        keys = np.fromiter(
+            (destination for _, destination in batch),
+            dtype=np.uint64,
+            count=len(batch),
+        )
+        for fib_index in self.structure.lookup_batch(keys):
+            if fib_index == NO_ROUTE:
+                self.no_route_drops += 1
+                continue
+            port = self.fib[int(fib_index)].port
+            self.port_packets[port] = self.port_packets.get(port, 0) + 1
+
+
+def batch_size_sweep(
+    structure: LookupStructure,
+    fib: Fib,
+    destinations: Sequence[int],
+    batch_sizes: Sequence[int] = (1, 8, 32, 128, 512),
+    arrival_interval: float = 0.05,
+    cost: Optional[CostModel] = None,
+) -> List[Tuple[int, LatencyReport]]:
+    """The §2 trade-off curve: one report per batch size."""
+    results = []
+    for batch_size in batch_sizes:
+        pipeline = ForwardingPipeline(
+            structure, fib, batch_size=batch_size, cost=cost
+        )
+        results.append(
+            (batch_size, pipeline.run(destinations, arrival_interval))
+        )
+    return results

@@ -1,0 +1,143 @@
+"""Tests for route aggregation (paper's option + ORTC extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import make_random_rib, naive_lpm
+
+from repro.core.aggregate import (
+    aggregate_ortc,
+    aggregate_simple,
+    aggregated_rib,
+)
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib, rib_from_routes
+
+
+def rib_of(*routes, width=32):
+    rib = Rib(width=width)
+    for text, hop in routes:
+        rib.insert(Prefix.parse(text), hop)
+    return rib
+
+
+class TestSimpleAggregation:
+    def test_sibling_merge(self):
+        """The paper's core case: two siblings with one next hop merge."""
+        rib = rib_of(("10.0.0.0/9", 1), ("10.128.0.0/9", 1))
+        routes = aggregate_simple(rib)
+        assert routes == [(Prefix.parse("10.0.0.0/8"), 1)]
+
+    def test_redundant_child_removed(self):
+        rib = rib_of(("10.0.0.0/8", 1), ("10.1.0.0/16", 1))
+        routes = aggregate_simple(rib)
+        assert routes == [(Prefix.parse("10.0.0.0/8"), 1)]
+
+    def test_distinct_nexthops_not_merged(self):
+        rib = rib_of(("10.0.0.0/9", 1), ("10.128.0.0/9", 2))
+        assert len(aggregate_simple(rib)) == 2
+
+    def test_gap_prevents_merge(self):
+        # 10.0/9 alone cannot become 10/8: half the space is uncovered.
+        rib = rib_of(("10.0.0.0/9", 1))
+        routes = aggregate_simple(rib)
+        assert routes == [(Prefix.parse("10.0.0.0/9"), 1)]
+
+    def test_recursive_merge(self):
+        rib = rib_of(
+            ("10.0.0.0/10", 1),
+            ("10.64.0.0/10", 1),
+            ("10.128.0.0/10", 1),
+            ("10.192.0.0/10", 1),
+        )
+        assert aggregate_simple(rib) == [(Prefix.parse("10.0.0.0/8"), 1)]
+
+    def test_hole_punching_preserved(self):
+        rib = rib_of(("10.0.0.0/8", 1), ("10.1.0.0/16", 2))
+        out = rib_from_routes(aggregate_simple(rib))
+        assert out.lookup(Prefix.parse("10.1.2.3/32").value) == 2
+        assert out.lookup(Prefix.parse("10.2.0.0/32").value) == 1
+
+    def test_empty_table(self):
+        assert aggregate_simple(Rib()) == []
+
+    def test_aggregated_rib_helper(self):
+        rib = rib_of(("10.0.0.0/9", 1), ("10.128.0.0/9", 1))
+        assert len(aggregated_rib(rib)) == 1
+
+    def test_never_invents_coverage(self):
+        """Addresses the input did not cover must stay uncovered."""
+        rib = rib_of(("10.0.0.0/8", 1))
+        out = rib_from_routes(aggregate_simple(rib))
+        assert out.lookup(Prefix.parse("11.0.0.1/32").value) == NO_ROUTE
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_exactness_exhaustive(self, seed):
+        """Invariant 2: aggregation preserves every lookup result."""
+        rib = make_random_rib(40, seed=seed, width=10, max_nexthop=4)
+        out = rib_from_routes(aggregate_simple(rib), width=10)
+        for address in range(1 << 10):
+            assert out.lookup(address) == rib.lookup(address)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_never_grows_table(self, seed):
+        rib = make_random_rib(50, seed=seed, width=12, max_nexthop=3)
+        assert len(aggregate_simple(rib)) <= len(rib)
+
+    def test_idempotent(self, bgp_rib):
+        once = aggregated_rib(bgp_rib)
+        twice = aggregated_rib(once)
+        assert sorted(p.text for p, _ in once.routes()) == sorted(
+            p.text for p, _ in twice.routes()
+        )
+
+
+class TestOrtc:
+    def test_classic_example(self):
+        # Two /9s with hops 1,2 plus default 1: ORTC needs only 2 routes.
+        rib = rib_of(("0.0.0.0/0", 1), ("10.128.0.0/9", 2))
+        routes = aggregate_ortc(rib)
+        assert len(routes) <= 2
+
+    def test_semantics_preserved_where_covered(self):
+        rib = rib_of(("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("11.0.0.0/8", 1))
+        out = rib_from_routes(aggregate_ortc(rib))
+        for text in ("10.0.0.1/32", "10.1.2.3/32", "11.9.9.9/32"):
+            key = Prefix.parse(text).value
+            assert out.lookup(key) == rib.lookup(key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_exact_on_covered_space(self, seed):
+        """ORTC preserves results wherever the original table matched."""
+        rib = make_random_rib(30, seed=seed, width=10, max_nexthop=4)
+        out = rib_from_routes(aggregate_ortc(rib), width=10)
+        for address in range(1 << 10):
+            original = rib.lookup(address)
+            if original != NO_ROUTE:
+                assert out.lookup(address) == original
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_at_most_simple_size(self, seed):
+        """ORTC is optimal, so never larger than the simple aggregation."""
+        rib = make_random_rib(40, seed=seed, width=10, max_nexthop=4)
+        assert len(aggregate_ortc(rib)) <= len(aggregate_simple(rib))
+
+    def test_on_full_cover_collapses_to_default(self):
+        rib = rib_of(("0.0.0.0/1", 5), ("128.0.0.0/1", 5))
+        routes = aggregate_ortc(rib)
+        assert routes == [(Prefix.parse("0.0.0.0/0"), 5)]
+
+
+class TestAggregationHelpsPoptrie:
+    def test_reduces_poptrie_size(self, bgp_rib):
+        """Table 2's bottom block: aggregation shrinks the structure."""
+        from repro.core.poptrie import Poptrie, PoptrieConfig
+
+        raw = Poptrie.from_rib(bgp_rib, PoptrieConfig(s=16))
+        agg = Poptrie.from_rib(aggregated_rib(bgp_rib), PoptrieConfig(s=16))
+        assert agg.memory_bytes() <= raw.memory_bytes()

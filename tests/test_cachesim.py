@@ -1,0 +1,246 @@
+"""Tests for the cache hierarchy and cycle model."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_keys
+
+from repro.cachesim.cache import Cache
+from repro.cachesim.cycles import (
+    CycleModel,
+    cdf_points,
+    cycles_by_radix_depth,
+    depth_quartiles,
+    percentile_summary,
+)
+from repro.cachesim.hierarchy import CacheHierarchy, HierarchyConfig, LevelConfig
+from repro.cachesim.profiles import HASWELL_I7_4770K, XEON_X3430
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        c = Cache(size_bytes=128, ways=2)
+        assert c.access(0) is False
+
+    def test_second_access_hits(self):
+        c = Cache(size_bytes=128, ways=2)
+        c.access(0)
+        assert c.access(0) is True
+
+    def test_lru_eviction(self):
+        c = Cache(size_bytes=128, ways=2)  # 1 set, 2 ways
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0 → victim is 1
+        c.access(2)  # evicts 1
+        assert c.access(0) is True
+        assert c.access(1) is False
+
+    def test_set_mapping_isolates_lines(self):
+        c = Cache(size_bytes=256, ways=1)  # 4 sets, direct mapped
+        c.access(0)
+        c.access(1)  # different set — must not evict line 0
+        assert c.access(0) is True
+
+    def test_conflict_in_same_set(self):
+        c = Cache(size_bytes=256, ways=1)  # 4 sets
+        c.access(0)
+        c.access(4)  # same set (4 % 4 == 0) — evicts line 0
+        assert c.access(0) is False
+
+    def test_counters_and_hit_rate(self):
+        c = Cache(size_bytes=128, ways=2)
+        c.access(0)
+        c.access(0)
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.hit_rate == 0.5
+
+    def test_contains_does_not_touch(self):
+        c = Cache(size_bytes=128, ways=2)
+        c.access(0)
+        hits = c.hits
+        assert c.contains(0)
+        assert c.hits == hits
+
+    def test_flush(self):
+        c = Cache(size_bytes=128, ways=2)
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=100, ways=3)
+
+
+def tiny_hierarchy(dram=100):
+    return HierarchyConfig(
+        name="tiny",
+        levels=(
+            LevelConfig("L1", 128, 2, 4),
+            LevelConfig("L2", 512, 2, 12),
+        ),
+        dram_latency=dram,
+        instructions_per_cycle=2.0,
+    )
+
+
+class TestHierarchy:
+    def test_cold_access_costs_dram(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        assert h.access(0x1000) == 100
+        assert h.dram_accesses == 1
+
+    def test_warm_access_costs_l1(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        h.access(0x1000)
+        assert h.access(0x1000) == 4
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        # L1 is one set × 2 ways: lines 0 and 4 conflict there and evict
+        # line 0, but in L2 (4 sets) only lines {0, 4} share set 0, so
+        # line 0 survives in L2.
+        for address in (0x0, 0x80, 0x100):
+            h.access(address)
+        assert h.access(0x0) == 12  # L2 hit
+        assert h.access(0x0) == 4   # promoted back into L1
+
+    def test_line_straddle_touches_both_lines(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        h.access(60, size=8)  # spans lines 0 and 1
+        assert h.access(0) == 4
+        assert h.access(64) == 4
+
+    def test_replay_sums(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        total = h.replay([(0, 4), (0, 4)])
+        assert total == 104
+
+    def test_flush_and_stats(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        h.access(0)
+        h.flush()
+        assert h.dram_accesses == 0
+        assert all(hits == 0 for _, hits, _ in h.stats())
+
+
+class TestProfiles:
+    def test_haswell_matches_paper_section4(self):
+        levels = {l.name: l for l in HASWELL_I7_4770K.levels}
+        assert levels["L1d"].size_bytes == 32 * 1024
+        assert levels["L2"].size_bytes == 256 * 1024
+        assert levels["L3"].size_bytes == 8 * 1024 * 1024
+        assert levels["L1d"].latency == 4
+        assert levels["L2"].latency == 12
+        assert levels["L3"].latency == 36
+
+    def test_xeon_differs(self):
+        assert XEON_X3430.name != HASWELL_I7_4770K.name
+        assert XEON_X3430.instructions_per_cycle < (
+            HASWELL_I7_4770K.instructions_per_cycle
+        )
+
+
+class TestCycleModel:
+    def _model_and_structure(self, bgp_rib):
+        from repro.core.poptrie import Poptrie, PoptrieConfig
+
+        return CycleModel(HASWELL_I7_4770K), Poptrie.from_rib(
+            bgp_rib, PoptrieConfig(s=16)
+        )
+
+    def test_deterministic(self, bgp_rib):
+        keys = random_keys(2000, seed=21)
+        model_a, trie = self._model_and_structure(bgp_rib)
+        cycles_a = model_a.measure(trie, keys, warmup=500)
+        model_b = CycleModel(HASWELL_I7_4770K)
+        cycles_b = model_b.measure(trie, keys, warmup=500)
+        assert (cycles_a == cycles_b).all()
+
+    def test_positive_and_bounded(self, bgp_rib):
+        model, trie = self._model_and_structure(bgp_rib)
+        cycles = model.measure(trie, random_keys(1000, seed=22))
+        assert (cycles > 0).all()
+        # A worst case lookup is a handful of DRAM accesses, not thousands.
+        assert cycles.max() < 2000
+
+    def test_warm_cache_cheaper_than_cold(self, bgp_rib):
+        model, trie = self._model_and_structure(bgp_rib)
+        keys = random_keys(3000, seed=23)
+        cold = model.measure(trie, keys, warmup=0).mean()
+        warm = model.measure(trie, keys, warmup=0).mean()  # second pass
+        assert warm < cold
+
+
+class TestAnalysisHelpers:
+    def test_percentile_summary(self):
+        cycles = np.array([10] * 99 + [100])
+        summary = percentile_summary(cycles)
+        assert summary.p50 == 10
+        assert summary.p99 >= 10
+        assert summary.mean == pytest.approx(10.9)
+
+    def test_cdf_points_monotonic(self):
+        cycles = np.array([10, 20, 30, 300])
+        points = cdf_points(cycles, max_cycles=300)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_cycles_by_radix_depth(self, bgp_rib):
+        keys = random_keys(500, seed=24)
+        cycles = np.arange(len(keys))
+        buckets = cycles_by_radix_depth(cycles, keys, bgp_rib)
+        assert sum(len(v) for v in buckets.values()) == len(keys)
+        rows = depth_quartiles(buckets)
+        for _, p5, p25, p50, p75, p95 in rows:
+            assert p5 <= p25 <= p50 <= p75 <= p95
+
+
+class TestTlb:
+    def _config(self):
+        from repro.cachesim.hierarchy import TlbConfig
+
+        return HierarchyConfig(
+            name="tlb-test",
+            levels=(LevelConfig("L1", 4096, 4, 4),),
+            dram_latency=100,
+            instructions_per_cycle=2.0,
+            tlb=TlbConfig(l1_entries=2, l2_entries=4, l2_latency=8,
+                          walk_penalty=30, page_bytes=4096),
+        )
+
+    def test_first_touch_pays_full_walk(self):
+        h = CacheHierarchy(self._config())
+        cost = h.access(0x100000)
+        assert cost == 100 + 8 + 30  # DRAM + L2-TLB miss + walk
+
+    def test_same_page_hits_tlb(self):
+        h = CacheHierarchy(self._config())
+        h.access(0x100000)
+        # Different line, same page: cache miss but TLB hit.
+        assert h.access(0x100000 + 64) == 100
+
+    def test_l2_tlb_catches_recent_pages(self):
+        h = CacheHierarchy(self._config())
+        pages = [0x0, 0x1000, 0x2000]  # 3 pages > 2 L1-TLB entries
+        for address in pages:
+            h.access(address)
+        # Page 0 fell out of the 2-entry L1 TLB but is in the 4-entry L2.
+        cost = h.access(0x0)
+        assert cost == 4 + 8  # L1 cache hit + L2 TLB latency
+
+    def test_flush_clears_tlbs(self):
+        h = CacheHierarchy(self._config())
+        h.access(0x0)
+        h.flush()
+        assert h.access(0x0) == 100 + 8 + 30
+
+    def test_disabled_when_config_absent(self):
+        h = CacheHierarchy(tiny_hierarchy())
+        assert h.access(0x999000) == 100  # pure cache cost
+
+    def test_profiles_carry_tlbs(self):
+        assert HASWELL_I7_4770K.tlb is not None
+        assert XEON_X3430.tlb is not None

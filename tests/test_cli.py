@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import serialize
+from repro.data import tableio
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+
+@pytest.fixture()
+def table_path(tmp_path):
+    rib = Rib()
+    rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+    rib.insert(Prefix.parse("192.0.2.0/24"), 2)
+    path = str(tmp_path / "rib.txt")
+    tableio.save_table(rib, path)
+    return path
+
+
+class TestGenerate:
+    def test_custom_table(self, tmp_path, capsys):
+        out = str(tmp_path / "out.txt")
+        assert main(["generate", "--routes", "300", "--nexthops", "8",
+                     "-o", out]) == 0
+        rib = tableio.load_table(out)
+        assert len(rib) == 300
+        assert "300 routes" in capsys.readouterr().out
+
+    def test_dataset_table(self, tmp_path, capsys):
+        out = str(tmp_path / "ds.txt")
+        assert main(["generate", "--dataset", "RV-nwax-p1",
+                     "--scale", "0.002", "-o", out]) == 0
+        assert len(tableio.load_table(out)) > 500
+
+
+class TestCompileAndLookup:
+    def test_compile_then_lookup_snapshot(self, table_path, tmp_path, capsys):
+        fib = str(tmp_path / "fib.poptrie")
+        assert main(["compile", table_path, "-o", fib]) == 0
+        assert main(["lookup", fib, "10.1.2.3", "192.0.2.9", "8.8.8.8"]) == 0
+        out = capsys.readouterr().out
+        assert "10.1.2.3 -> FIB[1]" in out
+        assert "192.0.2.9 -> FIB[2]" in out
+        assert "8.8.8.8 -> no route" in out
+
+    def test_compile_options(self, table_path, tmp_path):
+        fib = str(tmp_path / "fib2.poptrie")
+        assert main(["compile", table_path, "-o", fib, "--s", "16",
+                     "--no-leafvec", "--aggregate"]) == 0
+        trie = serialize.load(fib)
+        assert trie.s == 16 and not trie.config.use_leafvec
+
+    def test_lookup_text_table_directly(self, table_path, capsys):
+        assert main(["lookup", table_path, "10.1.2.3"]) == 0
+        assert "FIB[1]" in capsys.readouterr().out
+
+    def test_lookup_bad_address(self, table_path, capsys):
+        assert main(["lookup", table_path, "not-an-ip"]) == 2
+
+    def test_lookup_wrong_family(self, table_path, capsys):
+        assert main(["lookup", table_path, "2001:db8::1"]) == 2
+
+
+class TestInfoAndBench:
+    def test_info(self, table_path, capsys):
+        assert main(["info", table_path]) == 0
+        out = capsys.readouterr().out
+        assert "Poptrie18" in out and "SAIL" in out
+
+    def test_bench(self, table_path, capsys):
+        assert main(["bench", table_path, "--queries", "2000",
+                     "--repeats", "1"]) == 0
+        assert "Mlps" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["lookup", "/nonexistent/table.txt", "10.0.0.1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_table_format(self, tmp_path, capsys):
+        path = str(tmp_path / "junk.txt")
+        with open(path, "w") as stream:
+            stream.write("this is not a table\n")
+        assert main(["lookup", path, "10.0.0.1"]) == 1
+
+
+class TestGenerateIPv6:
+    def test_ipv6_table(self, tmp_path, capsys):
+        out = str(tmp_path / "v6.txt")
+        assert main(["generate", "--routes", "150", "--nexthops", "8",
+                     "--ipv6", "-o", out]) == 0
+        rib = tableio.load_table(out)
+        assert rib.width == 128 and len(rib) == 150
+
+    def test_ipv6_lookup_via_text_table(self, tmp_path, capsys):
+        out = str(tmp_path / "v6.txt")
+        main(["generate", "--routes", "100", "--nexthops", "4", "--ipv6",
+              "-o", out])
+        rib = tableio.load_table(out)
+        prefix, hop = next(iter(rib.routes()))
+        from repro.net.ip import format_address
+
+        text = format_address(prefix.value, 128)
+        assert main(["lookup", out, text]) == 0
+        assert f"FIB[{hop}]" in capsys.readouterr().out

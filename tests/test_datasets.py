@@ -1,0 +1,107 @@
+"""Tests for the Table 1 dataset registry."""
+
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    EVALUATION_TABLES,
+    SYNTHETIC_TABLES,
+    load_dataset,
+    load_dataset_v6,
+)
+
+
+class TestRegistry:
+    def test_has_all_39_rows(self):
+        # 31 RouteViews + 3 REAL (Table 1) + 4 SYN (Section 4.1) = 39... the
+        # paper's Table 1 lists 35 evaluation tables plus the 4 SYN rows.
+        assert len(DATASETS) == 39
+        assert len(EVALUATION_TABLES) == 35
+        assert len(SYNTHETIC_TABLES) == 4
+
+    def test_published_sizes_recorded(self):
+        assert DATASETS["REAL-Tier1-A"].prefixes == 531489
+        assert DATASETS["REAL-Tier1-A"].nexthops == 13
+        assert DATASETS["RV-saopaulo-p25"].prefixes == 532637
+        assert DATASETS["SYN2-Tier1-B"].prefixes == 876944
+
+    def test_real_tables_have_igp(self):
+        for name in ("REAL-Tier1-A", "REAL-Tier1-B", "REAL-RENET"):
+            assert DATASETS[name].igp_fraction > 0
+
+    def test_rv_tables_have_no_igp(self):
+        assert DATASETS["RV-linx-p46"].igp_fraction == 0
+
+    def test_syn_tables_reference_bases(self):
+        assert DATASETS["SYN1-Tier1-A"].base == "REAL-Tier1-A"
+        assert DATASETS["SYN2-Tier1-B"].base == "REAL-Tier1-B"
+
+
+class TestLoading:
+    def test_scaled_size(self):
+        ds = load_dataset("RV-nwax-p1", scale=0.01)
+        expected = int(DATASETS["RV-nwax-p1"].prefixes * 0.01)
+        assert abs(len(ds) - expected) <= expected * 0.02 + 5
+
+    def test_nexthop_count_not_scaled(self):
+        ds = load_dataset("RV-nwax-p1", scale=0.01)
+        assert len(ds.fib) == DATASETS["RV-nwax-p1"].nexthops
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("RV-nwax-p2", scale=0.01)
+        b = load_dataset("RV-nwax-p2", scale=0.01)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("RV-nwax-p2", scale=0.01, cache=False)
+        b = load_dataset("RV-nwax-p2", scale=0.01, cache=False)
+        assert a is not b
+
+    def test_deterministic_across_loads(self):
+        a = load_dataset("RV-nwax-p5", scale=0.01, cache=False)
+        b = load_dataset("RV-nwax-p5", scale=0.01, cache=False)
+        assert list(a.rib.routes()) == list(b.rib.routes())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("RV-nonexistent-p0")
+
+
+class TestSynthetic:
+    def test_syn1_is_larger_than_base(self):
+        base = load_dataset("REAL-Tier1-A", scale=0.02)
+        syn1 = load_dataset("SYN1-Tier1-A", scale=0.02)
+        assert len(syn1) > len(base)
+
+    def test_syn2_is_larger_than_syn1(self):
+        syn1 = load_dataset("SYN1-Tier1-A", scale=0.02)
+        syn2 = load_dataset("SYN2-Tier1-A", scale=0.02)
+        assert len(syn2) > len(syn1)
+
+    def test_syn2_has_25s(self):
+        syn2 = load_dataset("SYN2-Tier1-A", scale=0.02)
+        assert any(p.length == 25 for p, _ in syn2.rib.routes())
+
+    def test_syn1_stays_at_24(self):
+        syn1 = load_dataset("SYN1-Tier1-A", scale=0.02)
+        base_max = max(
+            p.length for p, _ in load_dataset("REAL-Tier1-A", scale=0.02).rib.routes()
+        )
+        syn_bgp_max = max(
+            p.length for p, _ in syn1.rib.routes() if p.length <= 24
+        )
+        assert syn_bgp_max <= 24
+        # IGP routes pass through unsplit.
+        assert max(p.length for p, _ in syn1.rib.routes()) == base_max
+
+    def test_syn_fib_covers_strided_hops(self):
+        syn1 = load_dataset("SYN1-Tier1-A", scale=0.02)
+        max_hop = max(hop for _, hop in syn1.rib.routes())
+        assert len(syn1.fib) >= max_hop
+
+
+class TestIPv6Dataset:
+    def test_loads(self):
+        ds = load_dataset_v6(scale=0.05)
+        assert len(ds) > 500
+        assert ds.rib.width == 128

@@ -1,0 +1,75 @@
+"""Unit tests for the FIB next-hop table."""
+
+import pytest
+
+from repro.net.fib import NO_ROUTE, Fib, NextHop, synthetic_fib
+
+
+class TestFib:
+    def test_no_route_is_zero(self):
+        assert NO_ROUTE == 0
+
+    def test_intern_assigns_dense_indices(self):
+        fib = Fib()
+        a = fib.intern(NextHop("10.0.0.1"))
+        b = fib.intern(NextHop("10.0.0.2"))
+        assert (a, b) == (1, 2)
+
+    def test_intern_is_idempotent(self):
+        fib = Fib()
+        a = fib.intern(NextHop("10.0.0.1", 3))
+        assert fib.intern(NextHop("10.0.0.1", 3)) == a
+        assert len(fib) == 1
+
+    def test_distinct_ports_are_distinct_hops(self):
+        fib = Fib()
+        a = fib.intern(NextHop("10.0.0.1", 0))
+        b = fib.intern(NextHop("10.0.0.1", 1))
+        assert a != b
+
+    def test_getitem(self):
+        fib = Fib()
+        index = fib.intern(NextHop("192.0.2.1", 7))
+        assert fib[index] == NextHop("192.0.2.1", 7)
+
+    def test_getitem_rejects_sentinel(self):
+        with pytest.raises(KeyError):
+            Fib()[NO_ROUTE]
+
+    def test_get_returns_none_for_sentinel(self):
+        assert Fib().get(NO_ROUTE) is None
+
+    def test_len_excludes_sentinel(self):
+        fib = Fib()
+        assert len(fib) == 0
+        fib.intern(NextHop("10.0.0.1"))
+        assert len(fib) == 1
+
+    def test_iteration_order(self):
+        fib = Fib()
+        hops = [NextHop(f"10.0.0.{i}") for i in range(1, 5)]
+        for hop in hops:
+            fib.intern(hop)
+        assert list(fib) == hops
+
+    def test_capacity_limit(self):
+        fib = Fib(max_entries=2)
+        fib.intern(NextHop("10.0.0.1"))
+        fib.intern(NextHop("10.0.0.2"))
+        with pytest.raises(OverflowError):
+            fib.intern(NextHop("10.0.0.3"))
+
+
+class TestSyntheticFib:
+    def test_count(self):
+        fib = synthetic_fib(300)
+        assert len(fib) == 300
+
+    def test_all_distinct(self):
+        fib = synthetic_fib(520)
+        assert len({(h.gateway, h.port) for h in fib}) == 520
+
+    def test_indices_are_one_based_and_dense(self):
+        fib = synthetic_fib(5)
+        for i in range(1, 6):
+            assert fib[i] is not None

@@ -1,0 +1,123 @@
+"""Unit tests for repro.net.ip — address parsing and bit extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import ip
+
+
+class TestMaskOf:
+    def test_zero(self):
+        assert ip.mask_of(0) == 0
+
+    def test_small(self):
+        assert ip.mask_of(3) == 0b111
+
+    def test_word(self):
+        assert ip.mask_of(64) == (1 << 64) - 1
+
+
+class TestExtract:
+    def test_msb_chunk(self):
+        assert ip.extract(0b10110000, 0, 3, 8) == 0b101
+
+    def test_middle_chunk(self):
+        assert ip.extract(0b10110100, 2, 4, 8) == 0b1101
+
+    def test_lsb_chunk(self):
+        assert ip.extract(0b10110100, 6, 2, 8) == 0b00
+
+    def test_zero_pad_past_end(self):
+        # Reading 6 bits at offset 30 of a 32-bit key: 2 real bits, 4 zeros.
+        assert ip.extract(0xFFFFFFFF, 30, 6, 32) == 0b110000
+
+    def test_entirely_past_end(self):
+        assert ip.extract(0xFFFFFFFF, 32, 6, 32) == 0
+
+    def test_offset_far_past_end(self):
+        assert ip.extract(0xFFFFFFFF, 100, 6, 32) == 0
+
+    def test_full_width(self):
+        assert ip.extract(0xDEADBEEF, 0, 32, 32) == 0xDEADBEEF
+
+    @given(
+        key=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        offset=st.integers(min_value=0, max_value=40),
+        length=st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_bitstring_reference(self, key, offset, length):
+        """extract() must agree with slicing a zero-padded bit string."""
+        bits = format(key, "032b") + "0" * 48
+        expected = int(bits[offset : offset + length], 2)
+        assert ip.extract(key, offset, length, 32) == expected
+
+
+class TestParseFormat:
+    def test_parse_ipv4(self):
+        assert ip.parse_address("10.0.0.1") == (0x0A000001, 32)
+
+    def test_parse_ipv6(self):
+        value, width = ip.parse_address("2001:db8::1")
+        assert width == 128
+        assert value >> 96 == 0x20010DB8
+
+    def test_format_roundtrip_v4(self):
+        assert ip.format_address(0xC0000201, 32) == "192.0.2.1"
+
+    def test_format_roundtrip_v6(self):
+        value, width = ip.parse_address("2001:db8::42")
+        assert ip.format_address(value, width) == "2001:db8::42"
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip.format_address(1 << 32, 32)
+
+    def test_format_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ip.format_address(1, 64)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ip.parse_address("not-an-address")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_v4_roundtrip(self, value):
+        text = ip.format_address(value, 32)
+        assert ip.parse_address(text) == (value, 32)
+
+
+class TestParsePrefix:
+    def test_basic(self):
+        assert ip.parse_prefix("192.0.2.0/24") == (0xC0000200, 24, 32)
+
+    def test_default_route(self):
+        assert ip.parse_prefix("0.0.0.0/0") == (0, 0, 32)
+
+    def test_bare_address_is_host(self):
+        assert ip.parse_prefix("10.0.0.1") == (0x0A000001, 32, 32)
+
+    def test_ipv6(self):
+        value, length, width = ip.parse_prefix("2001:db8::/32")
+        assert (length, width) == (32, 128)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            ip.parse_prefix("192.0.2.1/24")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ip.parse_prefix("192.0.2.0/33")
+
+    def test_format_prefix(self):
+        assert ip.format_prefix(0xC0000200, 24, 32) == "192.0.2.0/24"
+
+
+class TestCanonical:
+    def test_clears_host_bits(self):
+        assert ip.canonical_prefix_value(0xC0000201, 24, 32) == 0xC0000200
+
+    def test_length_zero(self):
+        assert ip.canonical_prefix_value(0xFFFFFFFF, 0, 32) == 0
+
+    def test_full_length_identity(self):
+        assert ip.canonical_prefix_value(0x12345678, 32, 32) == 0x12345678

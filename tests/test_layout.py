@@ -1,0 +1,94 @@
+"""Unit tests for the virtual memory map and access traces."""
+
+from repro.mem.layout import PAGE, AccessTrace, MemoryMap
+
+import pytest
+
+
+class TestMemoryMap:
+    def test_regions_are_page_aligned(self):
+        mm = MemoryMap()
+        r1 = mm.add_region("a", element_size=2, length=100)
+        r2 = mm.add_region("b", element_size=8, length=10)
+        assert r1.base % PAGE == 0
+        assert r2.base % PAGE == 0
+
+    def test_regions_do_not_overlap(self):
+        mm = MemoryMap()
+        r1 = mm.add_region("a", element_size=4, length=10_000)
+        r2 = mm.add_region("b", element_size=4, length=10_000)
+        assert r2.base >= r1.base + r1.size_bytes
+
+    def test_duplicate_name_rejected(self):
+        mm = MemoryMap()
+        mm.add_region("a", 1, 1)
+        with pytest.raises(ValueError):
+            mm.add_region("a", 1, 1)
+
+    def test_element_addressing(self):
+        mm = MemoryMap()
+        region = mm.add_region("a", element_size=8, length=100)
+        assert region.address(5) == region.base + 40
+        assert region.access(5) == (region.base + 40, 8)
+
+    def test_resize_shrink_in_place(self):
+        mm = MemoryMap()
+        region = mm.add_region("a", 4, 100)
+        base = region.base
+        resized = mm.resize_region("a", 50)
+        assert resized.base == base
+
+    def test_resize_grow_in_place_when_room(self):
+        mm = MemoryMap()
+        region = mm.add_region("a", 4, 10)  # guard page leaves slack
+        base = region.base
+        resized = mm.resize_region("a", 100)
+        assert resized.base == base
+        assert resized.length == 100
+
+    def test_resize_moves_when_blocked(self):
+        mm = MemoryMap()
+        mm.add_region("a", 4, 1000)
+        blocker = mm.add_region("b", 4, 10)
+        moved = mm.resize_region("a", 100_000)
+        assert moved.base > blocker.base
+        assert mm.regions["a"] is moved
+
+    def test_total_bytes(self):
+        mm = MemoryMap()
+        mm.add_region("a", 2, 10)
+        mm.add_region("b", 4, 10)
+        assert mm.total_bytes() == 60
+
+
+class TestAccessTrace:
+    def test_collects_reads_in_order(self):
+        mm = MemoryMap()
+        region = mm.add_region("a", 4, 10)
+        trace = AccessTrace()
+        trace.read(region, 0)
+        trace.read(region, 3)
+        assert trace.accesses == [(region.base, 4), (region.base + 12, 4)]
+
+    def test_work_accumulates(self):
+        trace = AccessTrace()
+        trace.work(3)
+        trace.work(4)
+        assert trace.instructions == 7
+
+    def test_mispredicts_accumulate(self):
+        trace = AccessTrace()
+        trace.mispredict(0.5)
+        trace.mispredict(0.5)
+        assert trace.mispredicts == 1.0
+
+    def test_reset(self):
+        mm = MemoryMap()
+        region = mm.add_region("a", 4, 10)
+        trace = AccessTrace()
+        trace.read(region, 0)
+        trace.work(5)
+        trace.mispredict(0.3)
+        trace.reset()
+        assert trace.accesses == [] and trace.instructions == 0
+        assert trace.mispredicts == 0.0

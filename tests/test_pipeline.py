@@ -1,0 +1,137 @@
+"""Tests for the batched forwarding pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.net.fib import Fib, NextHop
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.router.pipeline import (
+    CostModel,
+    ForwardingPipeline,
+    RingBuffer,
+    batch_size_sweep,
+)
+
+
+@pytest.fixture()
+def plumbing():
+    fib = Fib()
+    a = fib.intern(NextHop("198.51.100.1", port=1))
+    b = fib.intern(NextHop("198.51.100.2", port=2))
+    rib = Rib()
+    rib.insert(Prefix.parse("10.0.0.0/8"), a)
+    rib.insert(Prefix.parse("192.0.2.0/24"), b)
+    return Poptrie.from_rib(rib, PoptrieConfig(s=16)), fib
+
+
+def destinations(count):
+    base = Prefix.parse("10.0.0.0/8").value
+    return [base + i for i in range(count)]
+
+
+class TestRingBuffer:
+    def test_fifo_order(self):
+        ring = RingBuffer(8)
+        for i in range(4):
+            ring.push(float(i), i * 10)
+        assert ring.pop_batch(2) == [(0.0, 0), (1.0, 10)]
+        assert ring.pop_batch(10) == [(2.0, 20), (3.0, 30)]
+
+    def test_tail_drop_when_full(self):
+        ring = RingBuffer(2)
+        assert ring.push(0, 1) and ring.push(0, 2)
+        assert not ring.push(0, 3)
+        assert ring.dropped == 1 and ring.enqueued == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestPipeline:
+    def test_all_packets_forwarded(self, plumbing):
+        structure, fib = plumbing
+        pipeline = ForwardingPipeline(structure, fib, batch_size=16)
+        report = pipeline.run(destinations(200))
+        assert report.packets == 200
+        assert pipeline.port_packets[1] == 200
+        assert report.dropped == 0
+
+    def test_no_route_drops_counted(self, plumbing):
+        structure, fib = plumbing
+        pipeline = ForwardingPipeline(structure, fib, batch_size=16)
+        unroutable = [Prefix.parse("203.0.113.5/32").value] * 50
+        report = pipeline.run(unroutable)
+        assert pipeline.no_route_drops == 50
+        assert report.packets == 50  # still measured through the stage
+
+    def test_empty_input(self, plumbing):
+        structure, fib = plumbing
+        report = ForwardingPipeline(structure, fib).run([])
+        assert report.packets == 0
+
+    def test_deterministic(self, plumbing):
+        structure, fib = plumbing
+        a = ForwardingPipeline(structure, fib, batch_size=8).run(destinations(100))
+        b = ForwardingPipeline(structure, fib, batch_size=8).run(destinations(100))
+        assert a == b
+
+    def test_latency_percentiles_ordered(self, plumbing):
+        structure, fib = plumbing
+        report = ForwardingPipeline(structure, fib, batch_size=32).run(
+            destinations(500)
+        )
+        assert report.p50_latency <= report.p99_latency <= report.max_latency
+
+    def test_rejects_bad_batch_size(self, plumbing):
+        structure, fib = plumbing
+        with pytest.raises(ValueError):
+            ForwardingPipeline(structure, fib, batch_size=0)
+
+
+class TestBatchTradeoff:
+    """The §2 trade-off has two regimes:
+
+    - *Underload* (arrivals slower than any batch size's service rate):
+      bigger batches wait to fill, so worst-case latency and jitter grow
+      monotonically with batch size — the paper's GPU-batching critique.
+    - *Near saturation*: tiny batches cannot amortise the per-batch
+      overhead, queues build up, and latency explodes — why batching
+      exists at all.
+    """
+
+    def test_underload_latency_grows_with_batch(self, plumbing):
+        structure, fib = plumbing
+        sweep = dict(
+            batch_size_sweep(
+                structure,
+                fib,
+                destinations(2000),
+                batch_sizes=(1, 32, 512),
+                arrival_interval=3.0,  # 0.33 Mpps: every size keeps up
+                cost=CostModel(batch_overhead=2.0, per_packet=0.01),
+            )
+        )
+        assert (
+            sweep[1].max_latency
+            < sweep[32].max_latency
+            < sweep[512].max_latency
+        )
+        assert sweep[1].jitter <= sweep[512].jitter
+
+    def test_saturation_rewards_batching(self, plumbing):
+        structure, fib = plumbing
+        sweep = dict(
+            batch_size_sweep(
+                structure,
+                fib,
+                destinations(3000),
+                batch_sizes=(1, 128),
+                arrival_interval=0.05,  # 20 Mpps: B=1 cannot keep up
+                cost=CostModel(batch_overhead=2.0, per_packet=0.01),
+            )
+        )
+        assert sweep[128].throughput_mpps > 5 * sweep[1].throughput_mpps
+        assert sweep[128].mean_latency < sweep[1].mean_latency

@@ -1,0 +1,146 @@
+"""Unit tests for the Prefix value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import Prefix
+
+
+def prefixes(width=32):
+    @st.composite
+    def build(draw):
+        length = draw(st.integers(min_value=0, max_value=width))
+        raw = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        mask = ((1 << length) - 1) << (width - length) if length else 0
+        return Prefix(raw & mask, length, width)
+
+    return build()
+
+
+class TestConstruction:
+    def test_parse(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert (p.value, p.length, p.width) == (0xC0000200, 24, 32)
+
+    def test_text_roundtrip(self):
+        assert Prefix.parse("10.0.0.0/8").text == "10.0.0.0/8"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix(0xC0000201, 24, 32)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33, 32)
+
+    def test_from_bits(self):
+        assert Prefix.from_bits("11000000").text == "192.0.0.0/8"
+
+    def test_from_bits_empty(self):
+        assert Prefix.from_bits("").text == "0.0.0.0/0"
+
+    def test_ipv6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.width == 128 and p.length == 32
+
+
+class TestBits:
+    def test_bits_string(self):
+        assert Prefix.parse("192.0.0.0/8").bits == "11000000"
+
+    def test_bits_default_route(self):
+        assert Prefix.parse("0.0.0.0/0").bits == ""
+
+    def test_bit_accessor(self):
+        p = Prefix.parse("192.0.0.0/8")
+        assert [p.bit(i) for i in range(8)] == [1, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Prefix.parse("10.0.0.0/8").bit(8)
+
+
+class TestRanges:
+    def test_first_last(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.first_address() == 0xC0000200
+        assert p.last_address() == 0xC00002FF
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains_address(0x0A123456)
+        assert not p.contains_address(0x0B000000)
+
+    def test_default_contains_everything(self):
+        assert Prefix.parse("0.0.0.0/0").contains_address(0xFFFFFFFF)
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_contains_rejects_other_family(self):
+        v4 = Prefix.parse("10.0.0.0/8")
+        v6 = Prefix.parse("2001:db8::/32")
+        assert not v4.contains(v6)
+
+
+class TestAlgebra:
+    def test_children(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.child(0).text == "10.0.0.0/9"
+        assert p.child(1).text == "10.128.0.0/9"
+
+    def test_parent(self):
+        assert Prefix.parse("10.128.0.0/9").parent().text == "10.0.0.0/8"
+
+    def test_sibling(self):
+        assert Prefix.parse("10.0.0.0/9").sibling().text == "10.128.0.0/9"
+
+    def test_host_has_no_children(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/32").child(0)
+
+    def test_default_has_no_parent_or_sibling(self):
+        root = Prefix.parse("0.0.0.0/0")
+        with pytest.raises(ValueError):
+            root.parent()
+        with pytest.raises(ValueError):
+            root.sibling()
+
+    def test_ordering_is_bit_lexicographic(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    @given(prefixes())
+    def test_child_parent_roundtrip(self, p):
+        if p.length < p.width:
+            assert p.child(0).parent() == p
+            assert p.child(1).parent() == p
+
+    @given(prefixes())
+    def test_sibling_involution(self, p):
+        if p.length > 0:
+            assert p.sibling().sibling() == p
+            assert p.sibling() != p
+            assert p.sibling().parent() == p.parent()
+
+    @given(prefixes(), st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_contains_matches_range(self, p, address):
+        expected = p.first_address() <= address <= p.last_address()
+        assert p.contains_address(address) == expected
+
+    @given(prefixes())
+    def test_children_partition_parent(self, p):
+        if p.length < p.width:
+            left, right = p.child(0), p.child(1)
+            assert left.first_address() == p.first_address()
+            assert right.last_address() == p.last_address()
+            assert left.last_address() + 1 == right.first_address()

@@ -1,0 +1,57 @@
+"""Tests for the Radix lookup adapter."""
+
+from tests.conftest import random_keys
+
+from repro.lookup.radix import RadixLookup
+from repro.mem.layout import AccessTrace
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+
+class TestRadixLookup:
+    def test_matches_rib(self, bgp_rib):
+        radix = RadixLookup.from_rib(bgp_rib)
+        for key in random_keys(3000, seed=1):
+            assert radix.lookup(key) == bgp_rib.lookup(key)
+
+    def test_traced_matches_plain(self, bgp_rib):
+        radix = RadixLookup.from_rib(bgp_rib)
+        trace = AccessTrace()
+        for key in random_keys(500, seed=2):
+            trace.reset()
+            assert radix.lookup_traced(key, trace) == radix.lookup(key)
+
+    def test_trace_depth_matches_radix_depth(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        radix = RadixLookup.from_rib(rib)
+        trace = AccessTrace()
+        radix.lookup_traced(Prefix.parse("10.1.1.1/32").value, trace)
+        # root + 8 levels before the walk bottoms out
+        assert len(trace.accesses) == 9
+
+    def test_memory_tracks_rib(self, bgp_rib):
+        radix = RadixLookup.from_rib(bgp_rib)
+        assert radix.memory_bytes() == bgp_rib.memory_bytes()
+
+    def test_live_structure_sees_updates(self):
+        rib = Rib()
+        radix = RadixLookup.from_rib(rib)
+        rib.insert(Prefix.parse("10.0.0.0/8"), 5)
+        key = Prefix.parse("10.0.0.1/32").value
+        assert radix.lookup(key) == 5
+        trace = AccessTrace()
+        assert radix.lookup_traced(key, trace) == 5  # new nodes get numbered
+
+    def test_default_batch_engine(self, bgp_rib):
+        import numpy as np
+
+        radix = RadixLookup.from_rib(bgp_rib)
+        assert not radix.supports_batch()
+        keys = np.array(random_keys(64, seed=3), dtype=np.uint64)
+        out = radix.lookup_batch(keys)
+        assert out.tolist() == [bgp_rib.lookup(int(k)) for k in keys]
+
+    def test_verify_against_hook(self, bgp_rib):
+        radix = RadixLookup.from_rib(bgp_rib)
+        assert radix.verify_against(bgp_rib, random_keys(200, seed=4)) == []

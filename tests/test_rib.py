@@ -1,0 +1,198 @@
+"""Unit tests for the radix-tree RIB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import make_random_rib, naive_lpm, random_keys
+
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+
+def addr(text: str) -> int:
+    return Prefix.parse(text + "/32").value
+
+
+class TestInsertLookup:
+    def test_empty_lookup_misses(self):
+        assert Rib().lookup(addr("10.0.0.1")) == NO_ROUTE
+
+    def test_single_route(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert rib.lookup(addr("10.255.255.255")) == 1
+        assert rib.lookup(addr("11.0.0.0")) == NO_ROUTE
+
+    def test_longest_match_wins(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+        assert rib.lookup(addr("10.1.2.3")) == 2
+        assert rib.lookup(addr("10.2.2.3")) == 1
+
+    def test_default_route(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("0.0.0.0/0"), 9)
+        assert rib.lookup(addr("203.0.113.1")) == 9
+
+    def test_host_route(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.1/32"), 4)
+        assert rib.lookup(addr("10.0.0.1")) == 4
+        assert rib.lookup(addr("10.0.0.2")) == NO_ROUTE
+
+    def test_insert_replaces_and_returns_previous(self):
+        rib = Rib()
+        p = Prefix.parse("10.0.0.0/8")
+        assert rib.insert(p, 1) == NO_ROUTE
+        assert rib.insert(p, 2) == 1
+        assert len(rib) == 1
+        assert rib.lookup(addr("10.0.0.1")) == 2
+
+    def test_insert_rejects_sentinel(self):
+        with pytest.raises(ValueError):
+            Rib().insert(Prefix.parse("10.0.0.0/8"), NO_ROUTE)
+
+    def test_insert_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            Rib(width=32).insert(Prefix.parse("2001:db8::/32"), 1)
+
+
+class TestDelete:
+    def test_delete_restores_shorter_match(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+        rib.delete(Prefix.parse("10.1.0.0/16"))
+        assert rib.lookup(addr("10.1.2.3")) == 1
+
+    def test_delete_returns_previous(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 7)
+        assert rib.delete(Prefix.parse("10.0.0.0/8")) == 7
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            Rib().delete(Prefix.parse("10.0.0.0/8"))
+
+    def test_delete_interior_keeps_descendants(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+        rib.delete(Prefix.parse("10.0.0.0/8"))
+        assert rib.lookup(addr("10.1.2.3")) == 2
+        assert rib.lookup(addr("10.2.0.0")) == NO_ROUTE
+
+    def test_delete_prunes_nodes(self):
+        rib = Rib()
+        baseline = rib.node_count
+        rib.insert(Prefix.parse("10.1.2.3/32"), 1)
+        rib.delete(Prefix.parse("10.1.2.3/32"))
+        assert rib.node_count == baseline
+
+    def test_route_count_tracks(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+        rib.delete(Prefix.parse("10.0.0.0/8"))
+        assert len(rib) == 1
+
+
+class TestExactGet:
+    def test_get_hits_exact_only(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert rib.get(Prefix.parse("10.0.0.0/8")) == 1
+        assert rib.get(Prefix.parse("10.0.0.0/9")) == NO_ROUTE
+        assert rib.get(Prefix.parse("0.0.0.0/0")) == NO_ROUTE
+
+
+class TestDepth:
+    def test_depth_equals_length_without_holes(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        fib, matched, depth = rib.lookup_with_depth(addr("10.9.9.9"))
+        assert (fib, matched, depth) == (1, 8, 8)
+
+    def test_hole_punching_deepens_search(self):
+        # Figure 7's phenomenon: deciding that only the /8 matches requires
+        # walking to where the /24 hole diverges.
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.0.0.0/24"), 2)
+        fib, matched, depth = rib.lookup_with_depth(addr("10.0.1.1"))
+        assert fib == 1 and matched == 8
+        assert depth > 8  # had to look past /8 to rule the /24 out
+
+    def test_depth_zero_on_miss_at_root(self):
+        fib, matched, depth = Rib().lookup_with_depth(addr("10.0.0.1"))
+        assert (fib, matched, depth) == (NO_ROUTE, 0, 0)
+
+
+class TestWalking:
+    def test_routes_yields_lexicographic(self, small_rib):
+        routes = [p.text for p, _ in small_rib.routes()]
+        assert routes == sorted(
+            routes, key=lambda t: Prefix.parse(t).sort_key()
+        )
+
+    def test_routes_roundtrip(self, small_rib):
+        rebuilt = Rib()
+        for prefix, hop in small_rib.routes():
+            rebuilt.insert(prefix, hop)
+        for key in random_keys(2000, seed=3):
+            assert rebuilt.lookup(key) == small_rib.lookup(key)
+
+    def test_node_at(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert rib.node_at(Prefix.parse("10.0.0.0/8")) is not None
+        assert rib.node_at(Prefix.parse("11.0.0.0/8")) is None
+
+    def test_best_route_on_path(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.0.0.0/16"), 2)
+        assert rib.best_route_on_path(Prefix.parse("10.0.0.0/24")) == 2
+        assert rib.best_route_on_path(Prefix.parse("10.1.0.0/16")) == 1
+
+
+class TestMarking:
+    def test_mark_and_clear(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        rib.insert(Prefix.parse("10.1.0.0/16"), 2)
+        count = rib.mark_subtree(Prefix.parse("10.0.0.0/8"))
+        assert count > 0
+        node = rib.node_at(Prefix.parse("10.0.0.0/8"))
+        assert node is not None and node.marked
+        rib.clear_marks()
+        assert not node.marked
+
+    def test_mark_missing_subtree(self):
+        assert Rib().mark_subtree(Prefix.parse("10.0.0.0/8")) == 0
+
+
+class TestMemory:
+    def test_memory_grows_with_routes(self):
+        rib = Rib()
+        before = rib.memory_bytes()
+        rib.insert(Prefix.parse("10.1.2.3/32"), 1)
+        assert rib.memory_bytes() > before
+
+
+class TestAgainstNaive:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_tables_match_linear_scan(self, seed):
+        rib = make_random_rib(60, seed=seed, width=16)
+        routes = list(rib.routes())
+        for address in range(0, 1 << 16, 257):
+            assert rib.lookup(address) == naive_lpm(routes, address)
+
+    def test_exhaustive_small_width(self):
+        rib = make_random_rib(40, seed=9, width=8)
+        routes = list(rib.routes())
+        for address in range(256):
+            assert rib.lookup(address) == naive_lpm(routes, address)

@@ -1,0 +1,79 @@
+"""Tests for the mini forwarding plane."""
+
+import numpy as np
+import pytest
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.net.fib import Fib, NextHop
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.router import ForwardingPlane, Packet, synth_packets
+from repro.router.packet import destinations_array
+
+
+@pytest.fixture()
+def plane():
+    fib = Fib()
+    port_a = fib.intern(NextHop("198.51.100.1", port=1))
+    port_b = fib.intern(NextHop("198.51.100.2", port=2))
+    rib = Rib()
+    rib.insert(Prefix.parse("10.0.0.0/8"), port_a)
+    rib.insert(Prefix.parse("192.0.2.0/24"), port_b)
+    return ForwardingPlane(Poptrie.from_rib(rib, PoptrieConfig(s=16)), fib)
+
+
+def key(text: str) -> int:
+    return Prefix.parse(text + "/32").value
+
+
+class TestForward:
+    def test_routes_to_correct_port(self, plane):
+        assert plane.forward(Packet(key("10.1.2.3"))) == 1
+        assert plane.forward(Packet(key("192.0.2.9"))) == 2
+
+    def test_no_route_drops(self, plane):
+        assert plane.forward(Packet(key("203.0.113.1"))) is None
+        assert plane.dropped_no_route == 1
+
+    def test_ttl_expiry_drops(self, plane):
+        assert plane.forward(Packet(key("10.0.0.1"), ttl=1)) is None
+        assert plane.dropped_ttl == 1
+
+    def test_counters(self, plane):
+        for _ in range(5):
+            plane.forward(Packet(key("10.0.0.1"), size=100))
+        counters = plane.ports[1]
+        assert counters.packets == 5 and counters.bytes == 500
+        assert plane.total_forwarded() == 5
+
+
+class TestBatch:
+    def test_matches_scalar(self, plane):
+        destinations = np.array(
+            [key("10.1.1.1"), key("192.0.2.4"), key("203.0.113.9")],
+            dtype=np.uint64,
+        )
+        ports = plane.forward_batch(destinations)
+        assert ports.tolist() == [1, 2, -1]
+        assert plane.dropped_no_route == 1
+
+    def test_batch_counters(self, plane):
+        destinations = np.array([key("10.1.1.1")] * 10, dtype=np.uint64)
+        plane.forward_batch(destinations, size=64)
+        assert plane.ports[1].packets == 10
+        assert plane.ports[1].bytes == 640
+
+
+class TestPackets:
+    def test_synth_packets(self):
+        packets = list(synth_packets([1, 2, 3], ttl=9))
+        assert [p.dst for p in packets] == [1, 2, 3]
+        assert all(p.ttl == 9 for p in packets)
+
+    def test_decremented(self):
+        p = Packet(5, ttl=9)
+        assert p.decremented().ttl == 8
+
+    def test_destinations_array(self):
+        packets = [Packet(7), Packet(9)]
+        assert destinations_array(packets).tolist() == [7, 9]

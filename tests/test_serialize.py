@@ -1,0 +1,144 @@
+"""Tests for Poptrie binary serialization and structural validation."""
+
+import io
+import random
+
+import pytest
+
+from tests.conftest import make_random_rib, random_keys
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.core.serialize import (
+    CorruptSnapshot,
+    dump_bytes,
+    load,
+    load_bytes,
+    save,
+    validate,
+)
+from repro.core.update import UpdatablePoptrie
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        PoptrieConfig(s=18),
+        PoptrieConfig(s=0),
+        PoptrieConfig(s=16, use_leafvec=False),
+        PoptrieConfig(s=16, leaf_bits=32),
+        PoptrieConfig(k=2, s=0),
+    ],
+)
+def test_roundtrip_preserves_lookups(bgp_rib, config):
+    original = Poptrie.from_rib(bgp_rib, config)
+    thawed = load_bytes(dump_bytes(original))
+    for key in random_keys(4000, seed=1):
+        assert thawed.lookup(key) == original.lookup(key)
+
+
+def test_roundtrip_preserves_counts(bgp_rib):
+    original = Poptrie.from_rib(bgp_rib, PoptrieConfig(s=16))
+    thawed = load_bytes(dump_bytes(original))
+    assert thawed.inode_count == original.inode_count
+    assert thawed.leaf_count == original.leaf_count
+    assert thawed.memory_bytes() == original.memory_bytes()
+
+
+def test_roundtrip_ipv6():
+    rib = make_random_rib(200, seed=2, width=128, lengths=[32, 48, 64])
+    original = Poptrie.from_rib(rib, PoptrieConfig(s=16))
+    thawed = load_bytes(dump_bytes(original))
+    for key in random_keys(500, seed=3, width=128):
+        assert thawed.lookup(key) == rib.lookup(key)
+
+
+def test_empty_tables():
+    for s in (0, 12):
+        trie = Poptrie.from_rib(Rib(), PoptrieConfig(s=s))
+        thawed = load_bytes(dump_bytes(trie))
+        assert thawed.lookup(0x01020304) == 0
+
+
+def test_fragmented_trie_compacts():
+    """A heavily updated trie snapshots into a tight layout."""
+    up = UpdatablePoptrie(PoptrieConfig(s=12))
+    rng = random.Random(4)
+    live = []
+    for _ in range(600):
+        if live and rng.random() < 0.45:
+            up.withdraw(live.pop(rng.randrange(len(live))))
+        else:
+            length = rng.randint(1, 32)
+            prefix = Prefix(rng.getrandbits(length) << (32 - length), length, 32)
+            if not up.rib.get(prefix):
+                live.append(prefix)
+            up.announce(prefix, rng.randint(1, 30))
+    thawed = load_bytes(dump_bytes(up.trie))
+    assert thawed.allocated_bytes() <= up.trie.allocated_bytes()
+    for key in random_keys(3000, seed=5):
+        assert thawed.lookup(key) == up.rib.lookup(key)
+
+
+def test_file_and_stream_io(bgp_rib, tmp_path):
+    trie = Poptrie.from_rib(bgp_rib, PoptrieConfig(s=16))
+    path = str(tmp_path / "fib.poptrie")
+    written = save(trie, path)
+    assert written > 0
+    thawed = load(path)
+    assert thawed.inode_count == trie.inode_count
+
+    buffer = io.BytesIO()
+    save(trie, buffer)
+    buffer.seek(0)
+    assert load(buffer).leaf_count == trie.leaf_count
+
+
+class TestCorruption:
+    def _blob(self, bgp_rib):
+        return dump_bytes(Poptrie.from_rib(bgp_rib, PoptrieConfig(s=12)))
+
+    def test_bad_magic(self, bgp_rib):
+        blob = bytearray(self._blob(bgp_rib))
+        blob[0] ^= 0xFF
+        with pytest.raises(CorruptSnapshot):
+            load_bytes(bytes(blob))
+
+    def test_truncation(self, bgp_rib):
+        blob = self._blob(bgp_rib)
+        with pytest.raises(CorruptSnapshot):
+            load_bytes(blob[: len(blob) // 2])
+
+    def test_bit_flip_detected_by_crc(self, bgp_rib):
+        blob = bytearray(self._blob(bgp_rib))
+        blob[len(blob) // 2] ^= 0x01
+        with pytest.raises(CorruptSnapshot):
+            load_bytes(bytes(blob))
+
+    def test_empty_input(self):
+        with pytest.raises(CorruptSnapshot):
+            load_bytes(b"")
+
+
+class TestValidate:
+    def test_fresh_trie_validates(self, bgp_rib):
+        validate(Poptrie.from_rib(bgp_rib, PoptrieConfig(s=16)))
+
+    def test_detects_out_of_bounds_child(self, bgp_rib):
+        trie = Poptrie.from_rib(bgp_rib, PoptrieConfig(s=16))
+        # Corrupt a node with children to point its block out of bounds.
+        for index, vector, _, _, _ in trie.iter_nodes():
+            if vector:
+                trie.base1[index] = len(trie.vec) + 100
+                break
+        with pytest.raises(CorruptSnapshot):
+            validate(trie)
+
+    def test_detects_broken_leafvec_run(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        trie = Poptrie.from_rib(rib, PoptrieConfig(s=0))
+        trie.lvec[trie.root_index] = 0  # no run starts at all
+        with pytest.raises(CorruptSnapshot):
+            validate(trie)

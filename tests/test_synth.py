@@ -1,0 +1,112 @@
+"""Tests for the synthetic table generator."""
+
+from collections import Counter
+
+from repro.data.synth import (
+    BGP_LENGTH_WEIGHTS,
+    generate_table,
+    generate_table_v6,
+)
+from repro.net.prefix import Prefix
+
+
+class TestDeterminism:
+    def test_same_seed_same_table(self):
+        a, _ = generate_table(500, 20, seed=42)
+        b, _ = generate_table(500, 20, seed=42)
+        assert list(a.routes()) == list(b.routes())
+
+    def test_different_seed_different_table(self):
+        a, _ = generate_table(500, 20, seed=42)
+        b, _ = generate_table(500, 20, seed=43)
+        assert list(a.routes()) != list(b.routes())
+
+
+class TestShape:
+    def test_route_count(self):
+        rib, _ = generate_table(2000, 50, seed=1)
+        assert len(rib) == 2000
+
+    def test_fib_size(self):
+        _, fib = generate_table(500, 37, seed=1)
+        assert len(fib) == 37
+
+    def test_nexthops_in_range(self):
+        rib, _ = generate_table(1000, 16, seed=2)
+        assert all(1 <= hop <= 16 for _, hop in rib.routes())
+
+    def test_length_mix_peaks_at_24(self):
+        rib, _ = generate_table(5000, 30, seed=3)
+        lengths = Counter(p.length for p, _ in rib.routes())
+        assert lengths[24] == max(lengths.values())
+        # No IGP routes unless requested.
+        assert all(length <= 24 for length in lengths)
+
+    def test_igp_fraction_adds_long_prefixes(self):
+        rib, _ = generate_table(3000, 30, seed=4, igp_fraction=0.2)
+        long_count = sum(1 for p, _ in rib.routes() if p.length > 24)
+        assert 0.1 * len(rib) < long_count < 0.35 * len(rib)
+
+    def test_igp_routes_cluster(self):
+        rib, _ = generate_table(3000, 30, seed=5, igp_fraction=0.2)
+        igp_16s = {p.value >> 16 for p, _ in rib.routes() if p.length > 24}
+        # IGP space is a handful of internal blocks, not scattered.
+        assert len(igp_16s) < 200
+
+    def test_nexthop_locality(self):
+        """Routes inside one /16 should mostly share a next hop — the
+        property leafvec compression and DXR range merging rely on."""
+        rib, _ = generate_table(4000, 50, seed=6)
+        by_chunk = {}
+        for prefix, hop in rib.routes():
+            if prefix.length >= 16:
+                by_chunk.setdefault(prefix.value >> 16, []).append(hop)
+        dominated = 0
+        multi = 0
+        for hops in by_chunk.values():
+            if len(hops) >= 4:
+                multi += 1
+                top = Counter(hops).most_common(1)[0][1]
+                if top / len(hops) >= 0.6:
+                    dominated += 1
+        assert multi > 0
+        assert dominated / multi > 0.5
+
+    def test_hole_punching_present(self):
+        """Some addresses must need deeper searches than their match —
+        the Figure 7 phenomenon."""
+        rib, _ = generate_table(4000, 30, seed=7)
+        deeper = 0
+        import random
+
+        rng = random.Random(1)
+        for _ in range(2000):
+            address = rng.getrandbits(32)
+            _, matched, depth = rib.lookup_with_depth(address)
+            if depth > matched:
+                deeper += 1
+        assert deeper > 50
+
+
+class TestIPv6:
+    def test_prefixes_inside_2000_8(self):
+        rib, _ = generate_table_v6(300, 13, seed=8)
+        for prefix, _ in rib.routes():
+            assert prefix.value >> 120 == 0x20
+
+    def test_lengths_in_v6_mix(self):
+        rib, _ = generate_table_v6(500, 13, seed=9)
+        lengths = Counter(p.length for p, _ in rib.routes())
+        assert lengths[48] > 0 and lengths[32] > 0
+        assert max(lengths) <= 64
+
+    def test_deterministic(self):
+        a, _ = generate_table_v6(200, 13, seed=10)
+        b, _ = generate_table_v6(200, 13, seed=10)
+        assert list(a.routes()) == list(b.routes())
+
+
+class TestWeights:
+    def test_bgp_weights_are_normalisable(self):
+        total = sum(BGP_LENGTH_WEIGHTS.values())
+        assert 0.9 < total < 1.1

@@ -1,0 +1,80 @@
+"""Tests for table snapshot I/O."""
+
+import io
+
+import pytest
+
+from tests.conftest import make_random_rib
+
+from repro.data.tableio import dumps_table, load_table, loads_table, save_table
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self):
+        rib = make_random_rib(200, seed=31)
+        out = loads_table(dumps_table(rib))
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_file_roundtrip(self, tmp_path):
+        rib = make_random_rib(100, seed=32)
+        path = str(tmp_path / "table.txt")
+        written = save_table(rib, path)
+        assert written == 100
+        out = load_table(path)
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_ipv6_roundtrip(self):
+        rib = make_random_rib(50, seed=33, width=128, lengths=[32, 48, 64])
+        out = loads_table(dumps_table(rib))
+        assert out.width == 128
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_empty_table(self):
+        assert len(loads_table(dumps_table(Rib()))) == 0
+
+
+class TestFormat:
+    def test_header_records_width(self):
+        text = dumps_table(Rib(width=128))
+        assert text.splitlines()[0] == "# repro-table v1 width=128"
+
+    def test_human_readable_lines(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("192.0.2.0/24"), 7)
+        assert "192.0.2.0/24 7" in dumps_table(rib)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# repro-table v1 width=32\n\n# comment\n10.0.0.0/8 1\n"
+        rib = loads_table(text)
+        assert len(rib) == 1
+
+    def test_stream_objects_accepted(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        buffer = io.StringIO()
+        save_table(rib, buffer)
+        buffer.seek(0)
+        assert len(load_table(buffer)) == 1
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="missing header"):
+            loads_table("10.0.0.0/8 1\n")
+
+    def test_bad_route_line_reports_line_number(self):
+        text = "# repro-table v1 width=32\n10.0.0.0/8 1\ngarbage\n"
+        with pytest.raises(ValueError, match="line 3"):
+            loads_table(text)
+
+    def test_bad_fib_index(self):
+        text = "# repro-table v1 width=32\n10.0.0.0/8 x\n"
+        with pytest.raises(ValueError):
+            loads_table(text)
+
+    def test_host_bits_rejected(self):
+        text = "# repro-table v1 width=32\n10.0.0.1/8 1\n"
+        with pytest.raises(ValueError):
+            loads_table(text)

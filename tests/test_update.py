@@ -1,0 +1,194 @@
+"""Tests for incremental Poptrie updates (Section 3.5)."""
+
+import random
+
+import pytest
+
+from tests.conftest import random_keys
+
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.core.update import UpdatablePoptrie
+from repro.net.fib import NO_ROUTE
+from repro.net.prefix import Prefix
+
+
+def equivalent_to_rebuild(up: UpdatablePoptrie) -> bool:
+    """Structure-level equivalence with a from-scratch compilation."""
+    rebuilt = Poptrie.from_rib(up.rib, up.trie.config)
+    return (
+        rebuilt.inode_count == up.trie.inode_count
+        and rebuilt.leaf_count == up.trie.leaf_count
+    )
+
+
+class TestBasicUpdates:
+    def test_announce_then_lookup(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        assert up.lookup(Prefix.parse("10.1.1.1/32").value) == 1
+
+    def test_withdraw_restores_covering_route(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.64.0.0/10"), 2)
+        up.withdraw(Prefix.parse("10.64.0.0/10"))
+        assert up.lookup(Prefix.parse("10.64.1.1/32").value) == 1
+
+    def test_withdraw_to_empty(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        p = Prefix.parse("10.0.0.0/8")
+        up.announce(p, 1)
+        up.withdraw(p)
+        assert up.lookup(Prefix.parse("10.0.0.1/32").value) == NO_ROUTE
+
+    def test_reannounce_changes_nexthop(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        p = Prefix.parse("192.0.2.0/24")
+        up.announce(p, 1)
+        up.announce(p, 2)
+        assert up.lookup(Prefix.parse("192.0.2.9/32").value) == 2
+
+    def test_reannounce_same_nexthop_is_noop(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        p = Prefix.parse("192.0.2.0/24")
+        up.announce(p, 1)
+        generation = up.generation
+        up.announce(p, 1)
+        assert up.generation == generation  # no structural work done
+
+    def test_generation_increments(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.0.0.0/24"), 2)
+        assert up.generation == 2
+
+    def test_withdraw_missing_raises(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        with pytest.raises(KeyError):
+            up.withdraw(Prefix.parse("10.0.0.0/8"))
+
+
+class TestTopLevelPaths:
+    def test_short_prefix_rewrites_direct_range(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 3)
+        assert up.stats.toplevel_replacements == 1
+        assert up.lookup(Prefix.parse("10.200.0.1/32").value) == 3
+
+    def test_long_prefix_under_leaf_entry_converts_it(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.0.0.0/24"), 2)  # entry leaf -> subtree
+        assert up.lookup(Prefix.parse("10.0.0.1/32").value) == 2
+        assert up.lookup(Prefix.parse("10.0.1.1/32").value) == 1
+
+    def test_subtree_collapses_back_to_leaf_entry(self):
+        """Section 3.5: nodes reduced to a single covering leaf are removed
+        and the leaf is brought to the upper level."""
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.0.0.0/24"), 2)
+        nodes_with_subtree = up.trie.inode_count
+        up.withdraw(Prefix.parse("10.0.0.0/24"))
+        assert up.trie.inode_count < nodes_with_subtree
+        from repro.core.poptrie import DIRECT_LEAF
+
+        assert up.trie.direct[0x0A00] & DIRECT_LEAF
+
+    def test_default_route_update(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("0.0.0.0/0"), 7)
+        assert up.lookup(Prefix.parse("203.0.113.1/32").value) == 7
+        up.withdraw(Prefix.parse("0.0.0.0/0"))
+        assert up.lookup(Prefix.parse("203.0.113.1/32").value) == NO_ROUTE
+
+
+class TestNoDirectPointing:
+    def test_updates_with_s0(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=0))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.0.0.0/26"), 2)
+        assert up.lookup(Prefix.parse("10.0.0.1/32").value) == 2
+        up.withdraw(Prefix.parse("10.0.0.0/26"))
+        assert up.lookup(Prefix.parse("10.0.0.1/32").value) == 1
+        assert equivalent_to_rebuild(up)
+
+
+class TestStats:
+    def test_replacement_counters_accumulate(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/24"), 1)
+        up.announce(Prefix.parse("10.0.0.128/25"), 2)
+        stats = up.stats
+        assert stats.updates == 2
+        assert stats.inodes_replaced > 0
+        assert stats.leaves_replaced > 0
+
+    def test_per_update_rates(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/24"), 1)
+        top, leaves, inodes = up.stats.per_update()
+        assert top <= 1.0 and leaves >= 0 and inodes >= 0
+
+
+@pytest.mark.parametrize("s", [0, 12, 16])
+def test_randomized_update_sequences_match_rebuild(s):
+    """Invariant 4: after any update sequence the structure is lookup- and
+    node-count-equivalent to a fresh compilation of the same RIB."""
+    rng = random.Random(s * 1000 + 7)
+    up = UpdatablePoptrie(PoptrieConfig(s=s))
+    live = []
+    for step in range(400):
+        if live and rng.random() < 0.4:
+            prefix = live.pop(rng.randrange(len(live)))
+            up.withdraw(prefix)
+        else:
+            length = rng.randint(1, 32)
+            value = rng.getrandbits(length) << (32 - length) if length else 0
+            prefix = Prefix(value, length, 32)
+            if not up.rib.get(prefix):
+                live.append(prefix)
+            up.announce(prefix, rng.randint(1, 40))
+        if step % 100 == 99:
+            for key in random_keys(400, seed=step):
+                assert up.lookup(key) == up.rib.lookup(key)
+            assert equivalent_to_rebuild(up)
+            up.trie.node_alloc.check_invariants()
+            up.trie.leaf_alloc.check_invariants()
+
+
+def test_update_memory_is_reclaimed():
+    """Announce/withdraw cycles must not leak allocator slots."""
+    up = UpdatablePoptrie(PoptrieConfig(s=16))
+    up.announce(Prefix.parse("10.0.0.0/8"), 1)
+    baseline = up.trie.node_alloc.used_slots
+    for i in range(50):
+        p = Prefix.parse(f"10.0.{i}.0/24")
+        up.announce(p, 2)
+        up.withdraw(p)
+    assert up.trie.node_alloc.used_slots == baseline
+
+
+def test_lock_free_shape_builds_before_swap(monkeypatch):
+    """The update builds replacement blocks before touching the published
+    entry: until the direct-array write happens, readers must see the old
+    answer.  We verify by checking the lookup result is never 'half new'."""
+    up = UpdatablePoptrie(PoptrieConfig(s=16))
+    up.announce(Prefix.parse("10.0.0.0/8"), 1)
+    key = Prefix.parse("10.0.0.1/32").value
+
+    observed = []
+    original_serialize = None
+    from repro.core import builder as builder_module
+
+    original_serialize = builder_module.Serializer.serialize
+
+    def spying_serialize(self, tmp):
+        # Mid-update (new blocks being written): readers still see 1.
+        observed.append(up.trie.lookup(key))
+        return original_serialize(self, tmp)
+
+    monkeypatch.setattr(builder_module.Serializer, "serialize", spying_serialize)
+    up.announce(Prefix.parse("10.0.0.0/24"), 2)
+    assert observed and all(result == 1 for result in observed)
+    assert up.lookup(key) == 2
