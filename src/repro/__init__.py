@@ -23,10 +23,21 @@ inventory and EXPERIMENTS.md for the paper-vs-measured record.
 
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
-from repro.errors import ReproError, StructuralLimitError
+from repro.errors import (
+    InjectedFault,
+    ReproError,
+    SnapshotFormatError,
+    StructuralLimitError,
+    TableFormatError,
+    UpdateRejectedError,
+    VerificationError,
+)
 from repro.net.fib import NO_ROUTE, Fib, NextHop
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
+from repro.robust.faults import FaultPlan
+from repro.robust.txn import TransactionalPoptrie
+from repro.robust.verify import verify_poptrie
 
 __version__ = "1.0.0"
 
@@ -34,8 +45,16 @@ __all__ = [
     "Poptrie",
     "PoptrieConfig",
     "UpdatablePoptrie",
+    "TransactionalPoptrie",
+    "FaultPlan",
+    "verify_poptrie",
     "ReproError",
     "StructuralLimitError",
+    "TableFormatError",
+    "SnapshotFormatError",
+    "UpdateRejectedError",
+    "VerificationError",
+    "InjectedFault",
     "NO_ROUTE",
     "Fib",
     "NextHop",

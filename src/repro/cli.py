@@ -7,6 +7,7 @@ Usage examples::
     python -m repro compile rib.txt -o fib.poptrie --s 18
     python -m repro lookup fib.poptrie 192.0.2.7 10.1.2.3
     python -m repro lookup rib.txt 192.0.2.7        # text tables work too
+    python -m repro verify fib.poptrie --against rib.txt
     python -m repro info rib.txt                    # per-structure footprints
     python -m repro bench rib.txt --queries 200000  # quick Mlps comparison
 """
@@ -21,6 +22,7 @@ from typing import List, Optional
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core import serialize
 from repro.data import tableio
+from repro.errors import ReproError
 from repro.net.ip import parse_address
 
 
@@ -104,6 +106,27 @@ def cmd_lookup(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Check structural invariants of a snapshot or table; exit 1 on failure.
+
+    A compiled snapshot is verified as loaded; a text table is compiled
+    first (so this also exercises the builder) and verified against its
+    own RIB.  ``--against`` supplies a shadow table for semantic
+    cross-checking of a snapshot.
+    """
+    with open(args.structure, "rb") as stream:
+        magic = stream.read(len(serialize.MAGIC))
+    if magic == serialize.MAGIC:
+        trie = serialize.load(args.structure)
+        rib = tableio.load_table(args.against) if args.against else None
+    else:
+        rib = tableio.load_table(args.against or args.structure)
+        trie = Poptrie.from_rib(rib)
+    report = trie.verify(rib, samples=args.samples)
+    print(f"{args.structure}: OK ({report.summary()})")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.bench.harness import standard_roster
     from repro.bench.report import Table
@@ -184,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("addresses", nargs="+")
     p.set_defaults(func=cmd_lookup)
 
+    p = sub.add_parser(
+        "verify", help="check structural/semantic invariants of a table or snapshot"
+    )
+    p.add_argument("structure", help="compiled snapshot or text table")
+    p.add_argument("--against", metavar="TABLE",
+                   help="shadow table for semantic cross-checking")
+    p.add_argument("--samples", type=int, default=1000,
+                   help="random addresses to cross-check (default 1000)")
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("info", help="per-structure footprint report")
     p.add_argument("table")
     p.set_defaults(func=cmd_info)
@@ -209,7 +242,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
-    except (FileNotFoundError, ValueError) as error:
+    except (FileNotFoundError, ValueError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -18,10 +18,11 @@ does in one pass but keeping the logic testable in isolation:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import RibNode
+from repro.robust.faults import fault_point
 
 
 class TmpNode:
@@ -144,6 +145,13 @@ class Serializer:
     ``write_leaf(index, value)`` — :class:`repro.core.poptrie.Poptrie` does.
     Children of each node form one contiguous block starting at ``base1``;
     compressed leaves form one contiguous block starting at ``base0``.
+
+    Emission is *post-order*: a node is written only after every node and
+    leaf below it is complete.  That makes the final root write a safe
+    publication point — Section 3.5's requirement that a concurrent reader
+    never follows a pointer into a half-built block — and lets the
+    incremental updater stage the root's fields (:meth:`serialize_fields`)
+    and commit them with one atomic write.
     """
 
     def __init__(self, target) -> None:
@@ -154,28 +162,41 @@ class Serializer:
     def serialize(self, tmp: TmpNode) -> int:
         """Place ``tmp``'s subtree; returns the root's node index."""
         root_index = self.target.alloc_nodes(1)
-        self._emit(tmp, root_index)
+        fields = self.serialize_fields(tmp)
+        self.target.write_node(root_index, *fields)
         return root_index
 
     def serialize_into(self, tmp: TmpNode, index: int) -> None:
         """Place ``tmp``'s subtree with the root at a pre-existing index
-        (in-place root replacement used by the incremental updater)."""
-        self._emit(tmp, index)
+        (in-place root replacement used by the incremental updater).  The
+        root write is last, so readers of the old subtree at ``index``
+        switch to the fully built replacement in one step."""
+        fields = self.serialize_fields(tmp)
+        self.target.write_node(index, *fields)
 
-    def _emit(self, tmp: TmpNode, index: int) -> None:
-        queue: List[tuple] = [(tmp, index)]
-        while queue:
-            node, at = queue.pop()
-            base1 = 0
-            if node.children:
-                base1 = self.target.alloc_nodes(len(node.children))
-                for i, child in enumerate(node.children):
-                    queue.append((child, base1 + i))
-            base0 = 0
-            if node.leaves:
-                base0 = self.target.alloc_leaves(len(node.leaves))
-                for i, value in enumerate(node.leaves):
-                    self.target.write_leaf(base0 + i, value)
-                self.leaves_written += len(node.leaves)
-            self.target.write_node(at, node.vector, node.leafvec, base0, base1)
-            self.nodes_written += 1
+    def serialize_fields(self, tmp: TmpNode) -> Tuple[int, int, int, int]:
+        """Emit ``tmp``'s descendants and leaves; return the root's
+        ``(vector, leafvec, base0, base1)`` *without writing the root*.
+
+        The caller owns the final publishing write — the transactional
+        update layer defers it into its commit phase.  The root is counted
+        in ``nodes_written`` (it will certainly be written).
+        """
+        return self._emit(tmp)
+
+    def _emit(self, node: TmpNode) -> Tuple[int, int, int, int]:
+        fault_point("build")
+        base1 = 0
+        if node.children:
+            base1 = self.target.alloc_nodes(len(node.children))
+            for i, child in enumerate(node.children):
+                fields = self._emit(child)
+                self.target.write_node(base1 + i, *fields)
+        base0 = 0
+        if node.leaves:
+            base0 = self.target.alloc_leaves(len(node.leaves))
+            for i, value in enumerate(node.leaves):
+                self.target.write_leaf(base0 + i, value)
+            self.leaves_written += len(node.leaves)
+        self.nodes_written += 1
+        return node.vector, node.leafvec, base0, base1

@@ -342,6 +342,23 @@ class Poptrie(LookupStructure):
         trace.read(self._leaf_region, leaf_index)
         return self.leaves[leaf_index]
 
+    # -- self-verification -------------------------------------------------
+
+    def verify(self, rib=None, samples: int = 1000, seed: int = 20150817):
+        """Check every structural invariant of this trie — vector/leafvec
+        disjointness, popcount offset validity, buddy-allocator accounting
+        — and, when a shadow ``rib`` is given, longest-prefix-match
+        agreement on a deterministic address sample.
+
+        Raises :class:`~repro.errors.VerificationError` on the first
+        violation; returns a
+        :class:`~repro.robust.verify.VerificationReport` otherwise.  See
+        :mod:`repro.robust.verify` for the full invariant list.
+        """
+        from repro.robust.verify import verify_poptrie
+
+        return verify_poptrie(self, rib, samples=samples, seed=seed)
+
     # -- introspection -----------------------------------------------------
 
     def memory_bytes(self) -> int:

@@ -29,13 +29,15 @@ from array import array
 from typing import BinaryIO, Dict, Tuple, Union
 
 from repro.core.poptrie import DIRECT_LEAF, Poptrie, PoptrieConfig
+from repro.errors import SnapshotFormatError
+from repro.robust import faults
 
 MAGIC = b"POPTRIE1"
 _HEADER = struct.Struct("<8I")
 
-
-class CorruptSnapshot(ValueError):
-    """The blob is not a valid Poptrie snapshot (bad magic, CRC, bounds)."""
+#: Historical name for :class:`repro.errors.SnapshotFormatError` — the blob
+#: is not a valid Poptrie snapshot (truncated, bad magic, CRC, bounds).
+CorruptSnapshot = SnapshotFormatError
 
 
 def _remap(trie: Poptrie) -> Tuple[Dict[int, int], Dict[int, int]]:
@@ -156,10 +158,13 @@ def load_bytes(blob: bytes) -> Poptrie:
         _HEADER.unpack_from(blob, offset)
     )
     offset += _HEADER.size
-    config = PoptrieConfig(
-        k=k, s=s, use_leafvec=bool(use_leafvec), leaf_bits=leaf_bits
-    )
-    trie = Poptrie(config, width=width)
+    try:
+        config = PoptrieConfig(
+            k=k, s=s, use_leafvec=bool(use_leafvec), leaf_bits=leaf_bits
+        )
+        trie = Poptrie(config, width=width)
+    except ValueError as error:
+        raise CorruptSnapshot(f"invalid snapshot header: {error}") from error
 
     def take(code: str, count: int) -> array:
         nonlocal offset
@@ -205,8 +210,15 @@ def load_bytes(blob: bytes) -> Poptrie:
 
 
 def save(trie: Poptrie, destination: Union[str, BinaryIO]) -> int:
-    """Write a snapshot to a path or binary stream; returns byte count."""
-    blob = dump_bytes(trie)
+    """Write a snapshot to a path or binary stream; returns byte count.
+
+    Passes the blob through the ``snapshot`` fault-injection point: an
+    armed :class:`~repro.robust.faults.FaultPlan` with
+    ``truncate_snapshot`` set models a partial write (full disk, crash
+    mid-write), which :func:`load` then rejects with
+    :class:`~repro.errors.SnapshotFormatError`.
+    """
+    blob = faults.mangle_snapshot(dump_bytes(trie))
     if isinstance(destination, str):
         with open(destination, "wb") as stream:
             stream.write(blob)

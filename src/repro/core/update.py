@@ -5,14 +5,25 @@ side, then publishes it with a single atomic pointer/index write so readers
 never observe a half-built structure.  This module reproduces that shape:
 
 - :class:`UpdatablePoptrie` owns the RIB (a radix tree) and the compiled
-  Poptrie.  ``announce``/``withdraw`` update the RIB, then surgically
-  rebuild only the affected poptrie subtree.
+  Poptrie.  ``announce``/``withdraw`` validate the update (rejecting
+  malformed ones with :class:`~repro.errors.UpdateRejectedError` *before*
+  touching any state), update the RIB, then surgically rebuild only the
+  affected poptrie subtree.
+- Each update runs in two phases.  **Staging** builds the replacement
+  subtree entirely on the side — fresh buddy-allocator blocks, children
+  emitted before parents — and records the writes that would publish it in
+  a :class:`_Patch` without touching anything a reader can see.  **Commit**
+  applies those writes (one node write or a run of direct-array entries),
+  bumps the generation counter, and only then frees the blocks of the
+  replaced subtree.  An exception during staging therefore leaves the
+  visible structure untouched: the transactional layer
+  (:mod:`repro.robust.txn`) only has to return the allocators and counters
+  to their pre-update state to roll back completely.
 - The rebuild descends the chunk path while the node's ``(vector,
   leafvec)`` signature is unchanged — those nodes are kept and only a child
   pointer swap is needed — and rebuilds the deepest subtree whose shape
   changed, exactly the paper's "replace the root of the affected subtree"
-  rule.  New blocks come from the buddy allocator; old blocks are freed
-  after the swap.
+  rule.
 - When the updated prefix is shorter than the direct-pointing width ``s``,
   the affected slice of the top-level array is rewritten (the paper
   replaces the whole 2^s array; the observable effect is identical and we
@@ -24,11 +35,13 @@ many internal nodes, leaves and top-level entries each update replaced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core import builder
 from repro.core.poptrie import DIRECT_LEAF, Poptrie, PoptrieConfig
+from repro.errors import ReplaceCostExceeded, UpdateRejectedError
 from repro.net.fib import NO_ROUTE
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib, RibNode
@@ -51,6 +64,26 @@ class UpdateStats:
             self.leaves_replaced / n,
             self.inodes_replaced / n,
         )
+
+
+@dataclass
+class _Patch:
+    """The staged, not-yet-visible result of one incremental update.
+
+    Everything a commit needs: the single in-place node write that
+    republishes a rebuilt subtree (``node_write``), the direct-array entry
+    writes and range fills, the blocks of the replaced subtree to free
+    *after* publication, and the replacement counts for
+    :class:`UpdateStats`.
+    """
+
+    node_write: Optional[Tuple[int, int, int, int, int]] = None
+    direct_writes: List[Tuple[int, int]] = field(default_factory=list)
+    direct_fills: List[Tuple[int, int, int]] = field(default_factory=list)
+    frees: List[Tuple[str, int, int]] = field(default_factory=list)
+    toplevel: int = 0
+    inodes: int = 0
+    leaves: int = 0
 
 
 class UpdatablePoptrie:
@@ -78,6 +111,12 @@ class UpdatablePoptrie:
         #: Incremented once per committed update; a reader observing the same
         #: generation before and after a lookup saw a consistent structure.
         self.generation = 0
+        #: When set (by the transactional layer), staging raises
+        #: :class:`~repro.errors.ReplaceCostExceeded` if an update would
+        #: replace more than this many internal nodes; the transactional
+        #: layer rolls back and degrades to a full rebuild.  Leave ``None``
+        #: on a bare UpdatablePoptrie.
+        self.rebuild_threshold: Optional[int] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -85,29 +124,113 @@ class UpdatablePoptrie:
         return self.trie.lookup(key)
 
     def announce(self, prefix: Prefix, fib_index: int) -> None:
-        """Insert or replace a route and incrementally update the FIB."""
+        """Insert or replace a route and incrementally update the FIB.
+
+        Raises :class:`~repro.errors.UpdateRejectedError` — before any
+        state is mutated — when the prefix does not belong to this RIB's
+        address family or the next-hop index cannot be encoded in a leaf.
+        """
+        self.check_announce(prefix, fib_index)
         previous = self.rib.insert(prefix, fib_index)
         if previous != fib_index:
             self._apply(prefix)
 
     def withdraw(self, prefix: Prefix) -> None:
-        """Remove a route and incrementally update the FIB."""
+        """Remove a route and incrementally update the FIB.
+
+        Raises :class:`~repro.errors.UpdateRejectedError` — before any
+        state is mutated — when the prefix is not in the RIB.
+        """
+        self.check_withdraw(prefix)
         self.rib.delete(prefix)
         self._apply(prefix)
+
+    # -- validation (all checks precede any mutation) -------------------------
+
+    def check_announce(self, prefix: Prefix, fib_index: int) -> None:
+        """Validate an announcement; raises ``UpdateRejectedError``."""
+        self._check_prefix(prefix)
+        if isinstance(fib_index, bool) or not isinstance(fib_index, int):
+            raise UpdateRejectedError(
+                f"next-hop index must be an integer, got {fib_index!r}"
+            )
+        limit = 1 << self.trie.config.leaf_bits
+        if not NO_ROUTE < fib_index < limit:
+            raise UpdateRejectedError(
+                f"next-hop index {fib_index} outside 1..{limit - 1}"
+            )
+
+    def check_withdraw(self, prefix: Prefix) -> None:
+        """Validate a withdrawal; raises ``UpdateRejectedError``."""
+        self._check_prefix(prefix)
+        if self.rib.get(prefix) == NO_ROUTE:
+            raise UpdateRejectedError(
+                f"cannot withdraw {prefix.text}: not in the RIB"
+            )
+
+    def _check_prefix(self, prefix: Prefix) -> None:
+        if not isinstance(prefix, Prefix):
+            raise UpdateRejectedError(f"not a prefix: {prefix!r}")
+        if prefix.width != self.rib.width:
+            raise UpdateRejectedError(
+                f"prefix width {prefix.width} does not match "
+                f"RIB width {self.rib.width}"
+            )
 
     # -- update machinery ------------------------------------------------------
 
     def _apply(self, prefix: Prefix) -> None:
-        self.stats.updates += 1
+        """Stage the structural change for ``prefix``, then commit it."""
+        patch = self._stage(prefix)
+        if (
+            self.rebuild_threshold is not None
+            and patch.inodes > self.rebuild_threshold
+        ):
+            raise ReplaceCostExceeded(
+                f"update replaces {patch.inodes} nodes, over the "
+                f"threshold of {self.rebuild_threshold}"
+            )
+        self._commit(patch)
+
+    def _stage(self, prefix: Prefix) -> _Patch:
+        """Build the replacement subtree on the side; nothing visible yet."""
         trie = self.trie
+        patch = _Patch()
         if trie.s and prefix.length <= trie.s:
-            self._replace_toplevel_range(prefix)
+            self._stage_toplevel_range(prefix, patch)
         elif trie.s:
-            self._update_direct_entry(prefix)
+            self._stage_direct_entry(prefix, patch)
         else:
             rnode, inherited = self._radix_at(prefix, 0)
-            self._refine(trie.root_index, rnode, inherited, 0, prefix)
+            self._stage_refine(trie.root_index, rnode, inherited, 0, prefix, patch)
+        return patch
+
+    def _commit(self, patch: _Patch) -> None:
+        """Publish a staged patch, then release the replaced blocks.
+
+        The only writes a reader can observe happen here, and each is
+        individually atomic under the GIL: the single root-node write that
+        swings a rebuilt subtree in, and direct-array entry stores whose
+        old and new targets are both complete structures throughout.
+        """
+        trie = self.trie
+        if patch.node_write is not None:
+            trie.write_node(*patch.node_write)
+        direct = trie.direct
+        for index, value in patch.direct_writes:
+            direct[index] = value
+        for base, span, value in patch.direct_fills:
+            direct[base : base + span] = array("I", [value]) * span
+        self.stats.updates += 1
+        self.stats.toplevel_replacements += patch.toplevel
+        self.stats.inodes_replaced += patch.inodes
+        self.stats.leaves_replaced += patch.leaves
         self.generation += 1
+        for kind, offset, count in patch.frees:
+            if kind == "nodes":
+                trie.free_nodes(offset, count)
+            else:
+                trie.free_leaves(offset, count)
 
     def _radix_at(self, prefix: Prefix, depth: int) -> Tuple[Optional[RibNode], int]:
         """Radix node on ``prefix``'s path at ``depth`` bits, plus the best
@@ -122,10 +245,21 @@ class UpdatablePoptrie:
             node = node.child(prefix.bit(i))
         return node, inherited
 
+    def _stage_subtree(self, rnode: RibNode, inherited: int, patch: _Patch) -> int:
+        """Serialize a fresh subtree for ``rnode``; returns its root index."""
+        trie = self.trie
+        tmp = builder.expand_node(rnode, inherited, trie.k, trie.config.use_leafvec)
+        serializer = builder.Serializer(trie)
+        index = serializer.serialize(tmp)
+        patch.inodes += serializer.nodes_written
+        patch.leaves += serializer.leaves_written
+        return index
+
     # -- top-level (direct pointing) updates ------------------------------------
 
-    def _replace_toplevel_range(self, prefix: Prefix) -> None:
-        """Rewrite the direct-array slice covered by a prefix with length ≤ s.
+    def _stage_toplevel_range(self, prefix: Prefix, patch: _Patch) -> None:
+        """Stage a rewrite of the direct-array slice covered by a prefix
+        with length ≤ s.
 
         The paper replaces the entire 2^s array in this case; rewriting the
         covered slice has the same observable result and the same accounting
@@ -138,39 +272,42 @@ class UpdatablePoptrie:
         for i in range(base, base + span):
             entry = trie.direct[i]
             if not entry & DIRECT_LEAF:
-                self._free_subtree(entry, include_root=True)
+                patch.frees.extend(self._collect_blocks(entry))
+                patch.frees.append(("nodes", entry, 1))
         rnode, inherited = self._radix_at(prefix, prefix.length)
-        self._fill_direct_range(rnode, prefix.length, base, inherited)
-        self.stats.toplevel_replacements += 1
+        self._stage_direct_range(rnode, prefix.length, base, inherited, patch)
+        patch.toplevel = 1
 
-    def _fill_direct_range(
-        self, node: Optional[RibNode], depth: int, base: int, inherited: int
+    def _stage_direct_range(
+        self,
+        node: Optional[RibNode],
+        depth: int,
+        base: int,
+        inherited: int,
+        patch: _Patch,
     ) -> None:
         trie = self.trie
         if node is not None and node.route != NO_ROUTE:
             inherited = node.route
         if depth == trie.s:
             if node is not None and not node.is_leaf():
-                tmp = builder.expand_node(
-                    node, inherited, trie.k, trie.config.use_leafvec
+                patch.direct_writes.append(
+                    (base, self._stage_subtree(node, inherited, patch))
                 )
-                serializer = builder.Serializer(trie)
-                trie.direct[base] = serializer.serialize(tmp)
-                self.stats.inodes_replaced += serializer.nodes_written
-                self.stats.leaves_replaced += serializer.leaves_written
             else:
-                trie.direct[base] = DIRECT_LEAF | inherited
+                patch.direct_writes.append((base, DIRECT_LEAF | inherited))
             return
         if node is None:
-            for i in range(base, base + (1 << (trie.s - depth))):
-                trie.direct[i] = DIRECT_LEAF | inherited
+            span = 1 << (trie.s - depth)
+            patch.direct_fills.append((base, span, DIRECT_LEAF | inherited))
             return
         half = 1 << (trie.s - depth - 1)
-        self._fill_direct_range(node.left, depth + 1, base, inherited)
-        self._fill_direct_range(node.right, depth + 1, base + half, inherited)
+        self._stage_direct_range(node.left, depth + 1, base, inherited, patch)
+        self._stage_direct_range(node.right, depth + 1, base + half, inherited, patch)
 
-    def _update_direct_entry(self, prefix: Prefix) -> None:
-        """Update under exactly one direct entry (prefix longer than s)."""
+    def _stage_direct_entry(self, prefix: Prefix, patch: _Patch) -> None:
+        """Stage an update under exactly one direct entry (prefix longer
+        than s)."""
         trie = self.trie
         index = prefix.value >> (trie.width - trie.s)
         entry = trie.direct[index]
@@ -181,37 +318,36 @@ class UpdatablePoptrie:
         subtree_needed = rnode is not None and not rnode.is_leaf()
         if entry & DIRECT_LEAF:
             if subtree_needed:
-                tmp = builder.expand_node(
-                    rnode, effective, trie.k, trie.config.use_leafvec
+                patch.direct_writes.append(
+                    (index, self._stage_subtree(rnode, effective, patch))
                 )
-                serializer = builder.Serializer(trie)
-                trie.direct[index] = serializer.serialize(tmp)
-                self.stats.inodes_replaced += serializer.nodes_written
-                self.stats.leaves_replaced += serializer.leaves_written
             else:
-                trie.direct[index] = DIRECT_LEAF | effective
+                patch.direct_writes.append((index, DIRECT_LEAF | effective))
             return
         if not subtree_needed:
-            # The subtree collapsed to a single leaf: free it and store the
-            # FIB index directly (the paper's "leaf brought to the upper
-            # level" case, taken all the way to the direct array).
-            self._free_subtree(entry, include_root=True)
-            trie.direct[index] = DIRECT_LEAF | effective
+            # The subtree collapsed to a single leaf: store the FIB index
+            # directly (the paper's "leaf brought to the upper level" case,
+            # taken all the way to the direct array) and free the subtree
+            # once the new entry is published.
+            patch.frees.extend(self._collect_blocks(entry))
+            patch.frees.append(("nodes", entry, 1))
+            patch.direct_writes.append((index, DIRECT_LEAF | effective))
             return
-        self._refine(entry, rnode, inherited, trie.s, prefix)
+        self._stage_refine(entry, rnode, inherited, trie.s, prefix, patch)
 
     # -- subtree refinement -------------------------------------------------
 
-    def _refine(
+    def _stage_refine(
         self,
         index: int,
         rnode: Optional[RibNode],
         inherited: int,
         offset: int,
         prefix: Prefix,
+        patch: _Patch,
     ) -> None:
-        """Descend while the node's shape is unchanged, then rebuild the
-        deepest affected subtree in place at ``index``."""
+        """Descend while the node's shape is unchanged, then stage a rebuild
+        of the deepest affected subtree in place at ``index``."""
         trie = self.trie
         k = trie.k
         use_leafvec = trie.config.use_leafvec
@@ -231,24 +367,16 @@ class UpdatablePoptrie:
             rnode, inherited = _walk_chunk(rnode, inherited, v, k)
             index = child_index
             offset += k
-        self._rebuild_at(index, rnode, inherited)
-
-    def _rebuild_at(
-        self, index: int, rnode: Optional[RibNode], inherited: int
-    ) -> None:
-        """Replace the subtree rooted at node ``index`` (keeping its slot)."""
-        trie = self.trie
-        old_blocks = self._collect_blocks(index)
+        # Stage the in-place replacement: emit the new subtree's descendants
+        # into fresh blocks, keep the root slot, and defer the root write —
+        # the single atomic publication — to the commit phase.
+        patch.frees.extend(self._collect_blocks(index))
         tmp = builder.expand_node(rnode, inherited, trie.k, trie.config.use_leafvec)
         serializer = builder.Serializer(trie)
-        serializer.serialize_into(tmp, index)
-        self.stats.inodes_replaced += serializer.nodes_written
-        self.stats.leaves_replaced += serializer.leaves_written
-        for kind, offset, count in old_blocks:
-            if kind == "nodes":
-                trie.free_nodes(offset, count)
-            else:
-                trie.free_leaves(offset, count)
+        fields = serializer.serialize_fields(tmp)
+        patch.node_write = (index, *fields)
+        patch.inodes += serializer.nodes_written
+        patch.leaves += serializer.leaves_written
 
     def _collect_blocks(self, index: int) -> List[Tuple[str, int, int]]:
         """Blocks owned by the subtree at ``index`` (excluding its own slot)."""
@@ -272,15 +400,6 @@ class UpdatablePoptrie:
         if trie.config.use_leafvec:
             return trie.lvec[index].bit_count()
         return (1 << trie.k) - trie.vec[index].bit_count()
-
-    def _free_subtree(self, index: int, include_root: bool) -> None:
-        for kind, offset, count in self._collect_blocks(index):
-            if kind == "nodes":
-                self.trie.free_nodes(offset, count)
-            else:
-                self.trie.free_leaves(offset, count)
-        if include_root:
-            self.trie.free_nodes(index, 1)
 
 
 def _chunk_of(prefix: Prefix, offset: int, k: int) -> int:

@@ -18,10 +18,15 @@ from __future__ import annotations
 import io
 from typing import TextIO, Union
 
+from repro.errors import TableFormatError
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
 _HEADER = "# repro-table v1 width="
+
+#: FIB indices must fit the widest supported leaf encoding (32-bit);
+#: index 0 is the NO_ROUTE sentinel and never appears in a table.
+_MAX_FIB_INDEX = (1 << 32) - 1
 
 
 def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
@@ -41,24 +46,67 @@ def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
 
 
 def load_table(source: Union[str, TextIO]) -> Rib:
-    """Read a table written by :func:`save_table`."""
+    """Read a table written by :func:`save_table`.
+
+    Every malformed input — missing or bad header, unparseable route line,
+    out-of-range FIB index, prefix from the wrong address family — raises
+    :class:`~repro.errors.TableFormatError` carrying the 1-based line
+    number of the offending input, so a bad feed is diagnosable instead of
+    surfacing as a bare ``ValueError``/``IndexError`` from the internals.
+    """
     owned = isinstance(source, str)
     stream = open(source, "r") if owned else source
     try:
         first = stream.readline()
         if not first.startswith(_HEADER):
-            raise ValueError("not a repro-table snapshot (missing header)")
-        width = int(first[len(_HEADER):].strip())
+            raise TableFormatError(
+                "not a repro-table snapshot (missing header)", line=1
+            )
+        try:
+            width = int(first[len(_HEADER):].strip())
+        except ValueError as exc:
+            raise TableFormatError(
+                f"bad width in header {first.strip()!r}", line=1
+            ) from exc
+        if width not in (32, 128):
+            raise TableFormatError(
+                f"unsupported address width {width} (expected 32 or 128)", line=1
+            )
         rib = Rib(width=width)
         for line_no, line in enumerate(stream, start=2):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise TableFormatError(
+                    f"expected 'prefix fib-index', got {line!r}", line=line_no
+                )
+            prefix_text, fib_text = fields
             try:
-                prefix_text, fib_text = line.split()
-                rib.insert(Prefix.parse(prefix_text), int(fib_text))
-            except (ValueError, KeyError) as exc:
-                raise ValueError(f"line {line_no}: bad route {line!r}") from exc
+                prefix = Prefix.parse(prefix_text)
+            except ValueError as exc:
+                raise TableFormatError(
+                    f"bad prefix {prefix_text!r}: {exc}", line=line_no
+                ) from exc
+            if prefix.width != width:
+                raise TableFormatError(
+                    f"prefix {prefix_text!r} is /{prefix.width} in a "
+                    f"width={width} table",
+                    line=line_no,
+                )
+            try:
+                fib_index = int(fib_text)
+            except ValueError as exc:
+                raise TableFormatError(
+                    f"bad FIB index {fib_text!r}", line=line_no
+                ) from exc
+            if not 1 <= fib_index <= _MAX_FIB_INDEX:
+                raise TableFormatError(
+                    f"FIB index {fib_index} outside 1..{_MAX_FIB_INDEX}",
+                    line=line_no,
+                )
+            rib.insert(prefix, fib_index)
         return rib
     finally:
         if owned:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.update import UpdatablePoptrie
+from repro.errors import UpdateRejectedError
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
@@ -31,6 +32,31 @@ class Update:
     kind: str
     prefix: Prefix
     nexthop: int = 0
+
+
+def validate_update(update: Update) -> None:
+    """Message-level wellformedness check, before any state is consulted.
+
+    Raises :class:`~repro.errors.UpdateRejectedError` for an unknown
+    message kind, a payload that is not a :class:`Prefix`, or an announce
+    whose next hop is not a positive integer.  State-dependent checks
+    (withdrawing an absent prefix, a next hop wider than the leaf
+    encoding) belong to the update target, not the message.
+    """
+    if update.kind not in ("A", "W"):
+        raise UpdateRejectedError(f"unknown update kind {update.kind!r}")
+    if not isinstance(update.prefix, Prefix):
+        raise UpdateRejectedError(f"not a prefix: {update.prefix!r}")
+    if update.kind == "A":
+        nexthop = update.nexthop
+        if isinstance(nexthop, bool) or not isinstance(nexthop, int):
+            raise UpdateRejectedError(
+                f"next-hop index must be an integer, got {nexthop!r}"
+            )
+        if nexthop < 1:
+            raise UpdateRejectedError(
+                f"next-hop index {nexthop} must be positive"
+            )
 
 
 def generate_update_stream(
@@ -112,6 +138,7 @@ def apply_updates(
     """Apply a stream to an :class:`UpdatablePoptrie`; returns the count."""
     n = 0
     for update in updates:
+        validate_update(update)
         if update.kind == "A":
             target.announce(update.prefix, update.nexthop)
         else:

@@ -1,4 +1,26 @@
-"""Library-wide exception types."""
+"""Library-wide exception taxonomy.
+
+Every error this library raises deliberately derives from
+:class:`ReproError`, so callers can fence off the whole reproduction with
+one ``except ReproError`` while still matching precise categories:
+
+====================== =====================================================
+:class:`StructuralLimitError`  a data structure's encoding limit was exceeded
+:class:`TableFormatError`      a text routing-table snapshot is malformed
+:class:`SnapshotFormatError`   a binary FIB snapshot is malformed/truncated
+:class:`UpdateRejectedError`   a route update was refused before any mutation
+:class:`VerificationError`     an invariant check against the shadow RIB failed
+:class:`InjectedFault`         a deliberately injected test fault fired
+:class:`ReplaceCostExceeded`   incremental replacement cost crossed the
+                               configured threshold (internal control flow:
+                               the transactional layer catches it and falls
+                               back to a full rebuild)
+====================== =====================================================
+
+:class:`TableFormatError` and :class:`SnapshotFormatError` also derive from
+:class:`ValueError` so pre-taxonomy callers that caught ``ValueError`` keep
+working.  Each class documents its trigger with a runnable example.
+"""
 
 
 class ReproError(Exception):
@@ -14,4 +36,131 @@ class StructuralLimitError(ReproError):
     Poptrie with 16-bit leaves supports at most 2^16 FIB entries.  Raising a
     dedicated error lets the scalability benchmark report "N/A" for the
     structures that cannot hold a table, as Table 5 does.
+
+    >>> from repro.core.poptrie import Poptrie
+    >>> from repro.net.rib import Rib
+    >>> Poptrie.from_rib(Rib(), fib_size=1 << 20)
+    Traceback (most recent call last):
+        ...
+    repro.errors.StructuralLimitError: 1048576 FIB entries exceed 16-bit leaves
+    """
+
+
+class TableFormatError(ReproError, ValueError):
+    """A text routing-table snapshot could not be parsed.
+
+    Raised by :func:`repro.data.tableio.load_table` for missing/bad headers,
+    malformed route lines, out-of-range FIB indices and address-family
+    mismatches.  ``line`` carries the 1-based line number of the offending
+    input (``None`` for whole-file problems).
+
+    >>> from repro.data.tableio import loads_table
+    >>> loads_table("# repro-table v1 width=32\\n10.0.0.0/8 not-a-number\\n")
+    Traceback (most recent call last):
+        ...
+    repro.errors.TableFormatError: line 2: bad FIB index 'not-a-number'
+    >>> try:
+    ...     loads_table("# repro-table v1 width=32\\n10.0.0.0/8 0\\n")
+    ... except TableFormatError as error:
+    ...     error.line
+    2
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        #: 1-based line number of the offending input line, or ``None``.
+        self.line = line
+
+
+class SnapshotFormatError(ReproError, ValueError):
+    """A binary FIB snapshot is not loadable (truncated, corrupted, bad
+    magic, CRC mismatch, or structurally invalid after decode).
+
+    :data:`repro.core.serialize.CorruptSnapshot` is an alias of this class,
+    kept for callers written before the taxonomy existed.
+
+    >>> from repro.core.serialize import load_bytes
+    >>> load_bytes(b"POPTRIE1 but truncated")
+    Traceback (most recent call last):
+        ...
+    repro.errors.SnapshotFormatError: snapshot truncated
+    """
+
+
+class UpdateRejectedError(ReproError):
+    """A route update was refused before mutating any state.
+
+    The update path validates announcements and withdrawals *first* —
+    withdrawing a prefix that is not in the RIB, announcing a next-hop
+    index that is negative, zero (the NO_ROUTE sentinel) or too wide for
+    the configured leaf size — so a bad BGP message can never leave the
+    RIB and the compiled trie divergent.
+
+    >>> from repro.core.update import UpdatablePoptrie
+    >>> from repro.net.prefix import Prefix
+    >>> up = UpdatablePoptrie()
+    >>> up.withdraw(Prefix.parse("10.0.0.0/8"))
+    Traceback (most recent call last):
+        ...
+    repro.errors.UpdateRejectedError: cannot withdraw 10.0.0.0/8: not in the RIB
+    >>> up.announce(Prefix.parse("10.0.0.0/8"), 1 << 20)
+    Traceback (most recent call last):
+        ...
+    repro.errors.UpdateRejectedError: next-hop index 1048576 outside 1..65535
+    >>> up.generation          # nothing was mutated by either rejection
+    0
+    """
+
+
+class VerificationError(ReproError):
+    """An invariant self-check of a compiled structure failed.
+
+    Raised by :func:`repro.robust.verify.verify_poptrie` (also reachable as
+    ``Poptrie.verify``) with a diagnostic naming the violated invariant.
+
+    >>> from repro.core.poptrie import Poptrie, PoptrieConfig
+    >>> from repro.net.prefix import Prefix
+    >>> from repro.net.rib import Rib
+    >>> rib = Rib()
+    >>> rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+    0
+    >>> trie = Poptrie.from_rib(rib, PoptrieConfig(s=0))
+    >>> trie.lvec[trie.root_index] = 0           # corrupt the leaf vector
+    >>> trie.verify(rib)
+    Traceback (most recent call last):
+        ...
+    repro.errors.VerificationError: node 0: leaf slot 0 has no leafvec run start
+    """
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault fired (testing only).
+
+    Raised at the injection points a :class:`repro.robust.faults.FaultPlan`
+    arms — never during normal operation.
+
+    >>> from repro.mem.buddy import BuddyAllocator
+    >>> from repro.robust.faults import FaultPlan
+    >>> with FaultPlan(alloc_fail_at=2):
+    ...     allocator = BuddyAllocator(capacity=16)
+    ...     first = allocator.alloc(1)
+    ...     second = allocator.alloc(1)
+    Traceback (most recent call last):
+        ...
+    repro.errors.InjectedFault: injected fault at alloc #2
+    """
+
+
+class ReplaceCostExceeded(ReproError):
+    """An incremental update would replace more nodes than the configured
+    ``rebuild_threshold`` allows.
+
+    Internal control flow for graceful degradation: the transactional layer
+    (:class:`repro.robust.txn.TransactionalPoptrie`) catches it, rolls the
+    partial work back and performs a full ``Poptrie.from_rib`` rebuild
+    instead.  It only ever escapes to callers who set a threshold on a bare
+    :class:`~repro.core.update.UpdatablePoptrie` without the transactional
+    wrapper, which is unsupported.
     """

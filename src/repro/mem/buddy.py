@@ -15,11 +15,32 @@ buddy block recursively.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Set
+
+from repro.robust.faults import fault_point
 
 
 class OutOfMemory(Exception):
     """Raised when an allocation cannot be satisfied and growth is disabled."""
+
+
+@dataclass(frozen=True)
+class BuddySnapshot:
+    """An immutable restore point of a :class:`BuddyAllocator`'s state.
+
+    Captured by :meth:`BuddyAllocator.snapshot` before a transactional
+    update and reinstated by :meth:`BuddyAllocator.restore` when the update
+    aborts, so a failed update can never leak or double-free blocks.
+    """
+
+    order: int
+    free_lists: tuple
+    live: tuple
+    used_slots: int
+    alloc_count: int
+    free_count: int
+    grow_count: int
 
 
 def _ceil_log2(n: int) -> int:
@@ -81,6 +102,7 @@ class BuddyAllocator:
         Returns the starting slot offset.  Grows the managed space (doubling)
         when needed and permitted, else raises :class:`OutOfMemory`.
         """
+        fault_point("alloc")
         if size <= 0:
             raise ValueError("size must be positive")
         order = _ceil_log2(size)
@@ -111,6 +133,37 @@ class BuddyAllocator:
             offset = min(offset, buddy)
             order += 1
         self._free_lists[order].add(offset)
+
+    # -- transactional snapshot/restore --------------------------------------
+
+    def snapshot(self) -> BuddySnapshot:
+        """Capture the complete allocator state as a restore point."""
+        return BuddySnapshot(
+            order=self._order,
+            free_lists=tuple(frozenset(blocks) for blocks in self._free_lists),
+            live=tuple(self._live.items()),
+            used_slots=self.used_slots,
+            alloc_count=self.alloc_count,
+            free_count=self.free_count,
+            grow_count=self.grow_count,
+        )
+
+    def restore(self, state: BuddySnapshot) -> None:
+        """Reinstate a state captured by :meth:`snapshot`.
+
+        Restores the free lists, the live-block table, the usage counters
+        and the managed capacity (a grow performed after the snapshot is
+        rolled back; the arrays an owner may have extended to match simply
+        stay larger than the capacity, which is harmless).
+        """
+        self._order = state.order
+        self.capacity = 1 << state.order
+        self._free_lists = [set(blocks) for blocks in state.free_lists]
+        self._live = dict(state.live)
+        self.used_slots = state.used_slots
+        self.alloc_count = state.alloc_count
+        self.free_count = state.free_count
+        self.grow_count = state.grow_count
 
     # -- internals ---------------------------------------------------------
 

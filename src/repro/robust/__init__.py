@@ -1,0 +1,41 @@
+"""Fault-tolerant control plane: transactions, verification, fault injection.
+
+Three pieces, documented in ``docs/ROBUSTNESS.md``:
+
+- :mod:`repro.robust.txn` — :class:`TransactionalPoptrie`, an
+  :class:`~repro.core.update.UpdatablePoptrie` whose updates either commit
+  atomically or roll RIB, trie and buddy-allocator state back, with
+  graceful degradation to a full rebuild;
+- :mod:`repro.robust.verify` — the invariant verifier behind
+  ``Poptrie.verify(rib)`` and ``python -m repro verify``;
+- :mod:`repro.robust.faults` — the :class:`FaultPlan` context manager that
+  arms deterministic injection points threaded through the allocator, the
+  builder, the update stream and snapshot writing.
+
+This ``__init__`` imports only :mod:`~repro.robust.faults` eagerly: the
+fault hooks are imported by low-level modules (``repro.mem.buddy``), so the
+heavier submodules — which depend on those low-level modules — are exposed
+lazily to keep the import graph acyclic.
+"""
+
+from repro.robust.faults import FaultPlan, active_plan, fault_point
+
+_LAZY = {
+    "Transaction": "repro.robust.txn",
+    "TransactionalPoptrie": "repro.robust.txn",
+    "TxnStats": "repro.robust.txn",
+    "StreamReport": "repro.robust.txn",
+    "VerificationReport": "repro.robust.verify",
+    "verify_poptrie": "repro.robust.verify",
+}
+
+__all__ = ["FaultPlan", "active_plan", "fault_point", *_LAZY]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

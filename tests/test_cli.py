@@ -75,6 +75,67 @@ class TestInfoAndBench:
         assert "Mlps" in capsys.readouterr().out
 
 
+class TestVerify:
+    def test_verify_text_table(self, table_path, capsys):
+        assert main(["verify", table_path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_healthy_snapshot(self, table_path, tmp_path, capsys):
+        fib = str(tmp_path / "fib.poptrie")
+        assert main(["compile", table_path, "-o", fib]) == 0
+        capsys.readouterr()
+        assert main(["verify", fib]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_snapshot_against_table(self, table_path, tmp_path, capsys):
+        fib = str(tmp_path / "fib.poptrie")
+        main(["compile", table_path, "-o", fib])
+        capsys.readouterr()
+        assert main(["verify", fib, "--against", table_path,
+                     "--samples", "200"]) == 0
+        assert "cross-checked" in capsys.readouterr().out
+
+    def test_verify_truncated_snapshot_fails_with_diagnostic(
+        self, table_path, tmp_path, capsys
+    ):
+        fib = str(tmp_path / "fib.poptrie")
+        main(["compile", table_path, "-o", fib])
+        with open(fib, "rb") as stream:
+            blob = stream.read()
+        with open(fib, "wb") as stream:
+            stream.write(blob[:20])  # not even a full header survives
+        capsys.readouterr()
+        assert main(["verify", fib]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "truncat" in err
+
+    def test_verify_bitflipped_snapshot_fails(self, table_path, tmp_path,
+                                              capsys):
+        fib = str(tmp_path / "fib.poptrie")
+        main(["compile", table_path, "-o", fib])
+        blob = bytearray(open(fib, "rb").read())
+        blob[len(blob) // 2] ^= 0x40
+        with open(fib, "wb") as stream:
+            stream.write(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify", fib]) == 1
+        assert "CRC" in capsys.readouterr().err
+
+    def test_verify_table_semantic_mismatch(self, table_path, tmp_path,
+                                            capsys):
+        """A snapshot verified against a *different* table exits non-zero
+        with the diverging lookup in the diagnostic."""
+        fib = str(tmp_path / "fib.poptrie")
+        main(["compile", table_path, "-o", fib])
+        other = str(tmp_path / "other.txt")
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 42)
+        tableio.save_table(rib, other)
+        capsys.readouterr()
+        assert main(["verify", fib, "--against", other]) == 1
+        assert "RIB says" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["lookup", "/nonexistent/table.txt", "10.0.0.1"]) == 1

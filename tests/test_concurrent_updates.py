@@ -20,7 +20,10 @@ import pytest
 
 from repro.core.poptrie import PoptrieConfig
 from repro.core.update import UpdatablePoptrie
+from repro.errors import InjectedFault
 from repro.net.prefix import Prefix
+from repro.robust.faults import FaultPlan
+from repro.robust.txn import TransactionalPoptrie
 
 
 @pytest.mark.parametrize("s", [0, 16])
@@ -86,3 +89,85 @@ def test_reader_never_sees_torn_state(s):
     for _ in range(2000):
         key = verify_rng.getrandbits(32)
         assert up.lookup(key) == up.rib.lookup(key)
+
+
+@pytest.mark.parametrize("s", [0, 16])
+def test_reader_never_sees_aborted_update(s):
+    """Readers run while the writer suffers injected faults: an update
+    that aborts and rolls back must never be observable from the reader
+    thread — same legality check as above, plus rollback-specific
+    bookkeeping (the fault sweep in test_robust.py covers the
+    single-threaded exactness of each rollback)."""
+    up = TransactionalPoptrie(PoptrieConfig(s=s), fallback_rebuild=False)
+    rng = random.Random(88)
+
+    live = []
+    for _ in range(300):
+        length = rng.randint(1, 32)
+        prefix = Prefix(rng.getrandbits(length) << (32 - length), length, 32)
+        if not up.rib.get(prefix):
+            live.append(prefix)
+        up.announce(prefix, rng.randint(1, 30))
+
+    legal = set(range(0, 31))
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        reader_rng = random.Random(101)
+        while not stop.is_set():
+            key = reader_rng.getrandbits(32)
+            try:
+                result = up.lookup(key)
+            except Exception as exc:  # index errors = torn structure
+                errors.append(f"reader crashed: {exc!r}")
+                return
+            if result not in legal:
+                errors.append(f"illegal result {result} for {key:#x}")
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    aborted = 0
+    try:
+        writer_rng = random.Random(7)
+        with FaultPlan(alloc_fail_every=13, build_fail_every=29):
+            for _ in range(600):
+                if errors:
+                    break
+                try:
+                    if live and writer_rng.random() < 0.45:
+                        kind, prefix = "W", live.pop(writer_rng.randrange(len(live)))
+                        up.withdraw(prefix)
+                    else:
+                        length = writer_rng.randint(1, 32)
+                        kind, prefix = "A", Prefix(
+                            writer_rng.getrandbits(length) << (32 - length),
+                            length, 32,
+                        )
+                        fresh = not up.rib.get(prefix)
+                        up.announce(prefix, writer_rng.randint(1, 30))
+                        if fresh:
+                            live.append(prefix)
+                except InjectedFault:
+                    aborted += 1
+                    if kind == "W":
+                        # The rolled-back withdrawal left its prefix live;
+                        # re-track it so later withdrawals stay valid.
+                        live.append(prefix)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, errors
+    assert aborted > 0, "the plan must actually have aborted some updates"
+    assert up.txn_stats.rollbacks == aborted
+    # After the dust settles: exact agreement with the shadow RIB, and the
+    # full invariant check holds despite the aborted updates.
+    verify_rng = random.Random(9)
+    for _ in range(2000):
+        key = verify_rng.getrandbits(32)
+        assert up.lookup(key) == up.rib.lookup(key)
+    up.trie.verify(up.rib, samples=1000)

@@ -8,15 +8,19 @@ import repro.bench.report
 import repro.cachesim.cache
 import repro.core.poptrie
 import repro.core.update
+import repro.errors
 import repro.mem.buddy
 import repro.mem.layout
 import repro.net.fib
 import repro.net.ip
 import repro.net.prefix
 import repro.net.rib
+import repro.robust.faults
+import repro.robust.txn
 import repro.router.forwarding
 
 MODULES = [
+    repro.errors,
     repro.net.ip,
     repro.net.prefix,
     repro.net.fib,
@@ -25,6 +29,8 @@ MODULES = [
     repro.mem.layout,
     repro.core.poptrie,
     repro.core.update,
+    repro.robust.faults,
+    repro.robust.txn,
     repro.cachesim.cache,
     repro.bench.report,
     repro.router.forwarding,

@@ -120,6 +120,34 @@ class TestCorruption:
         with pytest.raises(CorruptSnapshot):
             load_bytes(b"")
 
+    def test_corrupt_snapshot_is_the_typed_error(self, bgp_rib):
+        from repro.errors import ReproError, SnapshotFormatError
+
+        assert CorruptSnapshot is SnapshotFormatError
+        assert issubclass(CorruptSnapshot, ReproError)
+        assert issubclass(CorruptSnapshot, ValueError)  # backward compat
+
+    def test_truncation_has_precise_diagnostic(self, bgp_rib):
+        blob = self._blob(bgp_rib)
+        with pytest.raises(CorruptSnapshot, match="truncated"):
+            load_bytes(blob[:10])
+
+    def test_bad_header_values_rejected(self, bgp_rib):
+        """A CRC-valid snapshot with nonsense config fields is rejected
+        with a header diagnostic, not a raw ValueError from PoptrieConfig."""
+        import struct
+        import zlib
+
+        from repro.core.serialize import MAGIC, _HEADER
+
+        blob = self._blob(bgp_rib)
+        header = bytearray(blob[len(MAGIC) : len(MAGIC) + _HEADER.size])
+        header[0:4] = struct.pack("<I", 63)  # k=63 is structurally absurd
+        body = MAGIC + bytes(header) + blob[len(MAGIC) + _HEADER.size : -4]
+        blob = body + struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(CorruptSnapshot, match="invalid snapshot header"):
+            load_bytes(blob)
+
 
 class TestValidate:
     def test_fresh_trie_validates(self, bgp_rib):

@@ -7,6 +7,7 @@ import pytest
 from tests.conftest import make_random_rib
 
 from repro.data.tableio import dumps_table, load_table, loads_table, save_table
+from repro.errors import TableFormatError
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
@@ -78,3 +79,50 @@ class TestErrors:
         text = "# repro-table v1 width=32\n10.0.0.1/8 1\n"
         with pytest.raises(ValueError):
             loads_table(text)
+
+
+class TestTypedErrors:
+    """Every malformed input surfaces as TableFormatError with the 1-based
+    line number of the offending input (it stays a ValueError subclass for
+    backward compatibility)."""
+
+    def _error(self, text):
+        with pytest.raises(TableFormatError) as info:
+            loads_table(text)
+        return info.value
+
+    def test_missing_header_is_typed(self):
+        error = self._error("10.0.0.0/8 1\n")
+        assert error.line == 1
+        assert isinstance(error, ValueError)
+
+    def test_bad_width_in_header(self):
+        error = self._error("# repro-table v1 width=banana\n")
+        assert error.line == 1 and "bad width" in str(error)
+
+    def test_unsupported_width(self):
+        error = self._error("# repro-table v1 width=64\n")
+        assert "expected 32 or 128" in str(error)
+
+    def test_wrong_field_count(self):
+        error = self._error("# repro-table v1 width=32\n10.0.0.0/8 1 extra\n")
+        assert error.line == 2 and "expected 'prefix fib-index'" in str(error)
+
+    def test_bad_prefix_carries_line(self):
+        error = self._error(
+            "# repro-table v1 width=32\n10.0.0.0/8 1\n\nnot/a/prefix 2\n"
+        )
+        assert error.line == 4 and "bad prefix" in str(error)
+
+    def test_wrong_family_prefix(self):
+        error = self._error("# repro-table v1 width=32\n2001:db8::/32 1\n")
+        assert error.line == 2 and "width=32" in str(error)
+
+    def test_bad_fib_index_message(self):
+        error = self._error("# repro-table v1 width=32\n10.0.0.0/8 seven\n")
+        assert "bad FIB index 'seven'" in str(error) and error.line == 2
+
+    @pytest.mark.parametrize("index", ["0", "-3", str(1 << 32)])
+    def test_out_of_range_fib_index(self, index):
+        error = self._error(f"# repro-table v1 width=32\n10.0.0.0/8 {index}\n")
+        assert "outside 1..4294967295" in str(error)

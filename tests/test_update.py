@@ -8,6 +8,7 @@ from tests.conftest import random_keys
 
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
+from repro.errors import UpdateRejectedError
 from repro.net.fib import NO_ROUTE
 from repro.net.prefix import Prefix
 
@@ -63,9 +64,66 @@ class TestBasicUpdates:
         assert up.generation == 2
 
     def test_withdraw_missing_raises(self):
+        # Regression: this used to escape as an untyped KeyError from the
+        # RIB internals; it is now a typed rejection raised up front.
         up = UpdatablePoptrie(PoptrieConfig(s=16))
-        with pytest.raises(KeyError):
+        with pytest.raises(UpdateRejectedError):
             up.withdraw(Prefix.parse("10.0.0.0/8"))
+
+
+class TestUpdateValidation:
+    """Satellite regression tests: invalid updates are rejected with a
+    typed error *before* any state (RIB, trie, allocators) is mutated.
+
+    Previously a negative next hop raised ``OverflowError`` from the array
+    layer and an overflowing one ``StructuralLimitError`` — both *after*
+    the RIB had been mutated, leaving RIB and trie silently divergent.
+    """
+
+    @staticmethod
+    def _fingerprint(up):
+        return (
+            len(up.rib),
+            up.rib.node_count,
+            up.generation,
+            up.stats.updates,
+            up.trie.inode_count,
+            up.trie.leaf_count,
+            up.trie.node_alloc.used_slots,
+            up.trie.leaf_alloc.used_slots,
+        )
+
+    @pytest.fixture
+    def up(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1)
+        up.announce(Prefix.parse("10.32.0.0/11"), 2)
+        return up
+
+    @pytest.mark.parametrize("bad_hop", [-1, 0, NO_ROUTE, 1 << 16, 1 << 40, "7", 2.0, None])
+    def test_bad_nexthop_rejected_without_mutation(self, up, bad_hop):
+        before = self._fingerprint(up)
+        with pytest.raises(UpdateRejectedError):
+            up.announce(Prefix.parse("192.0.2.0/24"), bad_hop)
+        assert self._fingerprint(up) == before
+        assert up.rib.get(Prefix.parse("192.0.2.0/24")) == NO_ROUTE
+
+    def test_withdraw_unknown_rejected_without_mutation(self, up):
+        before = self._fingerprint(up)
+        with pytest.raises(UpdateRejectedError):
+            up.withdraw(Prefix.parse("203.0.113.0/24"))
+        assert self._fingerprint(up) == before
+
+    def test_wrong_width_rejected(self, up):
+        with pytest.raises(UpdateRejectedError):
+            up.announce(Prefix.parse("2001:db8::/32"), 1)
+        with pytest.raises(UpdateRejectedError):
+            up.withdraw(Prefix.parse("2001:db8::/32"))
+
+    def test_32bit_leaves_accept_wide_nexthop(self):
+        up = UpdatablePoptrie(PoptrieConfig(s=16, leaf_bits=32))
+        up.announce(Prefix.parse("10.0.0.0/8"), 1 << 20)
+        assert up.lookup(Prefix.parse("10.1.1.1/32").value) == 1 << 20
 
 
 class TestTopLevelPaths:
