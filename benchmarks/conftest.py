@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 import pytest
 
-from repro.bench.harness import standard_roster
+from repro.lookup.registry import standard_roster
 from repro.bench.report import Table
 from repro.data.datasets import load_dataset
 
@@ -61,13 +61,23 @@ def roster_for(name: str, algorithms, modified_dxr: bool = False) -> dict:
 
 
 def emit(table: Table, artifact: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    When observability is enabled (``REPRO_OBS=1`` or an explicit
+    ``obs.enable()``), the run's Prometheus metrics dump is persisted
+    alongside the table as ``<artifact>.metrics.txt``.
+    """
+    from repro.bench.report import metrics_dump
+
     text = table.render()
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     header = f"# scale={SCALE}\n"
     (RESULTS_DIR / f"{artifact}.txt").write_text(header + text + "\n")
+    metrics = metrics_dump()
+    if metrics:
+        (RESULTS_DIR / f"{artifact}.metrics.txt").write_text(metrics)
 
 
 @pytest.fixture(scope="session")

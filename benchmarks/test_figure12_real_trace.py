@@ -23,7 +23,8 @@ from benchmarks.conftest import (
     roster_for,
 )
 
-from repro.bench.harness import measure_rate_batch, standard_roster
+from repro.bench.harness import measure_rate_batch
+from repro.lookup.registry import standard_roster
 from repro.bench.report import Table
 from repro.data.datasets import load_dataset
 from repro.data.traffic import random_addresses, real_trace

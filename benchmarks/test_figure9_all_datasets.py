@@ -14,7 +14,8 @@ cache-sized on every table.
 
 from benchmarks.conftest import SCALE, dataset, emit, roster_for
 
-from repro.bench.harness import STANDARD_ALGORITHMS, measure_rate_batch
+from repro.bench.harness import measure_rate_batch
+from repro.lookup.registry import STANDARD_ALGORITHMS
 from repro.bench.report import Table
 from repro.data.datasets import EVALUATION_TABLES
 

@@ -11,7 +11,7 @@ e.g.  python examples/fib_compression_report.py REAL-Tier1-A 0.05
 
 import sys
 
-from repro.bench.harness import standard_roster
+from repro.lookup.registry import standard_roster
 from repro.bench.report import Table
 from repro.core.aggregate import aggregate_simple
 from repro.data.datasets import EVALUATION_TABLES, load_dataset

@@ -17,10 +17,18 @@ Quick start::
     trie = Poptrie.from_rib(rib, PoptrieConfig(s=18))
     trie.lookup(Prefix.parse("192.0.2.77/32").value)   # -> 1
 
+Any roster structure builds the same way through the algorithm registry::
+
+    from repro.lookup import registry
+
+    structure = registry.get("Poptrie18").from_rib(rib)
+
 See README.md for the architecture overview, DESIGN.md for the system
-inventory and EXPERIMENTS.md for the paper-vs-measured record.
+inventory, docs/API.md for the public surface and EXPERIMENTS.md for the
+paper-vs-measured record.
 """
 
+from repro import obs
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.errors import (
@@ -32,6 +40,8 @@ from repro.errors import (
     UpdateRejectedError,
     VerificationError,
 )
+from repro.lookup import registry
+from repro.lookup.base import LookupStructure
 from repro.net.fib import NO_ROUTE, Fib, NextHop
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
@@ -39,11 +49,14 @@ from repro.robust.faults import FaultPlan
 from repro.robust.txn import TransactionalPoptrie
 from repro.robust.verify import verify_poptrie
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Poptrie",
     "PoptrieConfig",
+    "LookupStructure",
+    "registry",
+    "obs",
     "UpdatablePoptrie",
     "TransactionalPoptrie",
     "FaultPlan",

@@ -10,13 +10,12 @@
 
 from repro.bench.harness import (
     RateResult,
-    build_structures,
     measure_compile_time,
     measure_rate_batch,
     measure_rate_scalar,
-    standard_roster,
 )
 from repro.bench.report import Table
+from repro.lookup.registry import build_structures, standard_roster
 
 __all__ = [
     "RateResult",

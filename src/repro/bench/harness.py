@@ -1,4 +1,8 @@
-"""Lookup-rate measurement and the standard algorithm roster.
+"""Lookup-rate measurement.
+
+The standard algorithm roster lives in :mod:`repro.lookup.registry`;
+``standard_roster``/``build_structures``/``STANDARD_ALGORITHMS`` are still
+importable from here for now, with a :class:`DeprecationWarning`.
 
 Rates are reported in Mlps (million lookups per second) as in the paper.
 Two engines are measured:
@@ -18,22 +22,14 @@ fall) are the reproduction target; see EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.aggregate import aggregated_rib
-from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.data.xorshift import Xorshift32
-from repro.errors import StructuralLimitError
 from repro.lookup.base import LookupStructure
-from repro.lookup.dir24_8 import Dir24_8
-from repro.lookup.dxr import Dxr
-from repro.lookup.radix import RadixLookup
-from repro.lookup.sail import Sail
-from repro.lookup.treebitmap import TreeBitmap
-from repro.net.rib import Rib
 
 
 @dataclass
@@ -127,63 +123,20 @@ def measure_compile_time(
     return structure, best
 
 
-#: The Figure 9 roster, in the paper's plotting order.
-STANDARD_ALGORITHMS = (
-    "Radix",
-    "Tree BitMap",
-    "SAIL",
-    "D16R",
-    "Poptrie16",
-    "D18R",
-    "Poptrie18",
-)
+#: Roster names that moved to :mod:`repro.lookup.registry` (kept importable
+#: from here for one deprecation cycle).
+_MOVED = ("STANDARD_ALGORITHMS", "standard_roster", "build_structures")
 
 
-def standard_roster(
-    rib: Rib,
-    names: Sequence[str] = STANDARD_ALGORITHMS,
-    aggregate_for_poptrie: bool = True,
-    modified_dxr: bool = False,
-) -> Dict[str, Optional[LookupStructure]]:
-    """Build the paper's comparison roster from one RIB.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.bench.harness.{name} moved to repro.lookup.registry; "
+            "update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.lookup import registry
 
-    Poptrie entries compile from the route-aggregated table (the paper's
-    default, Section 3); the baselines see the raw table, as they did in
-    the paper.  A structure whose structural limit is exceeded maps to
-    ``None`` — the Table 5 "N/A" case.
-    """
-    poptrie_rib = aggregated_rib(rib) if aggregate_for_poptrie else rib
-    fib_size = max((idx for _, idx in rib.routes()), default=0) + 1
-
-    builders: Dict[str, Callable[[], LookupStructure]] = {
-        "Radix": lambda: RadixLookup.from_rib(rib),
-        "Tree BitMap": lambda: TreeBitmap.from_rib(rib, stride=4),
-        "Tree BitMap (64-ary)": lambda: TreeBitmap.from_rib(rib, stride=6),
-        "SAIL": lambda: Sail.from_rib(rib),
-        "DIR-24-8": lambda: Dir24_8.from_rib(rib),
-        "D16R": lambda: Dxr.from_rib(rib, s=16, modified=modified_dxr),
-        "D18R": lambda: Dxr.from_rib(rib, s=18, modified=modified_dxr),
-        "Poptrie0": lambda: Poptrie.from_rib(
-            poptrie_rib, PoptrieConfig(s=0), fib_size=fib_size
-        ),
-        "Poptrie16": lambda: Poptrie.from_rib(
-            poptrie_rib, PoptrieConfig(s=16), fib_size=fib_size
-        ),
-        "Poptrie18": lambda: Poptrie.from_rib(
-            poptrie_rib, PoptrieConfig(s=18), fib_size=fib_size
-        ),
-    }
-    roster: Dict[str, Optional[LookupStructure]] = {}
-    for name in names:
-        try:
-            roster[name] = builders[name]()
-        except StructuralLimitError:
-            roster[name] = None
-    return roster
-
-
-def build_structures(
-    rib: Rib, names: Sequence[str] = STANDARD_ALGORITHMS, **kwargs
-) -> List[LookupStructure]:
-    """Like :func:`standard_roster` but drops the N/A entries."""
-    return [s for s in standard_roster(rib, names, **kwargs).values() if s]
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,8 @@ Usage examples::
     python -m repro verify fib.poptrie --against rib.txt
     python -m repro info rib.txt                    # per-structure footprints
     python -m repro bench rib.txt --queries 200000  # quick Mlps comparison
+    python -m repro bench rib.txt --metrics         # ... plus Prometheus dump
+    python -m repro stats                           # observability self-demo
 """
 
 from __future__ import annotations
@@ -128,8 +130,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    from repro.bench.harness import standard_roster
     from repro.bench.report import Table
+    from repro.lookup.registry import standard_roster
 
     rib = tableio.load_table(args.table)
     names = (
@@ -154,10 +156,14 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.harness import measure_rate_batch, standard_roster
+    from repro import obs
+    from repro.bench.harness import measure_rate_batch
     from repro.bench.report import Table
     from repro.data.traffic import random_addresses
+    from repro.lookup.registry import standard_roster
 
+    if args.metrics:
+        obs.enable()
     rib = tableio.load_table(args.table)
     roster = standard_roster(rib)
     keys = random_addresses(args.queries, seed=args.seed)
@@ -167,9 +173,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if structure is None:
             table.add_row([name, None, None])
             continue
+        if args.metrics:
+            structure.enable_obs()
         result = measure_rate_batch(structure, keys, repeats=args.repeats)
         table.add_row([name, structure.memory_bytes() / 1024, result.mlps])
+        if args.metrics:
+            structure.stats()  # refresh the per-structure gauges
     print(table.render())
+    if args.metrics:
+        print()
+        print(obs.registry().render())
+        obs.disable()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise every instrumented subsystem once and dump the metrics.
+
+    With no table argument a small synthetic table is generated, so the
+    command demonstrates the full observability surface out of the box:
+    lookups (scalar + batch), transactional updates, the buddy allocators
+    and the forwarding pipeline all leave their marks in the registry.
+    """
+    import contextlib
+
+    from repro import obs
+    from repro.core.aggregate import aggregated_rib
+    from repro.data.synth import generate_table
+    from repro.data.traffic import random_addresses
+    from repro.lookup.registry import standard_roster
+    from repro.net.prefix import Prefix
+    from repro.robust.txn import TransactionalPoptrie
+    from repro.router.pipeline import ForwardingPipeline
+
+    stack = contextlib.ExitStack()
+    prof = None
+    if args.profile:
+        from repro.obs.profiling import profiled
+
+        prof = stack.enter_context(profiled())
+
+    obs.enable()
+    try:
+        with stack:
+            if args.table:
+                rib = tableio.load_table(args.table)
+                fib = None
+            else:
+                rib, fib = generate_table(
+                    n_prefixes=args.routes, n_nexthops=16, seed=args.seed
+                )
+
+            # 1. Lookups through every roster structure (scalar + batch).
+            roster = standard_roster(rib)
+            keys = random_addresses(args.queries, seed=args.seed)
+            for structure in roster.values():
+                if structure is None:
+                    continue
+                structure.enable_obs()
+                lookup = structure.lookup
+                for key in keys[: min(1000, len(keys))]:
+                    lookup(int(key))
+                structure.lookup_batch(keys)
+
+            # 2. Transactional updates (commit/withdraw, txn counters).
+            txn = TransactionalPoptrie(rib=aggregated_rib(rib))
+            txn.trie.enable_obs()
+            probe = Prefix.parse("198.51.100.0/24")
+            txn.announce(probe, 1)
+            txn.withdraw(probe)
+
+            # 3. The forwarding pipeline (ring occupancy, latency, drops).
+            if fib is not None:
+                poptrie = roster.get("Poptrie18") or next(
+                    s for s in roster.values() if s is not None
+                )
+                pipeline = ForwardingPipeline(poptrie, fib, batch_size=32)
+                pipeline.run([int(k) for k in keys[:2048]])
+
+            # 4. Refresh pull-model gauges, then dump.
+            for structure in roster.values():
+                if structure is not None:
+                    structure.stats()
+            print(obs.registry().render())
+        if prof is not None:
+            print(prof.report(limit=args.profile_limit))
+    finally:
+        obs.disable()
     return 0
 
 
@@ -226,7 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=100_000)
     p.add_argument("--repeats", type=int, default=2)
     p.add_argument("--seed", type=int, default=2463534242)
+    p.add_argument("--metrics", action="store_true",
+                   help="append a Prometheus-style metrics dump")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "stats",
+        help="exercise every instrumented subsystem and dump the metrics",
+    )
+    p.add_argument("table", nargs="?",
+                   help="text table to use (default: a synthetic one)")
+    p.add_argument("--routes", type=int, default=5_000,
+                   help="synthetic table size when no table is given")
+    p.add_argument("--queries", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--profile", action="store_true",
+                   help="also cProfile the run and print the hot functions")
+    p.add_argument("--profile-limit", type=int, default=15,
+                   help="pstats rows to print with --profile")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -28,11 +28,13 @@ import numpy as np
 
 from repro.core import builder
 from repro.errors import StructuralLimitError
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, StructureConfig
+from repro.lookup.registry import register
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
+from repro.obs.tracing import span
 
 #: Most-significant-bit tag of a direct-pointing entry: set ⇒ the remaining
 #: 31 bits are a FIB index; clear ⇒ they are an internal-node index.
@@ -46,7 +48,7 @@ _DIRECT_INSTRUCTIONS = 4
 
 
 @dataclass(frozen=True)
-class PoptrieConfig:
+class PoptrieConfig(StructureConfig):
     """Build-time options (the rows of Table 2).
 
     ``s = 0`` disables direct pointing; the paper evaluates 0, 16 and 18.
@@ -151,22 +153,30 @@ class Poptrie(LookupStructure):
     def from_rib(
         cls,
         rib: Rib,
-        config: PoptrieConfig = PoptrieConfig(),
+        config: Optional[PoptrieConfig] = None,
         fib_size: Optional[int] = None,
+        **options,
     ) -> "Poptrie":
         """Compile a Poptrie from a radix-tree RIB.
 
-        ``fib_size`` (defaults to the largest FIB index in the RIB) is
-        validated against the leaf width — Section 5's structural limit.
+        Build options come either as a :class:`PoptrieConfig` or as the
+        equivalent keywords (``s=18``, ``use_leafvec=False``, ...);
+        unknown option names raise ``TypeError``.  ``fib_size`` (defaults
+        to the largest FIB index in the RIB) is validated against the
+        leaf width — Section 5's structural limit.
         """
-        trie = cls(config, width=rib.width)
-        trie._check_fib_capacity(rib, fib_size)
-        if config.s == 0:
-            tmp = builder.expand_node(rib.root, NO_ROUTE, config.k, config.use_leafvec)
-            trie.root_index = builder.Serializer(trie).serialize(tmp)
-        else:
-            trie._build_direct(rib)
-        return trie
+        config = PoptrieConfig.resolve(config, options)
+        with span("poptrie.from_rib"):
+            trie = cls(config, width=rib.width)
+            trie._check_fib_capacity(rib, fib_size)
+            if config.s == 0:
+                tmp = builder.expand_node(
+                    rib.root, NO_ROUTE, config.k, config.use_leafvec
+                )
+                trie.root_index = builder.Serializer(trie).serialize(tmp)
+            else:
+                trie._build_direct(rib)
+            return trie
 
     def _check_fib_capacity(self, rib: Rib, fib_size: Optional[int]) -> None:
         limit = 1 << self.config.leaf_bits
@@ -379,6 +389,20 @@ class Poptrie(LookupStructure):
             + 4 * len(self.direct)
         )
 
+    def _extra_stats(self):
+        """Poptrie-specific stats() keys; also refreshes the node/leaf
+        allocator gauges in the metrics registry when obs is enabled."""
+        self.node_alloc.publish_obs("poptrie.nodes", self.config.node_bytes)
+        self.leaf_alloc.publish_obs("poptrie.leaves", self.config.leaf_bytes)
+        return {
+            "inode_count": self.inode_count,
+            "leaf_count": self.leaf_count,
+            "direct_entries": len(self.direct),
+            "allocated_bytes": self.allocated_bytes(),
+            "node_allocator": self.node_alloc.stats(),
+            "leaf_allocator": self.leaf_alloc.stats(),
+        }
+
     def depth_of(self, key: int) -> int:
         """Number of internal nodes traversed to look ``key`` up (0 when the
         direct array resolves it).  Drives the Figure 11-style analysis."""
@@ -425,3 +449,11 @@ class Poptrie(LookupStructure):
             base1 = self.base1[index]
             for rank in range(vector.bit_count()):
                 stack.append(base1 + rank)
+
+
+# The paper's evaluated variants (Table 2/Figure 9): compiled from the
+# route-aggregated table, with the FIB size validated against the leaf
+# width.  Adding a variant here is the single edit the roster needs.
+register("Poptrie0", Poptrie, aggregate=True, pass_fib_size=True, s=0)
+register("Poptrie16", Poptrie, aggregate=True, pass_fib_size=True, s=16)
+register("Poptrie18", Poptrie, aggregate=True, pass_fib_size=True, s=18)

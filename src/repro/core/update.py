@@ -123,6 +123,33 @@ class UpdatablePoptrie:
     def lookup(self, key: int) -> int:
         return self.trie.lookup(key)
 
+    def _publish_update_obs(
+        self, toplevel: int, inodes: int, leaves: int,
+        engine: str = "incremental",
+    ) -> None:
+        """Mirror one committed update into the metrics registry (§4.9's
+        replacement quantities); a no-op while observability is disabled."""
+        from repro import obs
+
+        if not obs.enabled():
+            return
+        reg = obs.registry()
+        reg.counter(
+            "repro_updates_total", "Committed route updates.", engine=engine
+        ).inc()
+        reg.counter(
+            "repro_update_toplevel_replacements_total",
+            "Direct-array entries rewritten by updates.",
+        ).inc(toplevel)
+        reg.counter(
+            "repro_update_inodes_replaced_total",
+            "Internal nodes replaced by updates.",
+        ).inc(inodes)
+        reg.counter(
+            "repro_update_leaves_replaced_total",
+            "Leaf slots replaced by updates.",
+        ).inc(leaves)
+
     def announce(self, prefix: Prefix, fib_index: int) -> None:
         """Insert or replace a route and incrementally update the FIB.
 
@@ -226,6 +253,7 @@ class UpdatablePoptrie:
         self.stats.inodes_replaced += patch.inodes
         self.stats.leaves_replaced += patch.leaves
         self.generation += 1
+        self._publish_update_obs(patch.toplevel, patch.inodes, patch.leaves)
         for kind, offset, count in patch.frees:
             if kind == "nodes":
                 trie.free_nodes(offset, count)

@@ -25,9 +25,16 @@ Plus the rest of Section 2's lineage, for completeness and ablation:
   et al. 2006).
 - :mod:`repro.lookup.lulea` — the Lulea compressed 16/8/8 trie
   (Degermark et al. 1997), the ancestor of the leafvec technique.
+
+All of the above (plus Poptrie itself) self-register with
+:mod:`repro.lookup.registry`, the single place that knows how to build the
+paper's comparison roster — ``registry.get(name).from_rib(rib)``.
 """
 
-from repro.lookup.base import LookupStructure
+import warnings
+
+from repro.lookup import registry
+from repro.lookup.base import LookupStructure, NoOptions, StructureConfig
 from repro.lookup.radix import RadixLookup
 from repro.lookup.treebitmap import TreeBitmap
 from repro.lookup.dxr import Dxr
@@ -41,6 +48,9 @@ from repro.lookup.lulea import Lulea
 
 __all__ = [
     "LookupStructure",
+    "StructureConfig",
+    "NoOptions",
+    "registry",
     "RadixLookup",
     "TreeBitmap",
     "Dxr",
@@ -52,3 +62,20 @@ __all__ = [
     "BloomLpm",
     "Lulea",
 ]
+
+#: Names that historically lived in repro.bench.harness and now resolve
+#: here; importing them from this package forwards to the registry with a
+#: deprecation warning so old call sites keep working for one cycle.
+_MOVED = ("STANDARD_ALGORITHMS", "standard_roster", "build_structures")
+
+
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.lookup.{name} is provided by repro.lookup.registry; "
+            "import it from there",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

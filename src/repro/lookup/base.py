@@ -4,17 +4,65 @@ Poptrie and each baseline compile from a :class:`repro.net.rib.Rib` and
 resolve integer addresses to FIB indices.  The benchmark harness, the
 cross-algorithm equivalence tests and the cycle simulator all program
 against this interface only.
+
+Three contracts live here:
+
+- **Uniform constructors.**  Every ``from_rib(rib, config=None,
+  **options)`` accepts the structure's typed config dataclass (a
+  :class:`StructureConfig` subclass, like ``PoptrieConfig``) or the same
+  options as keywords; unknown option names raise ``TypeError``.  The
+  per-structure options are tabulated in docs/API.md.
+- **Observability.**  :meth:`LookupStructure.stats` returns a stable
+  per-structure snapshot, and :meth:`enable_obs` installs per-instance
+  lookup instrumentation (counts, depth histograms) against the active
+  :mod:`repro.obs` registry.  While disabled, the scalar lookup path is
+  byte-for-byte the uninstrumented method — zero overhead.
+- **Registration.**  Structures self-register with
+  :mod:`repro.lookup.registry` so the benchmark harness, the CLI and the
+  tests share one roster.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.mem.layout import AccessTrace
 from repro.net.rib import Rib
+
+
+@dataclass(frozen=True)
+class StructureConfig:
+    """Base class for per-structure build options.
+
+    Subclasses are frozen dataclasses whose fields *are* the structure's
+    option surface; :meth:`resolve` merges an optional config instance
+    with keyword overrides and — because dataclass constructors reject
+    unknown names — raises ``TypeError`` on any misspelled option.
+    """
+
+    @classmethod
+    def resolve(
+        cls, config: Optional["StructureConfig"], options: Dict[str, object]
+    ) -> "StructureConfig":
+        if config is None:
+            return cls(**options)
+        if not isinstance(config, cls):
+            raise TypeError(
+                f"expected {cls.__name__}, got {type(config).__name__}"
+            )
+        if options:
+            return dataclasses.replace(config, **options)
+        return config
+
+
+@dataclass(frozen=True)
+class NoOptions(StructureConfig):
+    """The empty config of structures without build options."""
 
 
 class LookupStructure(abc.ABC):
@@ -29,10 +77,19 @@ class LookupStructure(abc.ABC):
     #: Human-readable name used in benchmark reports ("Poptrie18", "D16R"...).
     name: str = "abstract"
 
+    #: The registry the instance was instrumented against (None = not
+    #: observed; the hot path is then completely untouched).
+    _obs_registry = None
+
     @classmethod
     @abc.abstractmethod
-    def from_rib(cls, rib: Rib, **options) -> "LookupStructure":
-        """Compile the structure from a RIB."""
+    def from_rib(cls, rib: Rib, config=None, **options) -> "LookupStructure":
+        """Compile the structure from a RIB.
+
+        ``config`` is the structure's :class:`StructureConfig` subclass;
+        the same options may be given as keywords instead.  Unknown
+        option names raise ``TypeError``.
+        """
 
     @abc.abstractmethod
     def lookup(self, key: int) -> int:
@@ -67,3 +124,154 @@ class LookupStructure(abc.ABC):
         RIB — the paper validated all algorithms against each other over the
         whole IPv4 space; the integration tests use this hook."""
         return [key for key in keys if self.lookup(key) != rib.lookup(key)]
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A stable snapshot of this structure's state and counters.
+
+        The base schema — ``name``, ``type``, ``memory_bytes``,
+        ``memory_mib``, ``observed``, ``lookups``, ``batch_keys`` — is
+        identical for every structure (the lookup counters are 0 unless
+        :meth:`enable_obs` is active); subclasses extend it via
+        :meth:`_extra_stats`.  When observability is enabled this also
+        refreshes the structure's gauges in the active registry, so a
+        Prometheus dump taken right after ``stats()`` is current.
+        """
+        from repro import obs
+
+        observed = self._obs_registry is not None
+        lookups = batch_keys = 0
+        if observed:
+            reg = self._obs_registry
+            lookups = reg.counter(
+                "repro_lookups_total", structure=self.name
+            ).value
+            batch_keys = reg.counter(
+                "repro_lookup_batch_keys_total", structure=self.name
+            ).value
+        memory = self.memory_bytes()
+        if obs.enabled():
+            obs.registry().gauge(
+                "repro_structure_memory_bytes",
+                "Data-structure footprint as reported in Table 3.",
+                structure=self.name,
+            ).set(memory)
+        data: Dict[str, object] = {
+            "name": self.name,
+            "type": type(self).__name__,
+            "memory_bytes": memory,
+            "memory_mib": memory / (1 << 20),
+            "observed": observed,
+            "lookups": lookups,
+            "batch_keys": batch_keys,
+        }
+        data.update(self._extra_stats())
+        return data
+
+    def _extra_stats(self) -> Dict[str, object]:
+        """Subclass hook: structure-specific stats() keys."""
+        return {}
+
+    def enable_obs(self, registry=None) -> None:
+        """Instrument this instance's ``lookup``/``lookup_batch``.
+
+        Installs per-instance wrappers that count lookups, misses and
+        batch sizes — and, for structures exposing ``depth_of`` (Poptrie),
+        a per-lookup depth histogram plus direct-hit/trie-walk split —
+        into ``registry`` (default: the active :func:`repro.obs.registry`).
+        The wrappers shadow the class methods through the instance
+        ``__dict__``; uninstrumented instances are untouched, so the
+        disabled scalar path pays nothing.  Observation roughly doubles
+        the per-lookup cost for depth-reporting structures (the depth is
+        re-derived by a second traversal).
+        """
+        from repro import obs
+
+        reg = registry if registry is not None else obs.registry()
+        self.disable_obs()
+        labels = {"structure": self.name}
+        lookups = reg.counter(
+            "repro_lookups_total", "Scalar lookups served.", **labels
+        )
+        misses = reg.counter(
+            "repro_lookup_no_route_total", "Lookups that matched no route.",
+            **labels,
+        )
+        batches = reg.counter(
+            "repro_lookup_batches_total", "lookup_batch() calls.", **labels
+        )
+        batch_keys = reg.counter(
+            "repro_lookup_batch_keys_total", "Keys resolved in batches.",
+            **labels,
+        )
+        depth_of = getattr(self, "depth_of", None)
+        if depth_of is not None:
+            depth_hist = reg.histogram(
+                "repro_lookup_depth",
+                "Internal nodes traversed per lookup (0 = direct hit).",
+                buckets=obs.DEPTH_BUCKETS,
+                **labels,
+            )
+            direct_hits = reg.counter(
+                "repro_lookup_direct_hits_total",
+                "Lookups resolved by the direct-pointing array.",
+                **labels,
+            )
+            trie_walks = reg.counter(
+                "repro_lookup_trie_walks_total",
+                "Lookups that descended into the trie.",
+                **labels,
+            )
+        scalar = type(self).lookup.__get__(self)
+        if self.supports_batch():
+            batch = type(self).lookup_batch.__get__(self)
+        else:
+            # The default lookup_batch loops over self.lookup, which would
+            # resolve to the observed wrapper and double-count every key —
+            # loop over the unwrapped scalar method instead.
+            def batch(keys):
+                return np.fromiter(
+                    (scalar(int(key)) for key in keys),
+                    dtype=np.uint32,
+                    count=len(keys),
+                )
+
+        def observed_lookup(key: int) -> int:
+            result = scalar(key)
+            lookups.inc()
+            if not result:
+                misses.inc()
+            if depth_of is not None:
+                depth = depth_of(key)
+                depth_hist.observe(depth)
+                if depth:
+                    trie_walks.inc()
+                else:
+                    direct_hits.inc()
+            return result
+
+        def observed_lookup_batch(keys):
+            results = batch(keys)
+            batches.inc()
+            batch_keys.inc(len(results))
+            misses.inc(int(np.count_nonzero(results == 0)))
+            return results
+
+        self.__dict__["lookup"] = observed_lookup
+        self.__dict__["lookup_batch"] = observed_lookup_batch
+        self._obs_registry = reg
+
+    def disable_obs(self) -> None:
+        """Remove instance instrumentation; the class methods take over."""
+        self.__dict__.pop("lookup", None)
+        self.__dict__.pop("lookup_batch", None)
+        self._obs_registry = None
+
+    def __getstate__(self):
+        """Drop per-instance instrumentation: wrappers are closures over
+        live registry objects and must not travel across processes."""
+        state = self.__dict__.copy()
+        for key in ("lookup", "lookup_batch", "_obs_registry"):
+            state.pop(key, None)
+        return state

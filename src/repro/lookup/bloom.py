@@ -15,10 +15,13 @@ memory accesses.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import hashlib
 from typing import Dict, List, Optional
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, StructureConfig
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
@@ -68,6 +71,15 @@ class BloomFilter:
         return len(self._array)
 
 
+@dataclass(frozen=True)
+class BloomConfig(StructureConfig):
+    """Build options: on-chip filter density and hash count."""
+
+    bits_per_entry: int = 12
+    hashes: int = 4
+
+
+@register("Bloom")
 class BloomLpm(LookupStructure):
     """Bloom-filter-guided longest prefix matching."""
 
@@ -90,10 +102,9 @@ class BloomLpm(LookupStructure):
         self._region: Optional[object] = None
 
     @classmethod
-    def from_rib(
-        cls, rib: Rib, bits_per_entry: int = 12, hashes: int = 4, **options
-    ) -> "BloomLpm":
-        structure = cls(rib.width, bits_per_entry, hashes)
+    def from_rib(cls, rib: Rib, config=None, **options) -> "BloomLpm":
+        config = BloomConfig.resolve(config, options)
+        structure = cls(rib.width, config.bits_per_entry, config.hashes)
         per_length: Dict[int, Dict[int, int]] = {}
         for prefix, fib_index in rib.routes():
             if prefix.length == 0:
@@ -104,7 +115,8 @@ class BloomLpm(LookupStructure):
         structure.lengths = sorted(per_length, reverse=True)
         for length, table in per_length.items():
             bloom = BloomFilter(
-                bits=max(len(table) * bits_per_entry, 64), hashes=hashes
+                bits=max(len(table) * config.bits_per_entry, 64),
+                hashes=config.hashes,
             )
             for key in table:
                 bloom.add((length << 40) ^ key)

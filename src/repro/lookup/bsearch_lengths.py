@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
@@ -34,6 +35,7 @@ ENTRY_BYTES = 16
 _PROBE_INSTRUCTIONS = 5
 
 
+@register("BSearch-Lengths")
 class BinarySearchLengths(LookupStructure):
     """Waldvogel's scheme: per-length hash tables + markers + BMPs."""
 
@@ -51,7 +53,8 @@ class BinarySearchLengths(LookupStructure):
         self._region: Optional[object] = None
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "BinarySearchLengths":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "BinarySearchLengths":
+        NoOptions.resolve(config, options)
         structure = cls(rib.width)
         routes = [(p, fib) for p, fib in rib.routes()]
         lengths = sorted({p.length for p, _ in routes if p.length > 0})

@@ -19,7 +19,8 @@ from typing import List
 import numpy as np
 
 from repro.errors import StructuralLimitError
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
@@ -31,6 +32,7 @@ _INSTRUCTIONS = 4
 MAX_CHUNKS = 1 << 15
 
 
+@register("DIR-24-8")
 class Dir24_8(LookupStructure):
     """DIR-24-8-BASIC with 16-bit table entries."""
 
@@ -46,7 +48,8 @@ class Dir24_8(LookupStructure):
         )
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "Dir24_8":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "Dir24_8":
+        NoOptions.resolve(config, options)
         if rib.width != 32:
             raise ValueError("DIR-24-8 is an IPv4 structure")
         max_fib = max((idx for _, idx in rib.routes()), default=0)

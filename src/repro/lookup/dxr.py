@@ -21,6 +21,8 @@ reproducible from traces.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from array import array
 from bisect import bisect_right
 from typing import List, Tuple
@@ -28,7 +30,8 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import StructuralLimitError
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, StructureConfig
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
@@ -44,6 +47,16 @@ _TABLE_INSTRUCTIONS = 4
 _PROBE_INSTRUCTIONS = 4
 
 
+@dataclass(frozen=True)
+class DxrConfig(StructureConfig):
+    """Build options: direct-lookup bits ``s`` and the paper's "modified"
+    (flag-absorbing) range format (required for IPv6, Section 4.10)."""
+
+    s: int = 18
+    modified: bool = False
+
+
+@register("D18R", s=18)
 class Dxr(LookupStructure):
     """DXR with configurable direct-table width ``s`` (D16R / D18R)."""
 
@@ -88,7 +101,9 @@ class Dxr(LookupStructure):
             self._gnh = np.frombuffer(self.nexthops, dtype=np.uint16)
 
     @classmethod
-    def from_rib(cls, rib: Rib, s: int = 18, modified: bool = False) -> "Dxr":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "Dxr":
+        config = DxrConfig.resolve(config, options)
+        s, modified = config.s, config.modified
         width = rib.width
         if width != 32 and not modified:
             raise StructuralLimitError(
@@ -212,3 +227,6 @@ class Dxr(LookupStructure):
 
     def memory_bytes(self) -> int:
         return 4 * len(self.table) + self._range_bytes * len(self.starts)
+
+
+register("D16R", Dxr, s=16)

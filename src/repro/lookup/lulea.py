@@ -29,7 +29,8 @@ from array import array
 from typing import List, Optional, Tuple
 
 from repro.errors import StructuralLimitError
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib, RibNode
@@ -88,6 +89,7 @@ class _Level:
         return 8 * len(self.masks) + 4 * len(self.bases) + 2 * len(self.items)
 
 
+@register("Lulea")
 class Lulea(LookupStructure):
     """Three-level Lulea-compressed IPv4 lookup table."""
 
@@ -100,7 +102,8 @@ class Lulea(LookupStructure):
         self._regions: List[object] = []
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "Lulea":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "Lulea":
+        NoOptions.resolve(config, options)
         if rib.width != 32:
             raise ValueError("Lulea is an IPv4 structure")
         max_fib = max((idx for _, idx in rib.routes()), default=0)

@@ -15,10 +15,13 @@ on the same table isolates what the vector/leafvec compression buys
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from array import array
 from typing import Optional
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, StructureConfig
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib, RibNode
@@ -26,6 +29,14 @@ from repro.net.rib import Rib, RibNode
 _NODE_INSTRUCTIONS = 3
 
 
+@dataclass(frozen=True)
+class MultibitConfig(StructureConfig):
+    """Build options: ``k``, the stride in bits (2^k-ary trie)."""
+
+    k: int = 6
+
+
+@register("Multibit", k=6)
 class MultibitTrie(LookupStructure):
     """Uncompressed 2^k-ary trie (k = 6 by default, like Poptrie)."""
 
@@ -50,8 +61,9 @@ class MultibitTrie(LookupStructure):
         self._region = None
 
     @classmethod
-    def from_rib(cls, rib: Rib, k: int = 6, **options) -> "MultibitTrie":
-        trie = cls(k, rib.width)
+    def from_rib(cls, rib: Rib, config=None, **options) -> "MultibitTrie":
+        config = MultibitConfig.resolve(config, options)
+        trie = cls(config.k, rib.width)
         trie._append_node()
         trie._build(rib.root, 0, NO_ROUTE)
         trie._region = trie.memmap.add_region(

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.prefix import Prefix
@@ -43,6 +44,7 @@ class _Node:
         self.routes: List[Tuple[Prefix, int]] = []
 
 
+@register("Patricia")
 class PatriciaTrie(LookupStructure):
     """Path-compressed binary trie with backtracking LPM."""
 
@@ -58,7 +60,8 @@ class PatriciaTrie(LookupStructure):
         self._numbering = {}
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "PatriciaTrie":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "PatriciaTrie":
+        NoOptions.resolve(config, options)
         trie = cls(width=rib.width)
         for prefix, fib_index in rib.routes():
             trie.insert(prefix, fib_index)

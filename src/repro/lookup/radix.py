@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import NODE_BYTES, Rib
@@ -22,6 +23,7 @@ from repro.net.rib import NODE_BYTES, Rib
 _NODE_INSTRUCTIONS = 4
 
 
+@register("Radix")
 class RadixLookup(LookupStructure):
     """Longest-prefix match by walking the binary radix tree."""
 
@@ -38,7 +40,8 @@ class RadixLookup(LookupStructure):
         )
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "RadixLookup":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "RadixLookup":
+        NoOptions.resolve(config, options)
         return cls(rib)
 
     def _number_nodes(self) -> None:

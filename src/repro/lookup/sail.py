@@ -29,7 +29,8 @@ from typing import List
 import numpy as np
 
 from repro.errors import StructuralLimitError
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, NoOptions
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib
@@ -40,6 +41,7 @@ MAX_CHUNKS = 1 << 15
 _INSTRUCTIONS = 3
 
 
+@register("SAIL")
 class Sail(LookupStructure):
     """SAIL_L: level-pushed 16/24/32 arrays with 16-bit BCN entries."""
 
@@ -55,7 +57,8 @@ class Sail(LookupStructure):
         self._region32 = self.memmap.add_region("sail.n32", 2, max(len(n32), 1))
 
     @classmethod
-    def from_rib(cls, rib: Rib, **options) -> "Sail":
+    def from_rib(cls, rib: Rib, config=None, **options) -> "Sail":
+        NoOptions.resolve(config, options)
         if rib.width != 32:
             raise ValueError("SAIL_L is an IPv4 structure")
         max_fib = max((idx for _, idx in rib.routes()), default=0)

@@ -20,10 +20,13 @@ resolves a leaf in O(1) with one popcount.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from array import array
 from typing import List, Optional, Tuple
 
-from repro.lookup.base import LookupStructure
+from repro.lookup.base import LookupStructure, StructureConfig
+from repro.lookup.registry import register
 from repro.mem.layout import AccessTrace, MemoryMap
 from repro.net.fib import NO_ROUTE
 from repro.net.rib import Rib, RibNode
@@ -39,6 +42,14 @@ class _TmpNode:
         self.children: List[_TmpNode] = []
 
 
+@dataclass(frozen=True)
+class TreeBitmapConfig(StructureConfig):
+    """Build options: ``stride`` (4 = original 16-ary, 6 = 64-ary)."""
+
+    stride: int = 4
+
+
+@register("Tree BitMap", stride=4)
 class TreeBitmap(LookupStructure):
     """Tree BitMap with configurable stride (4 = original, 6 = 64-ary)."""
 
@@ -64,8 +75,9 @@ class TreeBitmap(LookupStructure):
         self._result_region: Optional[object] = None
 
     @classmethod
-    def from_rib(cls, rib: Rib, stride: int = 4, **options) -> "TreeBitmap":
-        tbm = cls(stride, rib.width)
+    def from_rib(cls, rib: Rib, config=None, **options) -> "TreeBitmap":
+        config = TreeBitmapConfig.resolve(config, options)
+        tbm = cls(config.stride, rib.width)
         tmp_root = tbm._build_tmp(rib.root)
         tbm._serialize(tmp_root)
         tbm._node_region = tbm.memmap.add_region(
@@ -200,3 +212,6 @@ class TreeBitmap(LookupStructure):
 
     def memory_bytes(self) -> int:
         return self.node_bytes * len(self.ext) + 2 * len(self.results)
+
+
+register("Tree BitMap (64-ary)", TreeBitmap, stride=6)

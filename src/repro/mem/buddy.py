@@ -41,6 +41,7 @@ class BuddySnapshot:
     alloc_count: int
     free_count: int
     grow_count: int
+    high_water: int = 0
 
 
 def _ceil_log2(n: int) -> int:
@@ -77,6 +78,8 @@ class BuddyAllocator:
         self.alloc_count = 0
         self.free_count = 0
         self.grow_count = 0
+        #: Peak used_slots ever observed (the high-water mark obs exports).
+        self.high_water = 0
 
     # -- queries -------------------------------------------------------------
 
@@ -93,6 +96,71 @@ class BuddyAllocator:
 
     def free_slots(self) -> int:
         return self.capacity - self.used_slots
+
+    def largest_free_block(self) -> int:
+        """Slot count of the biggest currently-free block (0 when full)."""
+        for k in range(self._order, -1, -1):
+            if self._free_lists[k]:
+                return 1 << k
+        return 0
+
+    def fragmentation(self) -> float:
+        """External fragmentation in [0, 1]: the fraction of free space
+        that cannot be served as one contiguous block.  0 when the free
+        space is one block (or there is none)."""
+        free = self.free_slots()
+        if free <= 0:
+            return 0.0
+        return 1.0 - self.largest_free_block() / free
+
+    def stats(self) -> Dict[str, float]:
+        """The allocator's observability snapshot (see docs/OBSERVABILITY.md)."""
+        return {
+            "capacity": self.capacity,
+            "used_slots": self.used_slots,
+            "free_slots": self.free_slots(),
+            "high_water": self.high_water,
+            "largest_free_block": self.largest_free_block(),
+            "fragmentation": self.fragmentation(),
+            "allocs": self.alloc_count,
+            "frees": self.free_count,
+            "grows": self.grow_count,
+        }
+
+    def publish_obs(self, pool: str, slot_bytes: int = 1) -> None:
+        """Refresh this allocator's gauges in the active metrics registry.
+
+        ``pool`` labels the series (e.g. ``"poptrie.nodes"``);
+        ``slot_bytes`` converts slot counts into the exported
+        ``repro_allocator_live_bytes`` gauge.  A no-op while
+        observability is disabled.
+        """
+        from repro import obs
+
+        if not obs.enabled():
+            return
+        reg = obs.registry()
+        labels = {"pool": pool}
+        gauges = {
+            "repro_allocator_capacity_slots": (
+                "Managed slot capacity.", self.capacity),
+            "repro_allocator_used_slots": (
+                "Slots in live blocks.", self.used_slots),
+            "repro_allocator_high_water_slots": (
+                "Peak used slots.", self.high_water),
+            "repro_allocator_fragmentation_ratio": (
+                "Free space not servable as one block.", self.fragmentation()),
+            "repro_allocator_live_bytes": (
+                "Bytes in live blocks.", self.used_slots * slot_bytes),
+            "repro_allocator_allocs": (
+                "Cumulative alloc() calls.", self.alloc_count),
+            "repro_allocator_frees": (
+                "Cumulative free() calls.", self.free_count),
+            "repro_allocator_grows": (
+                "Cumulative capacity doublings.", self.grow_count),
+        }
+        for name, (help_text, value) in gauges.items():
+            reg.gauge(name, help_text, **labels).set(value)
 
     # -- allocation ------------------------------------------------------------
 
@@ -111,6 +179,8 @@ class BuddyAllocator:
             if offset is not None:
                 self._live[offset] = order
                 self.used_slots += 1 << order
+                if self.used_slots > self.high_water:
+                    self.high_water = self.used_slots
                 self.alloc_count += 1
                 return offset
             if not self.auto_grow:
@@ -146,6 +216,7 @@ class BuddyAllocator:
             alloc_count=self.alloc_count,
             free_count=self.free_count,
             grow_count=self.grow_count,
+            high_water=self.high_water,
         )
 
     def restore(self, state: BuddySnapshot) -> None:
@@ -164,6 +235,7 @@ class BuddyAllocator:
         self.alloc_count = state.alloc_count
         self.free_count = state.free_count
         self.grow_count = state.grow_count
+        self.high_water = state.high_water
 
     # -- internals ---------------------------------------------------------
 

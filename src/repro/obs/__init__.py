@@ -1,0 +1,128 @@
+"""Observability: metrics, tracing spans and profiling hooks.
+
+This package is the instrumentation substrate the ROADMAP's performance
+PRs report through.  It is zero-dependency and *compile-out cheap*: one
+module-level switch selects between a live :class:`MetricsRegistry` and a
+shared :class:`NullRegistry` whose instruments are no-ops, so
+instrumented code costs nothing measurable while observability is off —
+and the per-lookup scalar hot path is only instrumented at all when
+:meth:`~repro.lookup.base.LookupStructure.enable_obs` installs a
+per-instance wrapper (zero overhead otherwise, not even a branch).
+
+Typical use::
+
+    from repro import obs
+
+>>> from repro import obs
+>>> from repro.obs import metrics
+>>> _ = obs.enable()                    # swap in a live registry
+>>> obs.enabled()
+True
+>>> counter = obs.registry().counter(
+...     "demo_lookups_total", "Demo counter.", structure="Poptrie18")
+>>> counter.inc()
+>>> counter.inc(2)
+>>> print(obs.registry().render())
+# HELP demo_lookups_total Demo counter.
+# TYPE demo_lookups_total counter
+demo_lookups_total{structure="Poptrie18"} 3
+>>> hist = obs.registry().histogram(
+...     "demo_depth", buckets=metrics.DEPTH_BUCKETS)
+>>> hist.observe(0); hist.observe(3); hist.observe(3)
+>>> hist.count, hist.percentile(50)
+(3, 3.0)
+>>> obs.disable()                       # back to the free no-op registry
+>>> obs.enabled()
+False
+>>> obs.registry().counter("demo_lookups_total").inc()   # no-op, no state
+>>> obs.registry().render()
+''
+
+Metric names, units and bucket layouts are catalogued in
+docs/OBSERVABILITY.md; ``python -m repro stats`` exercises every
+instrumented subsystem and prints the Prometheus text dump.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_US_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.profiling import ProfileResult, profiled
+from repro.obs.tracing import SpanRecord, clear_spans, recent_spans, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "ProfileResult",
+    "SpanRecord",
+    "clear_spans",
+    "disable",
+    "enable",
+    "enabled",
+    "profiled",
+    "recent_spans",
+    "registry",
+    "span",
+    "DEPTH_BUCKETS",
+    "LATENCY_US_BUCKETS",
+    "OCCUPANCY_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: The active registry.  NullRegistry while disabled; enable() swaps in a
+#: live MetricsRegistry.  Hot paths read this through registry() at event
+#: time (or not at all — per-instance lookup wrappers are only installed
+#: while enabled), so the disabled cost is at most one attribute check.
+_registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+
+
+def enabled() -> bool:
+    """True when a live metrics registry is installed."""
+    return _registry is not NULL_REGISTRY
+
+
+def registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The active registry (the shared no-op registry while disabled)."""
+    return _registry
+
+
+def enable(target: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch observability on; returns the active live registry.
+
+    Idempotent: enabling while already enabled keeps the existing
+    registry (unless an explicit ``target`` is supplied).
+    """
+    global _registry
+    if target is not None:
+        _registry = target
+    elif _registry is NULL_REGISTRY:
+        _registry = MetricsRegistry()
+    assert isinstance(_registry, MetricsRegistry)
+    return _registry
+
+
+def disable() -> None:
+    """Switch observability off: reinstall the shared no-op registry."""
+    global _registry
+    _registry = NULL_REGISTRY
+
+
+if os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false", "no"):
+    enable()

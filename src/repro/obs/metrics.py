@@ -1,0 +1,344 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The design follows the Prometheus data model — monotonic counters,
+settable gauges, and histograms with *fixed* bucket layouts — because the
+paper's whole evaluation (Section 4) is a set of counter/histogram reads:
+lookup counts, per-depth access distributions, allocator churn, latency
+percentiles.  Keeping the layouts fixed makes snapshots comparable across
+runs, which is what EXPERIMENTS.md needs.
+
+Two registries implement the same surface:
+
+- :class:`MetricsRegistry` — the real thing; hands out live instruments
+  keyed by ``(name, labels)`` and renders the Prometheus text exposition
+  format.
+- :class:`NullRegistry` — the compiled-out substitute installed while
+  observability is disabled; every factory returns a shared no-op
+  instrument, so instrumented code pays one method call and nothing else.
+
+Hot paths never hold a registry: they either install per-instance
+wrappers when observability is switched on (see
+:meth:`repro.lookup.base.LookupStructure.enable_obs`) or fetch their
+instrument through :func:`repro.obs.registry` at event time, so flipping
+the module-level switch takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# -- fixed bucket layouts ------------------------------------------------------
+
+#: Trie depth / internal nodes traversed per lookup (Figure 11's x-axis).
+DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 22)
+
+#: Per-packet / per-batch latency in microseconds (the §2 jitter argument).
+LATENCY_US_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: Wall-clock span durations in seconds (build / update / pipeline stages).
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Ring/queue occupancy in packets (power-of-two ring sizes).
+OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+)
+
+DEFAULT_BUCKETS = SECONDS_BUCKETS
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, bytes live, ...)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the tail.  ``observe`` is O(log buckets).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def value(self) -> float:
+        """The running mean — the scalar summary used in stats() dicts."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds + (math.inf,), self.counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0..100) from the bucket layout:
+        returns the smallest upper bound covering the rank.  The tail
+        bucket reports the largest finite bound."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in 0..100")
+        if not self.count:
+            return 0.0
+        rank = math.ceil(self.count * q / 100)
+        for bound, cumulative in self.cumulative():
+            if cumulative >= rank:
+                return self.bounds[-1] if bound == math.inf else bound
+        return self.bounds[-1]
+
+
+class _Family:
+    """All instruments sharing one metric name (children split by labels)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help: str, buckets=None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: Dict[LabelKey, object] = {}
+
+    def child(self, labels: Dict[str, str]):
+        key = _label_key(labels)
+        instrument = self.children.get(key)
+        if instrument is None:
+            if self.kind == "counter":
+                instrument = Counter()
+            elif self.kind == "gauge":
+                instrument = Gauge()
+            else:
+                instrument = Histogram(self.buckets or DEFAULT_BUCKETS)
+            self.children[key] = instrument
+        return instrument
+
+
+class MetricsRegistry:
+    """The live metrics store: a dict of metric families.
+
+    Instruments are created on first use and identified by
+    ``(name, labels)``; asking for an existing name with a different type
+    is a programming error and raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -- factories ---------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str, buckets=None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._family(name, "counter", help).child(labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._family(name, "gauge", help).child(labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._family(name, "histogram", help, tuple(buckets)).child(labels)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def families(self) -> Iterable[_Family]:
+        return self._families.values()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{"name{labels}": scalar}`` view (histograms -> mean)."""
+        out: Dict[str, float] = {}
+        for family in self._families.values():
+            for key, instrument in family.children.items():
+                out[family.name + _render_labels(key)] = instrument.value
+        return out
+
+    def reset(self) -> None:
+        self._families.clear()
+
+    # -- Prometheus text exposition ---------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text format (``# HELP`` / ``# TYPE`` / samples)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                instrument = family.children[key]
+                if family.kind == "histogram":
+                    assert isinstance(instrument, Histogram)
+                    for bound, cumulative in instrument.cumulative():
+                        labels = _render_labels(
+                            key, [("le", _format_value(bound))]
+                        )
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    suffix = _render_labels(key)
+                    lines.append(
+                        f"{name}_sum{suffix} {_format_value(instrument.sum)}"
+                    )
+                    lines.append(f"{name}_count{suffix} {instrument.count}")
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(key)} "
+                        f"{_format_value(instrument.value)}"
+                    )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled state."""
+
+    __slots__ = ()
+    value = 0
+    sum = 0.0
+    count = 0
+    bounds: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        return []
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled-state registry: every factory returns a shared no-op.
+
+    Mutating it is free and invisible; rendering it yields nothing.  Code
+    instrumented against :func:`repro.obs.registry` therefore needs no
+    enabled-check of its own outside the hottest loops.
+    """
+
+    def counter(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL
+
+    def histogram(
+        self, name: str, help: str = "", buckets=DEFAULT_BUCKETS, **labels: str
+    ) -> _NullInstrument:
+        return _NULL
+
+    def __len__(self) -> int:
+        return 0
+
+    def families(self) -> Iterable[_Family]:
+        return ()
+
+    def snapshot(self) -> Dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

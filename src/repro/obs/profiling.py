@@ -1,0 +1,57 @@
+"""Profiling hooks: a zero-setup cProfile wrapper for hot-path analysis.
+
+The paper's performance story is ultimately about where cycles go;
+:func:`profiled` makes the interpreter-level equivalent one context
+manager away::
+
+    with profiled() as prof:
+        measure_rate_scalar(structure, 100_000)
+    print(prof.report(limit=10))
+
+Everything is standard library (``cProfile``/``pstats``), so this module
+adds no dependencies and imports lazily — constructing the context
+manager while profiling is not wanted costs nothing.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ProfileResult:
+    """Holds a finished cProfile run and renders pstats reports."""
+
+    def __init__(self, profile) -> None:
+        self._profile = profile
+
+    def report(self, sort: str = "cumulative", limit: int = 20) -> str:
+        """A pstats text report sorted by ``sort`` (cumulative/tottime/...)."""
+        import pstats
+
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+    def dump(self, path: str) -> None:
+        """Write raw profile data loadable by snakeviz/pstats."""
+        self._profile.dump_stats(path)
+
+
+@contextmanager
+def profiled() -> Iterator[ProfileResult]:
+    """Profile the enclosed block with cProfile.
+
+    The yielded :class:`ProfileResult` is usable after the block exits.
+    """
+    import cProfile
+
+    profile = cProfile.Profile()
+    result = ProfileResult(profile)
+    profile.enable()
+    try:
+        yield result
+    finally:
+        profile.disable()

@@ -1,0 +1,113 @@
+"""Lightweight tracing spans over the metrics registry.
+
+A span is a named, timed region — ``with span("poptrie.from_rib"):`` —
+that (when observability is enabled) records its wall-clock duration into
+the ``repro_span_seconds`` histogram and appends a :class:`SpanRecord` to
+a bounded in-memory ring for inspection.  When observability is disabled,
+:func:`span` returns a shared no-op context manager: entering it costs
+two trivial method calls and touches no shared state, so spans are safe
+to leave in update/build/pipeline paths permanently (they are kept out of
+the per-lookup scalar path entirely; see docs/OBSERVABILITY.md).
+
+Nesting is tracked with a plain stack (the library is single-threaded per
+structure; the multi-core benchmark forks whole processes), so each
+record knows its parent span name and depth.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.obs.metrics import SECONDS_BUCKETS
+
+#: How many finished spans the in-memory ring keeps.
+SPAN_RING_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start: float       # time.perf_counter() at entry
+    duration: float    # seconds
+    parent: Optional[str]
+    depth: int
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+_ring: Deque[SpanRecord] = deque(maxlen=SPAN_RING_CAPACITY)
+_stack: List[str] = []
+
+
+class _Span:
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        _stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._start
+        _stack.pop()
+        record = SpanRecord(
+            name=self.name,
+            start=self._start,
+            duration=duration,
+            parent=_stack[-1] if _stack else None,
+            depth=len(_stack),
+        )
+        _ring.append(record)
+        from repro import obs
+
+        obs.registry().histogram(
+            "repro_span_seconds",
+            "Wall-clock duration of traced spans.",
+            buckets=SECONDS_BUCKETS,
+            span=self.name,
+        ).observe(duration)
+
+
+def span(name: str):
+    """A context manager timing the enclosed region as ``name``.
+
+    Returns a shared no-op object while observability is disabled.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def recent_spans(name: Optional[str] = None) -> List[SpanRecord]:
+    """The finished spans still in the ring, oldest first."""
+    if name is None:
+        return list(_ring)
+    return [record for record in _ring if record.name == name]
+
+
+def clear_spans() -> None:
+    _ring.clear()
+    _stack.clear()

@@ -43,6 +43,7 @@ from repro.mem.buddy import OutOfMemory
 from repro.net.fib import NO_ROUTE
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
+from repro.obs import tracing
 from repro.robust import faults
 
 
@@ -55,6 +56,21 @@ class TxnStats:
     fallback_rebuilds: int = 0
     threshold_rebuilds: int = 0
     rejected: int = 0
+
+
+def _count_txn(outcome: str) -> None:
+    """Mirror one transactional outcome into the metrics registry.
+
+    A no-op method call while observability is disabled (the null
+    registry hands back a shared no-op counter).
+    """
+    from repro import obs
+
+    obs.registry().counter(
+        "repro_txn_outcomes_total",
+        "Transactional update outcomes by kind.",
+        outcome=outcome,
+    ).inc()
 
 
 @dataclass
@@ -156,6 +172,7 @@ class TransactionalPoptrie(UpdatablePoptrie):
                 raise UpdateRejectedError(f"unknown update kind {kind!r}")
         except UpdateRejectedError:
             self.txn_stats.rejected += 1
+            _count_txn("rejected")
             raise
         txn = Transaction(self)
         try:
@@ -164,6 +181,7 @@ class TransactionalPoptrie(UpdatablePoptrie):
                 txn.rib_undo.append(self._rib_inverse("A", prefix, previous))
                 if previous == fib_index:
                     self.txn_stats.commits += 1  # no structural work needed
+                    _count_txn("commit")
                     return
             else:
                 previous = self.rib.delete(prefix)
@@ -172,16 +190,20 @@ class TransactionalPoptrie(UpdatablePoptrie):
         except ReplaceCostExceeded:
             txn.rollback()
             self.txn_stats.threshold_rebuilds += 1
+            _count_txn("threshold_rebuild")
             self._rebuild(kind, prefix, fib_index)
         except Exception:
             txn.rollback()
             self.txn_stats.rollbacks += 1
+            _count_txn("rollback")
             if not self.fallback_rebuild:
                 raise
             self.txn_stats.fallback_rebuilds += 1
+            _count_txn("fallback_rebuild")
             self._rebuild(kind, prefix, fib_index)
         else:
             self.txn_stats.commits += 1
+            _count_txn("commit")
 
     def _rib_inverse(self, kind: str, prefix: Prefix, previous: int):
         """The inverse RIB operation for an applied announce/withdraw."""
@@ -203,13 +225,19 @@ class TransactionalPoptrie(UpdatablePoptrie):
             previous = self.rib.delete(prefix)
         undo = self._rib_inverse(kind, prefix, previous)
         try:
-            rebuilt = Poptrie.from_rib(self.rib, self.trie.config)
+            with tracing.span("txn.rebuild"):
+                rebuilt = Poptrie.from_rib(self.rib, self.trie.config)
         except Exception:
             undo()
             raise
+        # Carry per-instance lookup instrumentation over to the new trie so
+        # an observed structure stays observed across degradation.
+        if self.trie._obs_registry is not None:
+            rebuilt.enable_obs(self.trie._obs_registry)
         self.trie = rebuilt  # single-reference swap: readers see old or new
         self.stats.updates += 1
         self.generation += 1
+        self._publish_update_obs(0, 0, 0, engine="rebuild")
 
     # -- stream replay --------------------------------------------------------
 
@@ -237,6 +265,7 @@ class TransactionalPoptrie(UpdatablePoptrie):
                     validate_update(update)
                 except UpdateRejectedError as error:
                     self.txn_stats.rejected += 1
+                    _count_txn("rejected")
                     raise UpdateRejectedError(
                         f"message {position}: {error}"
                     ) from error

@@ -20,8 +20,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.lookup.base import LookupStructure
 from repro.net.fib import NO_ROUTE, Fib
+from repro.obs.tracing import span
 
 
 class RingBuffer:
@@ -123,8 +125,15 @@ class ForwardingPipeline:
 
         The stage starts a batch when either a full ``batch_size`` is
         queued or no more packets will arrive (end of input flushes).
-        Returns the latency/throughput report.
+        Returns the latency/throughput report.  When observability is
+        enabled, per-batch ring occupancy and per-packet latency also
+        land in the metrics registry (see docs/OBSERVABILITY.md).
         """
+        observing = obs.enabled()
+        occupancy_samples: List[int] = []
+        batches = 0
+        ring_drops_before = self.rx.dropped
+        no_route_before = self.no_route_drops
         latencies: List[float] = []
         clock = 0.0
         index = 0
@@ -132,30 +141,44 @@ class ForwardingPipeline:
         arrivals = [i * arrival_interval for i in range(total)]
         done_feeding = total == 0
 
-        while not done_feeding or len(self.rx):
-            # Feed everything that has arrived by `clock`.
-            while index < total and arrivals[index] <= clock:
-                self.rx.push(arrivals[index], int(destinations[index]))
-                index += 1
-            done_feeding = index >= total
+        with span("pipeline.run"):
+            while not done_feeding or len(self.rx):
+                # Feed everything that has arrived by `clock`.
+                while index < total and arrivals[index] <= clock:
+                    self.rx.push(arrivals[index], int(destinations[index]))
+                    index += 1
+                done_feeding = index >= total
 
-            if len(self.rx) >= self.batch_size or (done_feeding and len(self.rx)):
-                batch = self.rx.pop_batch(self.batch_size)
-                start = max(clock, batch[0][0])
-                finish = (
-                    start
-                    + self.cost.batch_overhead
-                    + self.cost.per_packet * len(batch)
-                )
-                self._forward(batch)
-                latencies.extend(finish - arrival for arrival, _ in batch)
-                clock = finish
-            elif index < total:
-                # Idle until the next arrival.
-                clock = max(clock, arrivals[index])
-            else:
-                break
+                if len(self.rx) >= self.batch_size or (
+                    done_feeding and len(self.rx)
+                ):
+                    if observing:
+                        occupancy_samples.append(len(self.rx))
+                    batch = self.rx.pop_batch(self.batch_size)
+                    batches += 1
+                    start = max(clock, batch[0][0])
+                    finish = (
+                        start
+                        + self.cost.batch_overhead
+                        + self.cost.per_packet * len(batch)
+                    )
+                    self._forward(batch)
+                    latencies.extend(finish - arrival for arrival, _ in batch)
+                    clock = finish
+                elif index < total:
+                    # Idle until the next arrival.
+                    clock = max(clock, arrivals[index])
+                else:
+                    break
 
+        if observing:
+            self._publish_obs(
+                latencies,
+                occupancy_samples,
+                batches,
+                self.rx.dropped - ring_drops_before,
+                self.no_route_drops - no_route_before,
+            )
         if not latencies:
             return LatencyReport(0, self.rx.dropped, 0.0, 0, 0, 0, 0, 0.0)
         values = np.array(latencies)
@@ -170,6 +193,66 @@ class ForwardingPipeline:
             max_latency=float(values.max()),
             jitter=float(values.std()),
         )
+
+    def _publish_obs(
+        self,
+        latencies: List[float],
+        occupancy_samples: List[int],
+        batches: int,
+        ring_drops: int,
+        no_route_drops: int,
+    ) -> None:
+        """Mirror one run's accounting into the metrics registry."""
+        from repro.obs import LATENCY_US_BUCKETS, OCCUPANCY_BUCKETS
+
+        reg = obs.registry()
+        reg.counter(
+            "repro_pipeline_packets_total",
+            "Packets forwarded by the pipeline lookup stage.",
+        ).inc(len(latencies))
+        reg.counter(
+            "repro_pipeline_batches_total",
+            "Lookup-stage batches drained from the rx ring.",
+        ).inc(batches)
+        reg.counter(
+            "repro_pipeline_ring_drops_total",
+            "Packets tail-dropped by the rx ring.",
+        ).inc(ring_drops)
+        reg.counter(
+            "repro_pipeline_no_route_drops_total",
+            "Packets dropped for lack of a matching route.",
+        ).inc(no_route_drops)
+        occupancy = reg.histogram(
+            "repro_pipeline_ring_occupancy",
+            "rx ring occupancy sampled at the start of each batch.",
+            buckets=OCCUPANCY_BUCKETS,
+        )
+        for sample in occupancy_samples:
+            occupancy.observe(sample)
+        latency = reg.histogram(
+            "repro_pipeline_latency_us",
+            "Per-packet forwarding latency in virtual microseconds.",
+            buckets=LATENCY_US_BUCKETS,
+        )
+        for value in latencies:
+            latency.observe(value)
+        reg.gauge(
+            "repro_pipeline_batch_size",
+            "Configured lookup-stage batch size.",
+        ).set(self.batch_size)
+
+    def stats(self) -> Dict[str, float]:
+        """The pipeline's observability snapshot (see docs/OBSERVABILITY.md)."""
+        return {
+            "batch_size": self.batch_size,
+            "ring_capacity": self.rx.capacity,
+            "ring_occupancy": len(self.rx),
+            "enqueued": self.rx.enqueued,
+            "ring_drops": self.rx.dropped,
+            "no_route_drops": self.no_route_drops,
+            "ports": len(self.port_packets),
+            "forwarded": sum(self.port_packets.values()),
+        }
 
     def _forward(self, batch: List[Tuple[float, int]]) -> None:
         keys = np.fromiter(

@@ -4,18 +4,20 @@ import numpy as np
 import pytest
 
 from repro.bench.harness import (
-    STANDARD_ALGORITHMS,
     RateResult,
-    build_structures,
     measure_compile_time,
     measure_rate_batch,
     measure_rate_scalar,
     measure_rate_scalar_keys,
-    standard_roster,
 )
 from repro.bench.report import Table
 from repro.data.synth import generate_table
 from repro.lookup.radix import RadixLookup
+from repro.lookup.registry import (
+    STANDARD_ALGORITHMS,
+    build_structures,
+    standard_roster,
+)
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +103,25 @@ class TestRoster:
             roster["Poptrie18"].memory_bytes()
             <= raw["Poptrie18"].memory_bytes()
         )
+
+
+class TestDeprecationShims:
+    def test_harness_still_exports_roster_with_warning(self):
+        import repro.bench.harness as harness
+        import repro.lookup as lookup
+        from repro.lookup import registry
+
+        for module in (harness, lookup):
+            with pytest.warns(DeprecationWarning):
+                assert module.standard_roster is registry.standard_roster
+            with pytest.warns(DeprecationWarning):
+                assert module.STANDARD_ALGORITHMS is registry.STANDARD_ALGORITHMS
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.bench.harness as harness
+
+        with pytest.raises(AttributeError):
+            harness.does_not_exist
 
 
 class TestReportTable:

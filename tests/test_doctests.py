@@ -15,11 +15,13 @@ import repro.net.fib
 import repro.net.ip
 import repro.net.prefix
 import repro.net.rib
+import repro.obs
 import repro.robust.faults
 import repro.robust.txn
 import repro.router.forwarding
 
 MODULES = [
+    repro.obs,
     repro.errors,
     repro.net.ip,
     repro.net.prefix,

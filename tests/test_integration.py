@@ -11,7 +11,7 @@ import pytest
 
 from tests.conftest import boundary_keys, random_keys
 
-from repro.bench.harness import standard_roster
+from repro.lookup.registry import standard_roster
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.data.datasets import load_dataset, load_dataset_v6

@@ -1,0 +1,75 @@
+"""Snapshot test of the library's public API surface.
+
+A failure here means the public contract changed.  If the change is
+intentional, update the snapshot below *and* docs/API.md in the same
+commit; if not, you just caught an accidental break.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import obs
+from repro.lookup import registry
+
+GUIDANCE = (
+    "public API changed — if intentional, update this snapshot and "
+    "docs/API.md together"
+)
+
+EXPECTED_TOP_LEVEL = {
+    # the algorithm & its configuration
+    "Poptrie", "PoptrieConfig", "UpdatablePoptrie", "TransactionalPoptrie",
+    # the uniform lookup surface
+    "LookupStructure", "registry",
+    # observability
+    "obs",
+    # robustness toolkit
+    "FaultPlan", "verify_poptrie",
+    # errors
+    "ReproError", "StructuralLimitError", "TableFormatError",
+    "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
+    "InjectedFault",
+    # network substrate
+    "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
+    # metadata
+    "__version__",
+}
+
+EXPECTED_ALGORITHMS = {
+    "Radix", "Tree BitMap", "Tree BitMap (64-ary)", "SAIL", "DIR-24-8",
+    "D16R", "D18R", "Multibit", "Patricia", "BSearch-Lengths", "Bloom",
+    "Lulea", "Poptrie0", "Poptrie16", "Poptrie18",
+}
+
+EXPECTED_OBS = {
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "ProfileResult", "SpanRecord", "clear_spans",
+    "disable", "enable", "enabled", "profiled", "recent_spans", "registry",
+    "span", "DEPTH_BUCKETS", "LATENCY_US_BUCKETS", "OCCUPANCY_BUCKETS",
+    "SECONDS_BUCKETS",
+}
+
+
+def test_top_level_exports_are_frozen():
+    assert set(repro.__all__) == EXPECTED_TOP_LEVEL, GUIDANCE
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"{name} exported but missing"
+
+
+def test_registry_names_are_frozen():
+    assert set(registry.available()) == EXPECTED_ALGORITHMS, GUIDANCE
+    assert set(registry.STANDARD_ALGORITHMS) <= EXPECTED_ALGORITHMS
+
+
+def test_obs_exports_are_frozen():
+    assert set(obs.__all__) == EXPECTED_OBS, GUIDANCE
+    for name in obs.__all__:
+        assert hasattr(obs, name), f"{name} exported but missing"
+
+
+def test_lookup_package_exports():
+    from repro import lookup
+
+    for name in ("LookupStructure", "StructureConfig", "NoOptions",
+                 "registry"):
+        assert name in lookup.__all__, GUIDANCE
