@@ -1,0 +1,59 @@
+"""Served-system benchmark: throughput and latency through the TCP service.
+
+Unlike every other module here, this one measures the *deployed* shape of
+the library — asyncio server, wire protocol, request coalescing and one
+mid-run RCU hot swap — and persists ``BENCH_server.json`` under
+``benchmarks/results/`` so successive PRs can compare the served numbers
+(throughput, p50/p99/p999 latency) like-for-like.  The CI smoke job
+produces the same artifact cross-process via ``repro serve`` +
+``repro loadgen``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR
+
+from repro.bench.server_scenario import emit_server_bench
+
+#: Scaled down like the other benchmarks; REPRO_SERVER_DURATION stretches
+#: the measured window for steadier percentiles.
+DURATION = float(os.environ.get("REPRO_SERVER_DURATION", "2.0"))
+RATE = float(os.environ.get("REPRO_SERVER_RATE", "2000"))
+
+
+def test_server_throughput_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_server.json"
+    result = emit_server_bench(
+        path=str(path),
+        routes=20_000,
+        duration=DURATION,
+        rate=RATE,
+        connections=4,
+        batch=16,
+        seed=7,
+        swap_mid_run=True,
+    )
+    print()
+    print(
+        f"server throughput: {result['throughput_rps']:.0f} req/s "
+        f"({result['throughput_klps']:.1f} klps), "
+        f"p50 {result['latency_us']['p50']:.0f} us, "
+        f"p99 {result['latency_us']['p99']:.0f} us, "
+        f"p999 {result['latency_us']['p999']:.0f} us"
+    )
+
+    # The scenario's contract: the hot swap costs zero errored responses.
+    assert result["errors"] == 0
+    assert result["loadgen"]["mismatched"] == 0
+    assert result["swap_generation"] == 1
+    assert result["server"]["max_coalesced"] >= 1
+    assert result["throughput_rps"] > 0
+
+    # The artifact on disk is the same JSON the test saw.
+    persisted = json.loads(path.read_text())
+    assert persisted["scenario"] == "server_throughput"
+    assert persisted["latency_us"].keys() >= {"p50", "p99", "p999"}

@@ -33,6 +33,7 @@ from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.errors import (
     InjectedFault,
+    ProtocolError,
     ReproError,
     SnapshotFormatError,
     StructuralLimitError,
@@ -48,6 +49,7 @@ from repro.net.rib import Rib
 from repro.robust.faults import FaultPlan
 from repro.robust.txn import TransactionalPoptrie
 from repro.robust.verify import verify_poptrie
+from repro.server import LoadGenerator, LookupServer, TableHandle
 
 __version__ = "1.1.0"
 
@@ -61,6 +63,10 @@ __all__ = [
     "TransactionalPoptrie",
     "FaultPlan",
     "verify_poptrie",
+    # the route-lookup service
+    "LookupServer",
+    "TableHandle",
+    "LoadGenerator",
     "ReproError",
     "StructuralLimitError",
     "TableFormatError",
@@ -68,6 +74,7 @@ __all__ = [
     "UpdateRejectedError",
     "VerificationError",
     "InjectedFault",
+    "ProtocolError",
     "NO_ROUTE",
     "Fib",
     "NextHop",

@@ -1,4 +1,4 @@
-"""Command-line interface: generate, compile, look up, inspect, benchmark.
+"""Command-line interface: generate, compile, look up, serve, benchmark.
 
 Usage examples::
 
@@ -12,6 +12,15 @@ Usage examples::
     python -m repro bench rib.txt --queries 200000  # quick Mlps comparison
     python -m repro bench rib.txt --metrics         # ... plus Prometheus dump
     python -m repro stats                           # observability self-demo
+    python -m repro serve --table rib.txt --port 9000   # lookup service
+    python -m repro loadgen --port 9000 --duration 2    # drive it
+
+Argument spelling is unified across subcommands: every command that
+reads a table accepts it positionally *or* as ``--table PATH`` (the
+shared spelling; ``serve``/``loadgen``/``bench`` also share
+``--algorithm NAME``).  ``--snapshot`` is kept as a hidden deprecated
+alias of ``--table`` for compiled-snapshot call sites and prints a
+deprecation note when used.
 """
 
 from __future__ import annotations
@@ -28,6 +37,10 @@ from repro.errors import ReproError
 from repro.net.ip import parse_address
 
 
+class _UsageError(ValueError):
+    """Bad argument spelling or combination — exits 2, like argparse."""
+
+
 def _load_structure(path: str) -> Poptrie:
     """Load either a compiled snapshot or a text table (compiled on load)."""
     with open(path, "rb") as stream:
@@ -35,6 +48,89 @@ def _load_structure(path: str) -> Poptrie:
     if magic == serialize.MAGIC:
         return serialize.load(path)
     return Poptrie.from_rib(tableio.load_table(path))
+
+
+def _is_snapshot(path: str) -> bool:
+    with open(path, "rb") as stream:
+        return stream.read(len(serialize.MAGIC)) == serialize.MAGIC
+
+
+# -- shared argument groups ----------------------------------------------------
+#
+# Every subcommand that reads a table registers the same group through
+# _add_table_arg, so the spelling (positional TABLE or --table PATH) is
+# identical everywhere; serve/loadgen/bench share _add_algorithm_arg and
+# the server endpoint options come from _add_endpoint_args.
+
+
+def _add_table_arg(
+    parser: argparse.ArgumentParser,
+    required: bool = True,
+    metavar: str = "TABLE",
+    help: str = "routing table (text) or compiled snapshot",
+) -> None:
+    group = parser.add_argument_group("input table")
+    group.add_argument("table_pos", nargs="?", metavar=metavar, help=help)
+    group.add_argument(
+        "--table", dest="table_opt", metavar="PATH",
+        help=f"unified spelling of the {metavar} argument",
+    )
+    # Deprecated alias kept for one cycle (hidden from --help).
+    group.add_argument(
+        "--snapshot", dest="snapshot_opt", metavar="PATH",
+        help=argparse.SUPPRESS,
+    )
+    parser.set_defaults(_table_required=required)
+
+
+def _resolve_table(args: argparse.Namespace) -> Optional[str]:
+    """The one table path out of positional/--table/--snapshot spellings."""
+    if getattr(args, "snapshot_opt", None):
+        print(
+            "note: --snapshot is a deprecated alias of --table "
+            "and will be removed; use --table",
+            file=sys.stderr,
+        )
+    given = [
+        value
+        for value in (
+            getattr(args, "table_pos", None),
+            getattr(args, "table_opt", None),
+            getattr(args, "snapshot_opt", None),
+        )
+        if value
+    ]
+    if len(set(given)) > 1:
+        raise _UsageError(
+            "expected one table, got conflicting arguments: "
+            + ", ".join(sorted(set(given)))
+        )
+    if not given:
+        if getattr(args, "_table_required", True):
+            raise _UsageError(
+                "a table is required (positional TABLE or --table PATH)"
+            )
+        return None
+    return given[0]
+
+
+def _add_algorithm_arg(
+    parser: argparse.ArgumentParser, default: Optional[str] = "Poptrie18"
+) -> None:
+    parser.add_argument(
+        "--algorithm", default=default, metavar="NAME",
+        help="registry algorithm to build/serve "
+             f"(default {default}; see docs/API.md for the roster)",
+    )
+
+
+def _add_endpoint_args(
+    parser: argparse.ArgumentParser, default_port: int
+) -> None:
+    group = parser.add_argument_group("service endpoint")
+    group.add_argument("--host", default="127.0.0.1")
+    group.add_argument("--port", type=int, default=default_port,
+                       help=f"TCP port (default {default_port}; 0 = ephemeral)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -64,7 +160,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    rib = tableio.load_table(args.table)
+    rib = tableio.load_table(_resolve_table(args))
     config = PoptrieConfig(
         s=args.s, use_leafvec=not args.no_leafvec, leaf_bits=args.leaf_bits
     )
@@ -86,7 +182,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_lookup(args: argparse.Namespace) -> int:
-    structure = _load_structure(args.table)
+    structure = _load_structure(_resolve_table(args))
     status = 0
     for text in args.addresses:
         try:
@@ -116,16 +212,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     own RIB.  ``--against`` supplies a shadow table for semantic
     cross-checking of a snapshot.
     """
-    with open(args.structure, "rb") as stream:
-        magic = stream.read(len(serialize.MAGIC))
-    if magic == serialize.MAGIC:
-        trie = serialize.load(args.structure)
+    path = _resolve_table(args)
+    if _is_snapshot(path):
+        trie = serialize.load(path)
         rib = tableio.load_table(args.against) if args.against else None
     else:
-        rib = tableio.load_table(args.against or args.structure)
+        rib = tableio.load_table(args.against or path)
         trie = Poptrie.from_rib(rib)
     report = trie.verify(rib, samples=args.samples)
-    print(f"{args.structure}: OK ({report.summary()})")
+    print(f"{path}: OK ({report.summary()})")
     return 0
 
 
@@ -133,7 +228,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.bench.report import Table
     from repro.lookup.registry import standard_roster
 
-    rib = tableio.load_table(args.table)
+    path = _resolve_table(args)
+    rib = tableio.load_table(path)
     names = (
         "Radix", "Tree BitMap", "Tree BitMap (64-ary)", "SAIL",
         "D16R", "D18R", "Poptrie0", "Poptrie16", "Poptrie18",
@@ -142,7 +238,7 @@ def cmd_info(args: argparse.Namespace) -> int:
         names = ("Radix", "Poptrie0", "Poptrie16", "Poptrie18")
     roster = standard_roster(rib, names=names)
     table = Table(["Structure", "KiB", "bytes/route"],
-                  title=f"{args.table}: {len(rib)} routes")
+                  title=f"{path}: {len(rib)} routes")
     for name, structure in roster.items():
         if structure is None:
             table.add_row([name, None, None])
@@ -164,8 +260,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.metrics:
         obs.enable()
-    rib = tableio.load_table(args.table)
-    roster = standard_roster(rib)
+    rib = tableio.load_table(_resolve_table(args))
+    names = tuple(args.algorithm) if args.algorithm else None
+    try:
+        roster = (
+            standard_roster(rib, names=names)
+            if names
+            else standard_roster(rib)
+        )
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
     keys = random_addresses(args.queries, seed=args.seed)
     table = Table(["Structure", "KiB", "batch Mlps"],
                   title=f"random-pattern batch rates ({args.queries} queries)")
@@ -216,8 +320,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
     obs.enable()
     try:
         with stack:
-            if args.table:
-                rib = tableio.load_table(args.table)
+            table_path = _resolve_table(args)
+            if table_path:
+                rib = tableio.load_table(table_path)
                 fib = None
             else:
                 rib, fib = generate_table(
@@ -263,6 +368,108 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a lookup table over TCP (see docs/SERVER.md)."""
+    import asyncio
+
+    from repro import obs
+    from repro.server import LookupServer, ServerConfig, TableHandle
+
+    path = _resolve_table(args)
+    rebuild = None
+    if _is_snapshot(path):
+        structure = serialize.load(path)
+        routes = "snapshot"
+    else:
+        from repro.lookup.registry import get as get_algorithm
+
+        rib = tableio.load_table(path)
+        try:
+            entry = get_algorithm(args.algorithm)
+        except KeyError as error:
+            raise _UsageError(error.args[0]) from None
+        structure = entry.from_rib(rib)
+        rebuild = lambda: entry.from_rib(rib)  # noqa: E731 (OP_RELOAD hook)
+        routes = f"{len(rib)} routes"
+    if args.metrics:
+        obs.enable()
+    handle = TableHandle(structure)
+    server = LookupServer(
+        handle,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+        ),
+        rebuild=rebuild,
+    )
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(f"serving {handle.name} ({routes}) on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    if args.metrics:
+        print(obs.registry().render())
+        obs.disable()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running lookup server with open-loop load."""
+    import asyncio
+    import json
+
+    from repro.data.traffic import random_addresses
+    from repro.server import LoadGenConfig, LoadGenerator
+
+    config = LoadGenConfig(
+        connections=args.connections,
+        rate=args.rate,
+        duration=args.duration,
+        batch=args.batch,
+        schedule=args.schedule,
+        seed=args.seed,
+    )
+    generator = LoadGenerator(
+        args.host, args.port, config,
+        keys=random_addresses(1 << 15, seed=args.seed),
+    )
+    reload_at = args.duration / 2 if args.swap_mid_run else None
+    try:
+        report = asyncio.run(generator.run(reload_at=reload_at))
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port} ({error})",
+              file=sys.stderr)
+        return 1
+    print(report.render(batch=args.batch))
+    if args.json:
+        payload = {
+            "scenario": "loadgen",
+            "target": f"{args.host}:{args.port}",
+            "config": {
+                "connections": args.connections,
+                "rate": args.rate,
+                "duration": args.duration,
+                "batch": args.batch,
+                "schedule": args.schedule,
+                "seed": args.seed,
+                "swap_mid_run": args.swap_mid_run,
+            },
+            **report.to_dict(args.batch),
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if report.errors or report.mismatched else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("compile", help="compile a table to a FIB snapshot")
-    p.add_argument("table")
+    _add_table_arg(p, help="text routing table to compile")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--s", type=int, default=18, help="direct-pointing bits")
     p.add_argument("--no-leafvec", action="store_true")
@@ -293,14 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("lookup", help="look addresses up in a table/snapshot")
-    p.add_argument("table")
+    _add_table_arg(p)
     p.add_argument("addresses", nargs="+")
     p.set_defaults(func=cmd_lookup)
 
     p = sub.add_parser(
         "verify", help="check structural/semantic invariants of a table or snapshot"
     )
-    p.add_argument("structure", help="compiled snapshot or text table")
+    _add_table_arg(p, metavar="STRUCTURE",
+                   help="compiled snapshot or text table")
     p.add_argument("--against", metavar="TABLE",
                    help="shadow table for semantic cross-checking")
     p.add_argument("--samples", type=int, default=1000,
@@ -308,11 +516,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("info", help="per-structure footprint report")
-    p.add_argument("table")
+    _add_table_arg(p)
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("bench", help="quick batch-rate comparison")
-    p.add_argument("table")
+    _add_table_arg(p)
+    p.add_argument("--algorithm", action="append", metavar="NAME",
+                   help="limit the roster to NAME (repeatable; default: "
+                        "the paper's Figure 9 roster)")
     p.add_argument("--queries", type=int, default=100_000)
     p.add_argument("--repeats", type=int, default=2)
     p.add_argument("--seed", type=int, default=2463534242)
@@ -324,7 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="exercise every instrumented subsystem and dump the metrics",
     )
-    p.add_argument("table", nargs="?",
+    _add_table_arg(p, required=False,
                    help="text table to use (default: a synthetic one)")
     p.add_argument("--routes", type=int, default=5_000,
                    help="synthetic table size when no table is given")
@@ -335,6 +546,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-limit", type=int, default=15,
                    help="pstats rows to print with --profile")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve lookups over TCP with coalescing and hot swap",
+    )
+    _add_table_arg(p)
+    _add_algorithm_arg(p)
+    _add_endpoint_args(p, default_port=9000)
+    p.add_argument("--max-batch", type=int, default=8192,
+                   help="keys per coalesced lookup_batch call (default 8192)")
+    p.add_argument("--max-wait-us", type=float, default=200.0,
+                   help="coalescing window in microseconds (default 200)")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump Prometheus metrics on shutdown")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running lookup server with open-loop load",
+    )
+    _add_endpoint_args(p, default_port=9000)
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of scheduled arrivals (default 2)")
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="target request arrivals per second (default 2000)")
+    p.add_argument("--connections", type=int, default=4)
+    p.add_argument("--batch", type=int, default=16,
+                   help="keys per request (default 16)")
+    p.add_argument("--schedule", choices=("poisson", "uniform"),
+                   default="poisson")
+    p.add_argument("--seed", type=int, default=2463534242)
+    p.add_argument("--swap-mid-run", action="store_true",
+                   help="send one OP_RELOAD halfway through (hot swap)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the report as JSON (e.g. BENCH_server.json)")
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 
@@ -350,6 +597,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except _UsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except (FileNotFoundError, ValueError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

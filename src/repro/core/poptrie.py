@@ -300,9 +300,9 @@ class Poptrie(LookupStructure):
             bc = ((~vector) & ((2 << v) - 1)).bit_count()
         return self.leaves[self.base0[index] + bc - 1]
 
-    def lookup_batch(self, keys) -> np.ndarray:
+    def _lookup_batch(self, keys) -> np.ndarray:
         """Vectorised batch lookup for IPv4 (uint64 array) and IPv6
-        (sequence of 128-bit ints); see :mod:`repro.core.vectorized`."""
+        (object array of 128-bit ints); see :mod:`repro.core.vectorized`."""
         if self.width == 32:
             from repro.core.vectorized import poptrie_lookup_batch
 
@@ -311,7 +311,7 @@ class Poptrie(LookupStructure):
             from repro.core.vectorized import poptrie_lookup_batch_v6
 
             return poptrie_lookup_batch_v6(self, keys)
-        return LookupStructure.lookup_batch(self, keys)
+        return LookupStructure._lookup_batch(self, keys)
 
     def lookup_traced(self, key: int, trace: AccessTrace) -> int:
         """Like :meth:`lookup` but records every memory access and an

@@ -11,6 +11,7 @@ one ``except ReproError`` while still matching precise categories:
 :class:`UpdateRejectedError`   a route update was refused before any mutation
 :class:`VerificationError`     an invariant check against the shadow RIB failed
 :class:`InjectedFault`         a deliberately injected test fault fired
+:class:`ProtocolError`         a lookup-service wire frame is malformed
 :class:`ReplaceCostExceeded`   incremental replacement cost crossed the
                                configured threshold (internal control flow:
                                the transactional layer catches it and falls
@@ -150,6 +151,22 @@ class InjectedFault(ReproError):
     Traceback (most recent call last):
         ...
     repro.errors.InjectedFault: injected fault at alloc #2
+    """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A lookup-service wire frame could not be parsed.
+
+    Raised by :mod:`repro.server.protocol` for truncated frames,
+    oversized length prefixes, unknown opcodes and version mismatches.
+    Deriving from ``ValueError`` keeps it catchable alongside the other
+    format errors.
+
+    >>> from repro.server import protocol
+    >>> protocol.decode_request(b"\\x00")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ProtocolError: request header truncated (1 bytes)
     """
 
 

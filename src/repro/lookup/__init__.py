@@ -34,7 +34,12 @@ paper's comparison roster — ``registry.get(name).from_rib(rib)``.
 import warnings
 
 from repro.lookup import registry
-from repro.lookup.base import LookupStructure, NoOptions, StructureConfig
+from repro.lookup.base import (
+    LookupStructure,
+    NoOptions,
+    StructureConfig,
+    normalize_batch_keys,
+)
 from repro.lookup.radix import RadixLookup
 from repro.lookup.treebitmap import TreeBitmap
 from repro.lookup.dxr import Dxr
@@ -50,6 +55,7 @@ __all__ = [
     "LookupStructure",
     "StructureConfig",
     "NoOptions",
+    "normalize_batch_keys",
     "registry",
     "RadixLookup",
     "TreeBitmap",

@@ -5,13 +5,21 @@ resolve integer addresses to FIB indices.  The benchmark harness, the
 cross-algorithm equivalence tests and the cycle simulator all program
 against this interface only.
 
-Three contracts live here:
+Four contracts live here:
 
 - **Uniform constructors.**  Every ``from_rib(rib, config=None,
   **options)`` accepts the structure's typed config dataclass (a
   :class:`StructureConfig` subclass, like ``PoptrieConfig``) or the same
   options as keywords; unknown option names raise ``TypeError``.  The
   per-structure options are tabulated in docs/API.md.
+- **Batch input.**  :meth:`LookupStructure.lookup_batch` accepts any
+  sequence of integer addresses — a plain ``list[int]``, any integer
+  numpy array, or an object-dtype array of Python ints — and normalizes
+  it once (:func:`normalize_batch_keys`) before dispatching to the
+  structure's vectorised engine (:meth:`_lookup_batch`).  IPv4 keys
+  travel as ``uint64`` arrays; IPv6 keys stay arbitrary-precision
+  Python ints in an object array, which the engines split into
+  ``(hi, lo)`` uint64 columns (``repro.core.vectorized.split_v6``).
 - **Observability.**  :meth:`LookupStructure.stats` returns a stable
   per-structure snapshot, and :meth:`enable_obs` installs per-instance
   lookup instrumentation (counts, depth histograms) against the active
@@ -33,6 +41,55 @@ import numpy as np
 
 from repro.mem.layout import AccessTrace
 from repro.net.rib import Rib
+
+
+def normalize_batch_keys(keys, width: int = 32) -> np.ndarray:
+    """Normalize a batch-key sequence to the engines' canonical dtype.
+
+    The :meth:`LookupStructure.lookup_batch` input contract: callers may
+    pass a plain Python sequence of ints, any integer-dtype numpy array,
+    or an object-dtype array of Python ints; this helper converts all of
+    them to the one representation the vectorised engines consume:
+
+    - ``width <= 64`` (IPv4): a contiguous ``uint64`` array.  Every key
+      is a machine word; engines index arrays with it directly.
+    - ``width > 64`` (IPv6): an object-dtype array of Python ints.
+      128-bit keys do not fit a numpy scalar, so engines split them into
+      ``(hi, lo)`` uint64 columns (``repro.core.vectorized.split_v6``).
+
+    Float or otherwise non-integer inputs raise ``TypeError`` — silently
+    truncating 10.5 to address 10 would mask caller bugs.
+    """
+    if isinstance(keys, np.ndarray) and keys.dtype != object:
+        if not np.issubdtype(keys.dtype, np.integer):
+            raise TypeError(
+                f"batch keys must be integers, not {keys.dtype}"
+            )
+        if width <= 64:
+            if keys.dtype == np.uint64:
+                return np.ascontiguousarray(keys)
+            return keys.astype(np.uint64)
+        out = np.empty(len(keys), dtype=object)
+        for i, key in enumerate(keys):
+            out[i] = int(key)
+        return out
+    # list/tuple of ints, or an object-dtype array of Python ints.
+    if width <= 64:
+        return np.fromiter(
+            (_as_int_key(key) for key in keys),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+    out = np.empty(len(keys), dtype=object)
+    for i, key in enumerate(keys):
+        out[i] = _as_int_key(key)
+    return out
+
+
+def _as_int_key(key) -> int:
+    if isinstance(key, (int, np.integer)):
+        return int(key)
+    raise TypeError(f"batch keys must be integers, not {type(key).__name__}")
 
 
 @dataclass(frozen=True)
@@ -77,6 +134,10 @@ class LookupStructure(abc.ABC):
     #: Human-readable name used in benchmark reports ("Poptrie18", "D16R"...).
     name: str = "abstract"
 
+    #: Address width in bits (32 = IPv4, 128 = IPv6).  IPv4-only
+    #: structures inherit the default; the others set it from the RIB.
+    width: int = 32
+
     #: The registry the instance was instrumented against (None = not
     #: observed; the hot path is then completely untouched).
     _obs_registry = None
@@ -103,8 +164,28 @@ class LookupStructure(abc.ABC):
         """Lookup while recording memory accesses; default: no trace."""
         return self.lookup(key)
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorised batch lookup; default: scalar loop."""
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Resolve a batch of keys to FIB indices (uint32 array).
+
+        The public batch entry point.  ``keys`` may be a plain sequence
+        of Python ints, any integer numpy array, or an object-dtype
+        array — :func:`normalize_batch_keys` converts it once to the
+        engine's canonical dtype (uint64 for widths up to 64 bits,
+        object array of Python ints beyond) before dispatching to
+        :meth:`_lookup_batch`.  Results are identical to calling
+        :meth:`lookup` per key; the conformance test in
+        ``tests/test_batch_contract.py`` holds every registered
+        algorithm to this.
+        """
+        return self._lookup_batch(normalize_batch_keys(keys, self.width))
+
+    def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Engine hook: batch lookup over *normalized* keys.
+
+        Subclasses with a vectorised engine override this (not
+        :meth:`lookup_batch`, which owns input normalization); the
+        default is the scalar loop.
+        """
         lookup = self.lookup
         return np.fromiter(
             (lookup(int(key)) for key in keys), dtype=np.uint32, count=len(keys)
@@ -112,7 +193,7 @@ class LookupStructure(abc.ABC):
 
     def supports_batch(self) -> bool:
         """True when :meth:`lookup_batch` is a real vectorised engine."""
-        return type(self).lookup_batch is not LookupStructure.lookup_batch
+        return type(self)._lookup_batch is not LookupStructure._lookup_batch
 
     def memory_mib(self) -> float:
         return self.memory_bytes() / (1 << 20)
@@ -227,10 +308,11 @@ class LookupStructure(abc.ABC):
         if self.supports_batch():
             batch = type(self).lookup_batch.__get__(self)
         else:
-            # The default lookup_batch loops over self.lookup, which would
+            # The default _lookup_batch loops over self.lookup, which would
             # resolve to the observed wrapper and double-count every key —
             # loop over the unwrapped scalar method instead.
             def batch(keys):
+                keys = normalize_batch_keys(keys, self.width)
                 return np.fromiter(
                     (scalar(int(key)) for key in keys),
                     dtype=np.uint32,

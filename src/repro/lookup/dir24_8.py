@@ -123,7 +123,7 @@ class Dir24_8(LookupStructure):
             return self.tbl_long[index]
         return entry
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         tbl24 = np.frombuffer(self.tbl24, dtype=np.uint16)
         entries = tbl24[(keys >> np.uint64(8)).astype(np.int64)]

@@ -209,9 +209,9 @@ class Dxr(LookupStructure):
                 hi = mid
         return self.nexthops[lo - 1]
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
         if self.width != 32:
-            return super().lookup_batch(keys)
+            return super()._lookup_batch(keys)
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         table = np.frombuffer(self.table, dtype=np.uint32)
         chunk = keys >> np.uint64(self.offset_bits)

@@ -160,7 +160,7 @@ class Sail(LookupStructure):
         trace.read(self._region32, index)
         return self.n32[index]
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         bcn16 = np.frombuffer(self.bcn16, dtype=np.uint16)
         entries = bcn16[(keys >> np.uint64(16)).astype(np.int64)]

@@ -1,0 +1,347 @@
+"""Open-loop async load generator for the lookup service.
+
+Closed-loop clients (send, wait, send) measure only their own politeness:
+when the server slows down, a closed-loop client slows its arrival rate
+with it and the latency distribution stays flattering.  The load
+generator here is **open-loop**: request arrival times are drawn up
+front from a schedule (Poisson or uniform) and each request is fired at
+its scheduled instant regardless of how many are still in flight — the
+standard methodology for latency measurement under load, and the shape
+that actually exposes the coalescing/latency trade-off the server's
+``max_wait_us`` knob controls.
+
+Mechanics:
+
+- ``connections`` TCP connections are opened up front; arrivals are
+  dealt round-robin across them.  Each connection pipelines: a writer
+  sends frames as arrivals fire, a reader coroutine matches responses
+  to in-flight requests by ``request_id``.
+- Each request carries ``batch`` keys drawn from a provided key pool
+  (wrapping deterministically), so one run replays identically given the
+  same seed.
+- Latency is measured per request (send to matched response) and
+  reported as p50/p90/p99/p999 in microseconds, alongside achieved
+  request and key throughput and the set of table generations observed
+  (a hot swap mid-run shows up as ``generations_seen > 1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.server import protocol
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Knobs of one load-generator run."""
+
+    connections: int = 4
+    #: Target request arrivals per second across all connections.
+    rate: float = 2000.0
+    #: Seconds of scheduled arrivals.
+    duration: float = 2.0
+    #: Keys per request.
+    batch: int = 16
+    #: ``"poisson"`` (exponential gaps) or ``"uniform"`` (fixed gaps).
+    schedule: str = "poisson"
+    seed: int = 2463534242
+    #: Seconds to wait for stragglers after the last scheduled arrival.
+    drain_timeout: float = 5.0
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one load-generator run."""
+
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    mismatched: int = 0
+    duration: float = 0.0
+    target_rate: float = 0.0
+    latencies_us: List[float] = field(default_factory=list)
+    generations: Dict[int, int] = field(default_factory=dict)
+    statuses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Achieved completed requests per second."""
+        return self.completed / self.duration if self.duration else 0.0
+
+    def throughput_klps(self, batch: int) -> float:
+        """Achieved thousand lookups (keys) per second."""
+        return self.throughput_rps * batch / 1e3
+
+    def percentile(self, q: float) -> float:
+        """The q-th latency percentile (0..100) in microseconds."""
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        rank = max(0, math.ceil(len(ordered) * q / 100) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def to_dict(self, batch: int = 1) -> dict:
+        """JSON-ready summary (the shape persisted in BENCH_server.json)."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "mismatched": self.mismatched,
+            "duration_s": round(self.duration, 6),
+            "target_rate_rps": self.target_rate,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "throughput_klps": round(self.throughput_klps(batch), 3),
+            "latency_us": {
+                "mean": round(
+                    sum(self.latencies_us) / len(self.latencies_us), 3
+                )
+                if self.latencies_us
+                else 0.0,
+                "p50": round(self.percentile(50), 3),
+                "p90": round(self.percentile(90), 3),
+                "p99": round(self.percentile(99), 3),
+                "p999": round(self.percentile(99.9), 3),
+            },
+            "generations_seen": sorted(self.generations),
+            "swaps_observed": max(0, len(self.generations) - 1),
+        }
+
+    def render(self, batch: int = 1) -> str:
+        summary = self.to_dict(batch)
+        latency = summary["latency_us"]
+        lines = [
+            f"requests: {self.completed}/{self.sent} completed, "
+            f"{self.errors} errors, {self.mismatched} mismatched",
+            f"throughput: {summary['throughput_rps']:.0f} req/s "
+            f"({summary['throughput_klps']:.1f} klps at {batch} keys/req, "
+            f"target {self.target_rate:.0f} req/s)",
+            f"latency us: mean {latency['mean']:.0f}  p50 {latency['p50']:.0f}  "
+            f"p90 {latency['p90']:.0f}  p99 {latency['p99']:.0f}  "
+            f"p999 {latency['p999']:.0f}",
+            f"table generations seen: {summary['generations_seen']} "
+            f"({summary['swaps_observed']} swap(s) observed)",
+        ]
+        return "\n".join(lines)
+
+
+class _Connection:
+    """One pipelined client connection: request_id -> future matching."""
+
+    def __init__(self) -> None:
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def open(self, host: str, port: int) -> None:
+        self.reader, self.writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await protocol.read_frame(self.reader)
+                if payload is None:
+                    break
+                response = protocol.decode_response(payload)
+                future = self._pending.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except Exception as error:
+            self._fail_pending(error)
+            return
+        self._fail_pending(ConnectionError("connection closed"))
+
+    def _fail_pending(self, error: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    error
+                    if isinstance(error, Exception)
+                    else ConnectionError(str(error))
+                )
+        self._pending.clear()
+
+    async def request(
+        self, opcode: int, keys: Sequence[int] = ()
+    ) -> protocol.Response:
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        payload = protocol.encode_request(opcode, request_id, keys)
+        async with self._write_lock:
+            protocol.write_frame(self.writer, payload)
+            await self.writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: B014
+                pass
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending(ConnectionError("connection closed"))
+
+
+class LoadGenerator:
+    """Drive a :class:`~repro.server.service.LookupServer` with open-loop load.
+
+    ``keys`` is the address pool requests draw from (defaults to the
+    benchmark harness's random IPv4 pattern); ``width`` selects the
+    lookup opcode (32 or 128).  ``oracle``, when given, is a callable
+    mapping a key to its expected FIB index — every response is
+    cross-checked and disagreements counted in ``LoadReport.mismatched``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: Optional[LoadGenConfig] = None,
+        keys=None,
+        width: int = 32,
+        oracle=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.config = config or LoadGenConfig()
+        if keys is None:
+            from repro.data.traffic import random_addresses
+
+            keys = random_addresses(1 << 16, seed=self.config.seed)
+        self.keys = [int(k) for k in keys]
+        self.width = width
+        self.oracle = oracle
+
+    def _arrival_gaps(self):
+        """The open-loop arrival schedule: inter-arrival gaps in seconds."""
+        rng = random.Random(self.config.seed)
+        rate = max(self.config.rate, 1e-9)
+        if self.config.schedule == "uniform":
+            while True:
+                yield 1.0 / rate
+        elif self.config.schedule == "poisson":
+            while True:
+                yield rng.expovariate(rate)
+        else:
+            raise ValueError(
+                f"unknown schedule {self.config.schedule!r} "
+                "(expected 'poisson' or 'uniform')"
+            )
+
+    async def run(self, reload_at: Optional[float] = None) -> LoadReport:
+        """Run one load-generation pass; returns the :class:`LoadReport`.
+
+        ``reload_at`` (seconds into the run) sends one OP_RELOAD midway,
+        asking the server to recompile its table and hot-swap it under
+        the ongoing load — the CI smoke test drives a cross-process swap
+        this way.
+        """
+        config = self.config
+        opcode = protocol.family_opcode(self.width)
+        report = LoadReport(target_rate=config.rate)
+        connections = [_Connection() for _ in range(config.connections)]
+        await asyncio.gather(
+            *(conn.open(self.host, self.port) for conn in connections)
+        )
+        loop = asyncio.get_running_loop()
+        tasks: List[asyncio.Task] = []
+        pool, pool_size = self.keys, len(self.keys)
+        cursor = 0
+        gaps = self._arrival_gaps()
+        start = loop.time()
+        reload_task = None
+        if reload_at is not None:
+            reload_task = asyncio.create_task(
+                self._reload_later(connections[0], reload_at, report)
+            )
+        try:
+            t = next(gaps)
+            turn = 0
+            while t < config.duration:
+                delay = start + t - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                keys = [
+                    pool[(cursor + i) % pool_size] for i in range(config.batch)
+                ]
+                cursor = (cursor + config.batch) % pool_size
+                conn = connections[turn % len(connections)]
+                turn += 1
+                report.sent += 1
+                tasks.append(
+                    asyncio.create_task(
+                        self._one_request(conn, opcode, keys, report)
+                    )
+                )
+                t += next(gaps)
+            if tasks:
+                done, pending = await asyncio.wait(
+                    tasks, timeout=config.drain_timeout
+                )
+                for task in pending:
+                    task.cancel()
+                    report.errors += 1
+            if reload_task is not None:
+                await reload_task
+        finally:
+            report.duration = loop.time() - start
+            await asyncio.gather(
+                *(conn.close() for conn in connections),
+                return_exceptions=True,
+            )
+        return report
+
+    async def _one_request(
+        self, conn: _Connection, opcode: int, keys, report: LoadReport
+    ) -> None:
+        start = time.perf_counter()
+        try:
+            response = await conn.request(opcode, keys)
+        except Exception:
+            report.errors += 1
+            return
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        report.statuses[response.status] = (
+            report.statuses.get(response.status, 0) + 1
+        )
+        if not response.ok or len(response.results) != len(keys):
+            report.errors += 1
+            return
+        report.completed += 1
+        report.latencies_us.append(elapsed_us)
+        report.generations[response.generation] = (
+            report.generations.get(response.generation, 0) + 1
+        )
+        if self.oracle is not None:
+            for key, result in zip(keys, response.results):
+                if self.oracle(key) != int(result):
+                    report.mismatched += 1
+
+    async def _reload_later(
+        self, conn: _Connection, delay: float, report: LoadReport
+    ) -> None:
+        await asyncio.sleep(delay)
+        try:
+            response = await conn.request(protocol.OP_RELOAD)
+        except Exception:
+            report.errors += 1
+            return
+        if not response.ok:
+            report.errors += 1

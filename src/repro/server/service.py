@@ -1,0 +1,452 @@
+"""The asyncio route-lookup server with per-tick request coalescing.
+
+Architecture (one event loop, no thread per connection):
+
+- Each TCP connection runs a reader coroutine that parses frames
+  (:mod:`repro.server.protocol`) and spawns one task per request, so a
+  client may pipeline requests on a single connection.
+- Lookup requests do **not** call the engine themselves.  They append
+  ``(keys, future)`` to a shared queue and await the future.  A single
+  dispatcher coroutine wakes, lets the coalescing window
+  (``max_wait_us``) pass, then gathers every pending request — up to
+  ``max_batch`` keys — into **one** numpy ``lookup_batch`` call and
+  fans the result slices back out to the futures.
+- The batch executes under :meth:`TableHandle.read`, so a concurrent
+  hot swap (:meth:`TableHandle.swap_async`) drains behind it and no
+  request ever observes a half-published table.
+
+The coalescing knobs are the live form of the paper's Section 2
+trade-off: "the large packet batch size is likely to lead to the higher
+worst case packet forwarding latency".  ``max_wait_us=0`` serves every
+request in its own batch (minimum latency, maximum interpreter
+overhead); larger windows amortise the per-batch cost across more
+concurrent requests at the price of queueing delay — the
+``repro_server_coalesced_requests`` histogram shows where a deployment
+actually lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.server import protocol
+from repro.server.handle import TableHandle
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one :class:`LookupServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the kernel pick an ephemeral port (see :meth:`LookupServer.start`).
+    port: int = 0
+    #: Keys per coalesced ``lookup_batch`` call; pending requests beyond
+    #: this run in the next tick.
+    max_batch: int = 8192
+    #: Coalescing window after the first request of a tick arrives, in
+    #: microseconds.  0 disables coalescing delay entirely.
+    max_wait_us: float = 200.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    max_keys_per_request: int = protocol.MAX_KEYS_PER_REQUEST
+
+
+@dataclass
+class ServerStats:
+    """Plain counters mirrored into :mod:`repro.obs` when it is enabled."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    batched_keys: int = 0
+    max_coalesced: int = 0
+    connections: int = 0
+    reloads: int = 0
+
+
+class _Pending:
+    """One lookup request waiting for the dispatcher."""
+
+    __slots__ = ("keys", "future", "enqueued")
+
+    def __init__(self, keys, future, enqueued: float) -> None:
+        self.keys = keys
+        self.future = future
+        self.enqueued = enqueued
+
+
+class LookupServer:
+    """Serve ``lookup_batch`` over TCP for any registered algorithm.
+
+    ``handle`` is the :class:`TableHandle` being served; ``rebuild`` is
+    an optional zero-argument callable returning a fresh structure (used
+    by the OP_RELOAD opcode to recompile from the server's RIB and swap
+    it in — the CLI wires it to the registry entry of the served
+    algorithm).
+    """
+
+    def __init__(
+        self,
+        handle: TableHandle,
+        config: Optional[ServerConfig] = None,
+        rebuild=None,
+    ) -> None:
+        self.handle = handle
+        self.config = config or ServerConfig()
+        self.rebuild = rebuild
+        self.stats = ServerStats()
+        self._pending: deque = deque()
+        self._pending_keys = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._wakeup = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued requests, close connections."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        while self._pending:
+            item = self._pending.popleft()
+            if not item.future.done():
+                item.future.set_exception(
+                    ConnectionError("server shutting down")
+                )
+        self._pending_keys = 0
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``python -m repro serve`` main)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.stats.connections += 1
+        self._gauge_inflight(0)
+        write_lock = asyncio.Lock()
+        request_tasks: set = set()
+        try:
+            while True:
+                payload = await protocol.read_frame(
+                    reader, self.config.max_frame_bytes
+                )
+                if payload is None:
+                    break
+                try:
+                    request = protocol.decode_request(payload)
+                except ProtocolError as error:
+                    # Unparseable frame: report and drop the connection
+                    # (framing may be corrupt from here on).
+                    await self._respond(
+                        writer,
+                        write_lock,
+                        protocol.encode_response(
+                            0, protocol.STATUS_BAD_REQUEST, text=str(error)
+                        ),
+                    )
+                    break
+                self.stats.requests += 1
+                self._count("repro_server_requests_total", opcode=request.opcode)
+                sub = asyncio.create_task(
+                    self._serve_request(request, writer, write_lock)
+                )
+                request_tasks.add(sub)
+                sub.add_done_callback(request_tasks.discard)
+        except (ConnectionError, ProtocolError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _serve_request(
+        self,
+        request: protocol.Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        start = time.perf_counter()
+        try:
+            payload = await self._execute(request)
+        except Exception as error:  # engine failure — never kill the server
+            self.stats.errors += 1
+            payload = protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_SERVER_ERROR,
+                generation=self.handle.generation,
+                text=f"{type(error).__name__}: {error}",
+            )
+        self._observe_latency(start)
+        await self._respond(writer, write_lock, payload)
+
+    async def _execute(self, request: protocol.Request) -> bytes:
+        opcode = request.opcode
+        if opcode in (protocol.OP_LOOKUP4, protocol.OP_LOOKUP6):
+            return await self._execute_lookup(request)
+        if opcode == protocol.OP_PING:
+            return protocol.encode_response(
+                request.request_id, generation=self.handle.generation
+            )
+        if opcode == protocol.OP_STATS:
+            return protocol.encode_response(
+                request.request_id,
+                generation=self.handle.generation,
+                text=json.dumps(self.describe()),
+            )
+        if opcode == protocol.OP_RELOAD:
+            return await self._execute_reload(request)
+        raise ProtocolError(f"unknown opcode {opcode}")  # pragma: no cover
+
+    async def _execute_lookup(self, request: protocol.Request) -> bytes:
+        width = getattr(self.handle.structure, "width", 32)
+        if width not in protocol.opcode_width(request.opcode):
+            self.stats.errors += 1
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_WRONG_FAMILY,
+                generation=self.handle.generation,
+                text=f"served table holds width-{width} addresses",
+            )
+        if len(request.keys) > self.config.max_keys_per_request:
+            self.stats.errors += 1
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_BAD_REQUEST,
+                generation=self.handle.generation,
+                text=(
+                    f"{len(request.keys)} keys exceed the per-request "
+                    f"limit of {self.config.max_keys_per_request}"
+                ),
+            )
+        if self._stopping:
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_SHUTTING_DOWN,
+                generation=self.handle.generation,
+                text="server shutting down",
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(
+            _Pending(request.keys, future, time.perf_counter())
+        )
+        self._pending_keys += len(request.keys)
+        self._gauge_inflight(len(self._pending))
+        self._wakeup.set()
+        results, generation = await future
+        return protocol.encode_response(
+            request.request_id,
+            generation=generation,
+            results=results,
+        )
+
+    async def _execute_reload(self, request: protocol.Request) -> bytes:
+        if self.rebuild is None:
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_UNSUPPORTED,
+                generation=self.handle.generation,
+                text="server has no RIB to rebuild from",
+            )
+        structure = await asyncio.to_thread(self.rebuild)
+        generation = await self.handle.swap_async(structure)
+        self.stats.reloads += 1
+        return protocol.encode_response(
+            request.request_id, generation=generation
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: bytes,
+    ) -> None:
+        try:
+            async with write_lock:
+                protocol.write_frame(writer, payload)
+                await writer.drain()
+            self.stats.responses += 1
+            self._count(
+                "repro_server_responses_total", status=payload[1]
+            )
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to tell it
+
+    # -- the coalescing dispatcher -------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        window = self.config.max_wait_us / 1e6
+        while True:
+            if not self._pending:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            # The coalescing window: give concurrent requests one tick to
+            # pile in behind the first arrival, unless a full batch is
+            # already waiting.
+            if window > 0 and self._pending_keys < self.config.max_batch:
+                await asyncio.sleep(window)
+            batch = []
+            nkeys = 0
+            while self._pending and nkeys < self.config.max_batch:
+                item = self._pending.popleft()
+                self._pending_keys -= len(item.keys)
+                batch.append(item)
+                nkeys += len(item.keys)
+            if batch:
+                self._run_batch(batch, nkeys)
+            self._gauge_inflight(len(self._pending))
+
+    def _run_batch(self, batch, nkeys: int) -> None:
+        """One coalesced lookup: a single ``lookup_batch`` on a pinned table."""
+        with self.handle.read() as version:
+            keys = (
+                batch[0].keys
+                if len(batch) == 1
+                else np.concatenate([item.keys for item in batch])
+            )
+            try:
+                results = version.structure.lookup_batch(keys)
+            except Exception as error:
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(error)
+                return
+            offset = 0
+            for item in batch:
+                end = offset + len(item.keys)
+                if not item.future.done():
+                    item.future.set_result(
+                        (results[offset:end], version.generation)
+                    )
+                offset = end
+        self.stats.batches += 1
+        self.stats.batched_requests += len(batch)
+        self.stats.batched_keys += nkeys
+        self.stats.max_coalesced = max(self.stats.max_coalesced, len(batch))
+        self._observe_batch(len(batch), nkeys)
+
+    # -- observability -------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Server + handle stats as one JSON-ready dict (OP_STATS body)."""
+        structure = self.handle.structure
+        return {
+            "structure": getattr(structure, "name", type(structure).__name__),
+            "width": getattr(structure, "width", 32),
+            "config": {
+                "max_batch": self.config.max_batch,
+                "max_wait_us": self.config.max_wait_us,
+            },
+            "handle": self.handle.stats(),
+            "requests": self.stats.requests,
+            "responses": self.stats.responses,
+            "errors": self.stats.errors,
+            "batches": self.stats.batches,
+            "batched_requests": self.stats.batched_requests,
+            "batched_keys": self.stats.batched_keys,
+            "max_coalesced": self.stats.max_coalesced,
+            "mean_coalesced": (
+                self.stats.batched_requests / self.stats.batches
+                if self.stats.batches
+                else 0.0
+            ),
+            "connections": self.stats.connections,
+            "reloads": self.stats.reloads,
+        }
+
+    def _count(self, name: str, **labels) -> None:
+        from repro import obs
+
+        obs.registry().counter(
+            name, "Lookup-service request/response count.",
+            **{k: str(v) for k, v in labels.items()},
+        ).inc()
+
+    def _gauge_inflight(self, value: int) -> None:
+        from repro import obs
+
+        obs.registry().gauge(
+            "repro_server_inflight_requests",
+            "Lookup requests queued for the next coalesced batch.",
+            table=self.handle.name,
+        ).set(value)
+
+    def _observe_batch(self, requests: int, nkeys: int) -> None:
+        from repro import obs
+
+        reg = obs.registry()
+        reg.histogram(
+            "repro_server_coalesced_requests",
+            "Requests gathered into one coalesced lookup_batch call.",
+            buckets=obs.OCCUPANCY_BUCKETS,
+            table=self.handle.name,
+        ).observe(requests)
+        reg.histogram(
+            "repro_server_coalesced_keys",
+            "Keys resolved per coalesced lookup_batch call.",
+            buckets=obs.OCCUPANCY_BUCKETS,
+            table=self.handle.name,
+        ).observe(nkeys)
+
+    def _observe_latency(self, start: float) -> None:
+        from repro import obs
+
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        obs.registry().histogram(
+            "repro_server_request_latency_us",
+            "Server-side request latency (decode to response encode).",
+            buckets=obs.LATENCY_US_BUCKETS,
+            table=self.handle.name,
+        ).observe(elapsed_us)

@@ -148,6 +148,105 @@ class TestErrors:
         assert main(["lookup", path, "10.0.0.1"]) == 1
 
 
+class TestUnifiedTableSpelling:
+    """Every table-reading subcommand takes --table; --snapshot is a
+    deprecated hidden alias; the positional keeps working."""
+
+    def test_table_flag_equivalent_to_positional(self, table_path, capsys):
+        assert main(["lookup", "--table", table_path, "10.1.2.3"]) == 0
+        assert "FIB[1]" in capsys.readouterr().out
+        assert main(["info", "--table", table_path]) == 0
+        assert main(["verify", "--table", table_path]) == 0
+        assert main(["bench", "--table", table_path, "--queries", "1000",
+                     "--repeats", "1", "--algorithm", "Poptrie18"]) == 0
+
+    def test_snapshot_alias_warns_on_stderr(self, table_path, tmp_path,
+                                            capsys):
+        fib = str(tmp_path / "fib.poptrie")
+        assert main(["compile", table_path, "-o", fib]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--snapshot", fib]) == 0
+        captured = capsys.readouterr()
+        assert "OK" in captured.out
+        assert "deprecated" in captured.err and "--table" in captured.err
+
+    def test_positional_and_flag_conflict(self, table_path, capsys):
+        assert main(["lookup", table_path, "10.1.2.3",
+                     "--table", "/elsewhere/other.txt"]) == 2
+        assert "one table" in capsys.readouterr().err
+
+    def test_missing_table_is_a_usage_error(self, capsys):
+        # The lone positional satisfies `addresses`; no table remains.
+        assert main(["lookup", "10.1.2.3"]) == 2
+        assert "table is required" in capsys.readouterr().err
+        assert main(["info"]) == 2
+        assert "table is required" in capsys.readouterr().err
+
+    def test_bench_algorithm_filter(self, table_path, capsys):
+        assert main(["bench", table_path, "--queries", "1000",
+                     "--repeats", "1", "--algorithm", "Poptrie18",
+                     "--algorithm", "SAIL"]) == 0
+        out = capsys.readouterr().out
+        assert "Poptrie18" in out and "SAIL" in out
+        assert "DIR-24-8" not in out
+
+    def test_bench_unknown_algorithm(self, table_path, capsys):
+        assert main(["bench", table_path, "--algorithm", "NoSuch"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestServeLoadgen:
+    def test_serve_then_loadgen_roundtrip(self, table_path, tmp_path, capsys):
+        """Full cross-process style round trip, in one process: serve in a
+        thread, drive it with the loadgen subcommand, assert clean exit."""
+        import json
+        import socket
+        import subprocess
+        import sys
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--table", table_path,
+             "--port", str(port)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            assert "serving" in server.stdout.readline()
+            report_path = str(tmp_path / "report.json")
+            code = main(["loadgen", "--port", str(port),
+                         "--duration", "0.5", "--rate", "400",
+                         "--connections", "2", "--batch", "4",
+                         "--swap-mid-run", "--json", report_path])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "0 errors" in out and "0 mismatched" in out
+            with open(report_path) as stream:
+                report = json.load(stream)
+            assert report["errors"] == 0
+            assert report["completed"] == report["sent"] > 0
+            assert report["swaps_observed"] >= 1  # OP_RELOAD hot swap landed
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+    def test_loadgen_connection_refused(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["loadgen", "--port", str(port),
+                     "--duration", "0.1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestGenerateIPv6:
     def test_ipv6_table(self, tmp_path, capsys):
         out = str(tmp_path / "v6.txt")

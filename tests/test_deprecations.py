@@ -1,0 +1,76 @@
+"""The deprecation shims actually deprecate.
+
+PR 2 left PEP 562 ``__getattr__`` shims behind the names that moved to
+:mod:`repro.lookup.registry`.  Two properties must hold for each shim:
+
+- Under ``-W error::DeprecationWarning`` the old spelling *raises*, so
+  downstream code running with warnings-as-errors notices the move.
+- Under default filters the old spelling still resolves — to the very
+  object the registry exports, not a stale copy.
+
+The warnings-as-errors half runs in a subprocess because pytest's own
+warning plumbing would otherwise interfere with the filter state.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.lookup import registry
+
+MOVED = ("STANDARD_ALGORITHMS", "standard_roster", "build_structures")
+SHIMMED_MODULES = ("repro.bench.harness", "repro.lookup")
+
+
+def _run(code: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.mark.parametrize("module", SHIMMED_MODULES)
+@pytest.mark.parametrize("name", MOVED)
+def test_moved_name_raises_under_warnings_as_errors(module, name):
+    result = _run(f"import {module}; {module}.{name}")
+    assert result.returncode != 0, (
+        f"{module}.{name} did not raise under -W error::DeprecationWarning"
+    )
+    assert "DeprecationWarning" in result.stderr
+    assert "repro.lookup.registry" in result.stderr, (
+        "the warning must point at the new home"
+    )
+
+
+@pytest.mark.parametrize("module", SHIMMED_MODULES)
+def test_plain_import_emits_no_warning(module):
+    """Importing the module itself is clean; only the old names warn."""
+    result = _run(f"import {module}")
+    assert result.returncode == 0, result.stderr
+
+
+@pytest.mark.parametrize("module_name", SHIMMED_MODULES)
+@pytest.mark.parametrize("name", MOVED)
+def test_moved_name_resolves_to_registry_object(module_name, name):
+    module = __import__(module_name, fromlist=["_"])
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = getattr(module, name)
+    assert value is getattr(registry, name), (
+        f"{module_name}.{name} is not the registry's object"
+    )
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), f"{module_name}.{name} resolved without warning"
+
+
+@pytest.mark.parametrize("module_name", SHIMMED_MODULES)
+def test_unknown_attribute_still_raises(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    with pytest.raises(AttributeError):
+        module.definitely_not_a_name

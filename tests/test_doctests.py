@@ -19,6 +19,7 @@ import repro.obs
 import repro.robust.faults
 import repro.robust.txn
 import repro.router.forwarding
+import repro.server.handle
 
 MODULES = [
     repro.obs,
@@ -36,6 +37,7 @@ MODULES = [
     repro.cachesim.cache,
     repro.bench.report,
     repro.router.forwarding,
+    repro.server.handle,
 ]
 
 

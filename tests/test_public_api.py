@@ -25,10 +25,12 @@ EXPECTED_TOP_LEVEL = {
     "obs",
     # robustness toolkit
     "FaultPlan", "verify_poptrie",
+    # the route-lookup service
+    "LookupServer", "TableHandle", "LoadGenerator",
     # errors
     "ReproError", "StructuralLimitError", "TableFormatError",
     "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
-    "InjectedFault",
+    "InjectedFault", "ProtocolError",
     # network substrate
     "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
     # metadata
@@ -39,6 +41,12 @@ EXPECTED_ALGORITHMS = {
     "Radix", "Tree BitMap", "Tree BitMap (64-ary)", "SAIL", "DIR-24-8",
     "D16R", "D18R", "Multibit", "Patricia", "BSearch-Lengths", "Bloom",
     "Lulea", "Poptrie0", "Poptrie16", "Poptrie18",
+}
+
+EXPECTED_SERVER = {
+    "LookupServer", "ServerConfig", "ServerStats", "TableHandle",
+    "TableVersion", "LoadGenerator", "LoadGenConfig", "LoadReport",
+    "protocol",
 }
 
 EXPECTED_OBS = {
@@ -65,6 +73,14 @@ def test_obs_exports_are_frozen():
     assert set(obs.__all__) == EXPECTED_OBS, GUIDANCE
     for name in obs.__all__:
         assert hasattr(obs, name), f"{name} exported but missing"
+
+
+def test_server_exports_are_frozen():
+    from repro import server
+
+    assert set(server.__all__) == EXPECTED_SERVER, GUIDANCE
+    for name in server.__all__:
+        assert hasattr(server, name), f"{name} exported but missing"
 
 
 def test_lookup_package_exports():

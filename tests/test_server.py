@@ -1,0 +1,471 @@
+"""End-to-end tests for the route-lookup service (repro.server).
+
+The flagship test serves a Poptrie over real TCP, drives it with
+concurrent pipelined clients, and commits a transactional route update
+mid-run, hot-swapping the result through the :class:`TableHandle` —
+asserting that not one response fails, misroutes, or observes a
+half-published table, and that the dispatcher actually coalesced
+concurrent requests into shared ``lookup_batch`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.core.poptrie import Poptrie
+from repro.errors import ProtocolError
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.server import (
+    LoadGenConfig,
+    LoadGenerator,
+    LookupServer,
+    ServerConfig,
+    TableHandle,
+    protocol,
+)
+
+
+def small_rib() -> Rib:
+    rib = Rib()
+    rib.insert(Prefix.parse("0.0.0.0/0"), 9)
+    rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+    rib.insert(Prefix.parse("10.64.0.0/10"), 2)
+    rib.insert(Prefix.parse("192.0.2.0/24"), 3)
+    return rib
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_request_roundtrip_v4(self):
+        keys = [0, 1, 0x0A010203, 0xFFFFFFFF]
+        payload = protocol.encode_request(protocol.OP_LOOKUP4, 77, keys)
+        request = protocol.decode_request(payload)
+        assert request.opcode == protocol.OP_LOOKUP4
+        assert request.request_id == 77
+        assert request.keys.dtype == np.uint64
+        assert request.keys.tolist() == keys
+
+    def test_request_roundtrip_v6(self):
+        keys = [0, 1 << 100, (1 << 128) - 1]
+        payload = protocol.encode_request(protocol.OP_LOOKUP6, 5, keys)
+        request = protocol.decode_request(payload)
+        assert request.keys.dtype == object
+        assert list(request.keys) == keys
+
+    def test_control_opcodes_take_no_keys(self):
+        for opcode in (protocol.OP_PING, protocol.OP_STATS,
+                       protocol.OP_RELOAD):
+            request = protocol.decode_request(
+                protocol.encode_request(opcode, 1)
+            )
+            assert len(request.keys) == 0
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(protocol.OP_PING, 1, [4])
+
+    def test_response_roundtrip(self):
+        payload = protocol.encode_response(
+            12, generation=3, results=[1, 2, 3], text=""
+        )
+        response = protocol.decode_response(payload)
+        assert response.ok
+        assert response.request_id == 12
+        assert response.generation == 3
+        assert response.results.tolist() == [1, 2, 3]
+
+    def test_response_text_body(self):
+        payload = protocol.encode_response(
+            1, protocol.STATUS_BAD_REQUEST, text="nope"
+        )
+        response = protocol.decode_response(payload)
+        assert not response.ok
+        assert response.text == "nope"
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"\x00")
+        with pytest.raises(ProtocolError):
+            protocol.decode_response(b"\x00\x01")
+
+    def test_unknown_opcode_and_version(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(99, 1)
+        good = protocol.encode_request(protocol.OP_PING, 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"\x07" + good[1:])
+
+    def test_wrong_body_size(self):
+        payload = protocol.encode_request(protocol.OP_LOOKUP4, 1, [1, 2])
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(payload[:-1])
+
+    def test_protocol_error_is_public_and_a_value_error(self):
+        assert repro.ProtocolError is ProtocolError
+        assert issubclass(ProtocolError, ValueError)
+        assert issubclass(ProtocolError, repro.ReproError)
+
+    def test_family_opcode_mapping(self):
+        assert protocol.family_opcode(32) == protocol.OP_LOOKUP4
+        assert protocol.family_opcode(128) == protocol.OP_LOOKUP6
+        assert 32 in protocol.opcode_width(protocol.OP_LOOKUP4)
+        assert 128 in protocol.opcode_width(protocol.OP_LOOKUP6)
+
+
+# ---------------------------------------------------------------------------
+# TableHandle (RCU semantics)
+# ---------------------------------------------------------------------------
+
+
+class TestTableHandle:
+    def test_generation_increments_per_swap(self):
+        rib = small_rib()
+        handle = TableHandle(Poptrie.from_rib(rib))
+        assert handle.generation == 0
+        assert handle.swap(Poptrie.from_rib(rib)) == 1
+        assert handle.swap(Poptrie.from_rib(rib)) == 2
+        assert handle.stats()["swaps"] == 2
+
+    def test_pinned_reader_keeps_old_table(self):
+        rib = small_rib()
+        old = Poptrie.from_rib(rib)
+        rib.insert(Prefix.parse("10.64.0.0/12"), 7)
+        new = Poptrie.from_rib(rib)
+        handle = TableHandle(old)
+        key = Prefix.parse("10.64.9.9/32").value
+        with handle.read() as version:
+            handle.swap(new, wait=False)
+            # The pinned version still serves the table the batch started on.
+            assert version.structure is old
+            assert version.structure.lookup(key) == old.lookup(key)
+        assert handle.structure is new
+
+    def test_swap_drains_behind_reader(self):
+        handle = TableHandle(Poptrie.from_rib(small_rib()))
+        release = threading.Event()
+        pinned = threading.Event()
+
+        def reader():
+            with handle.read():
+                pinned.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert pinned.wait(timeout=5)
+        # While the reader pins generation 0, a drain-waiting swap times out.
+        with pytest.raises(TimeoutError):
+            handle.swap(Poptrie.from_rib(small_rib()), timeout=0.05)
+        # The swap is still visible (publication is not blocked by readers).
+        assert handle.generation == 1
+        release.set()
+        thread.join(timeout=5)
+        # Once drained, further swaps complete immediately.
+        assert handle.swap(Poptrie.from_rib(small_rib()), timeout=5) == 2
+
+    def test_swap_async_drains(self):
+        async def scenario():
+            handle = TableHandle(Poptrie.from_rib(small_rib()))
+            generation = await handle.swap_async(
+                Poptrie.from_rib(small_rib()), timeout=5
+            )
+            assert generation == 1
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# LookupServer end-to-end
+# ---------------------------------------------------------------------------
+
+
+async def _client(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    return reader, writer
+
+
+async def _roundtrip(reader, writer, opcode, request_id, keys=()):
+    protocol.write_frame(
+        writer, protocol.encode_request(opcode, request_id, keys)
+    )
+    await writer.drain()
+    payload = await protocol.read_frame(reader)
+    assert payload is not None
+    return protocol.decode_response(payload)
+
+
+class TestLookupServer:
+    def test_lookup_ping_stats_roundtrip(self):
+        async def scenario():
+            rib = small_rib()
+            trie = Poptrie.from_rib(rib)
+            server = LookupServer(TableHandle(trie))
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                keys = [Prefix.parse(a + "/32").value
+                        for a in ("10.1.2.3", "10.65.0.1", "192.0.2.9",
+                                  "8.8.8.8")]
+                response = await _roundtrip(
+                    reader, writer, protocol.OP_LOOKUP4, 1, keys
+                )
+                assert response.ok
+                assert response.results.tolist() == [
+                    trie.lookup(k) for k in keys
+                ]
+                pong = await _roundtrip(reader, writer, protocol.OP_PING, 2)
+                assert pong.ok and pong.generation == 0
+                stats = await _roundtrip(reader, writer, protocol.OP_STATS, 3)
+                body = json.loads(stats.text)
+                assert body["requests"] >= 2
+                assert body["handle"]["generation"] == 0
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_wrong_family_and_unsupported_reload(self):
+        async def scenario():
+            server = LookupServer(TableHandle(Poptrie.from_rib(small_rib())))
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                response = await _roundtrip(
+                    reader, writer, protocol.OP_LOOKUP6, 1, [1 << 80]
+                )
+                assert response.status == protocol.STATUS_WRONG_FAMILY
+                response = await _roundtrip(
+                    reader, writer, protocol.OP_RELOAD, 2
+                )
+                assert response.status == protocol.STATUS_UNSUPPORTED
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_oversized_request_rejected(self):
+        async def scenario():
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(small_rib())),
+                ServerConfig(max_keys_per_request=4),
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                response = await _roundtrip(
+                    reader, writer, protocol.OP_LOOKUP4, 1, list(range(8))
+                )
+                assert response.status == protocol.STATUS_BAD_REQUEST
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_frame_gets_error_then_disconnect(self):
+        async def scenario():
+            server = LookupServer(TableHandle(Poptrie.from_rib(small_rib())))
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                protocol.write_frame(writer, b"\x01\x63")  # unknown opcode 99
+                await writer.drain()
+                payload = await protocol.read_frame(reader)
+                response = protocol.decode_response(payload)
+                assert response.status == protocol.STATUS_BAD_REQUEST
+                # The server drops the connection after an unparseable frame.
+                assert await protocol.read_frame(reader) is None
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_reload_rebuilds_and_bumps_generation(self):
+        async def scenario():
+            rib = small_rib()
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(rib)),
+                rebuild=lambda: Poptrie.from_rib(rib),
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                response = await _roundtrip(
+                    reader, writer, protocol.OP_RELOAD, 1
+                )
+                assert response.ok and response.generation == 1
+                assert server.stats.reloads == 1
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# the flagship scenario: concurrent clients through a transactional hot swap
+# ---------------------------------------------------------------------------
+
+SWAP_PREFIX = "198.128.0.0/9"
+
+
+def _outside_swap_prefix(key: int) -> bool:
+    return (int(key) >> 23) != (Prefix.parse(SWAP_PREFIX).value >> 23)
+
+
+class TestHotSwapUnderLoad:
+    def test_concurrent_clients_across_txn_swap(self):
+        from repro.data.synth import generate_table
+        from repro.data.traffic import random_addresses
+        from repro.robust.txn import TransactionalPoptrie
+
+        rib, _ = generate_table(n_prefixes=4000, n_nexthops=8, seed=11)
+        base = Poptrie.from_rib(rib)
+        handle = TableHandle(base)
+        # Query keys avoid the announced prefix, so one oracle stays exact
+        # across the swap; everything else about the table changes owner.
+        pool = [int(k) for k in random_addresses(4096, seed=11)
+                if _outside_swap_prefix(k)]
+        expected = {key: base.lookup(key) for key in pool}
+        obs.enable()
+        try:
+            report, server = asyncio.run(
+                self._scenario(handle, rib, pool, expected,
+                               TransactionalPoptrie)
+            )
+        finally:
+            registry = obs.registry()
+            obs.disable()
+        # Not one response failed, misrouted, or was dropped by the swap.
+        assert report.errors == 0
+        assert report.mismatched == 0
+        assert report.completed == report.sent
+        # The swap was observed mid-run: responses carry both generations.
+        assert sorted(report.generations) == [0, 1]
+        assert server.stats.reloads == 0  # swap came from the txn, not RELOAD
+        assert handle.generation == 1
+        # Coalescing really happened: at least one batch served >1 request.
+        assert server.stats.max_coalesced > 1
+        assert server.stats.batched_requests == report.sent
+        hist = registry.histogram(
+            "repro_server_coalesced_requests",
+            buckets=obs.OCCUPANCY_BUCKETS,
+            table=handle.name,
+        )
+        cumulative = dict(hist.cumulative())
+        total = cumulative[float("inf")]
+        assert total == server.stats.batches
+        assert total > cumulative[1], "no coalesced batch held >1 request"
+        swaps = registry.counter(
+            "repro_server_swaps_total", table=handle.name
+        )
+        assert swaps.value == 1
+
+    async def _scenario(self, handle, rib, pool, expected, txn_cls):
+        server = LookupServer(
+            handle, ServerConfig(max_batch=8192, max_wait_us=1000.0)
+        )
+        host, port = await server.start()
+        generator = LoadGenerator(
+            host,
+            port,
+            LoadGenConfig(
+                connections=4, rate=3000.0, duration=1.0, batch=8,
+                schedule="poisson", seed=11,
+            ),
+            keys=pool,
+            oracle=expected.__getitem__,
+        )
+        load = asyncio.create_task(generator.run())
+        await asyncio.sleep(0.5)
+        # Control plane: commit one announcement transactionally, publish
+        # the committed trie through the handle while load keeps flowing.
+        txn = txn_cls(rib=rib)
+        txn.announce(Prefix.parse(SWAP_PREFIX), 1)
+        await handle.swap_async(txn.trie, timeout=10)
+        report = await load
+        await server.stop()
+        return report, server
+
+
+# ---------------------------------------------------------------------------
+# load generator unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_arrival_schedules_are_deterministic(self):
+        gen = LoadGenerator(
+            "127.0.0.1", 1,
+            LoadGenConfig(rate=100.0, schedule="poisson", seed=3),
+            keys=[1],
+        )
+        a = [next(iter_gaps) for iter_gaps in (gen._arrival_gaps(),)
+             for _ in range(5)]
+        b_iter = gen._arrival_gaps()
+        b = [next(b_iter) for _ in range(5)]
+        assert a == b
+        uniform = LoadGenerator(
+            "127.0.0.1", 1,
+            LoadGenConfig(rate=200.0, schedule="uniform"),
+            keys=[1],
+        )._arrival_gaps()
+        assert [next(uniform) for _ in range(3)] == [1 / 200.0] * 3
+
+    def test_unknown_schedule_rejected(self):
+        gen = LoadGenerator(
+            "127.0.0.1", 1, LoadGenConfig(schedule="bursty"), keys=[1]
+        )
+        with pytest.raises(ValueError):
+            next(gen._arrival_gaps())
+
+    def test_report_percentiles_and_render(self):
+        from repro.server.loadgen import LoadReport
+
+        report = LoadReport(
+            sent=4, completed=4, duration=2.0, target_rate=2.0,
+            latencies_us=[100.0, 200.0, 300.0, 400.0],
+            generations={0: 3, 1: 1},
+        )
+        assert report.throughput_rps == 2.0
+        assert report.percentile(50) == 200.0
+        assert report.percentile(100) == 400.0
+        summary = report.to_dict(batch=16)
+        assert summary["swaps_observed"] == 1
+        assert summary["throughput_klps"] == pytest.approx(0.032)
+        assert "p999" in summary["latency_us"]
+        assert "1 swap(s) observed" in report.render(batch=16)
+
+
+def test_server_scenario_smoke():
+    """The bench scenario end-to-end, tiny: the BENCH_server.json shape."""
+    from repro.bench.server_scenario import run_server_bench
+
+    t0 = time.perf_counter()
+    result = run_server_bench(
+        routes=2000, duration=0.4, rate=800.0, connections=2, batch=8,
+        seed=5,
+    )
+    assert result["scenario"] == "server_throughput"
+    assert result["errors"] == 0
+    assert result["loadgen"]["mismatched"] == 0
+    assert result["swap_generation"] == 1
+    assert result["throughput_rps"] > 0
+    assert {"mean", "p50", "p90", "p99", "p999"} <= set(
+        result["latency_us"]
+    )
+    assert time.perf_counter() - t0 < 30
