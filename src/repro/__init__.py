@@ -33,6 +33,7 @@ from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.errors import (
     InjectedFault,
+    JournalCorrupt,
     ProtocolError,
     ReproError,
     SnapshotFormatError,
@@ -51,7 +52,29 @@ from repro.robust.txn import TransactionalPoptrie
 from repro.robust.verify import verify_poptrie
 from repro.server import LoadGenerator, LookupServer, TableHandle
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# The journal machinery is exposed lazily (PEP 562): importing repro must
+# not pay for — or depend on — the durability stack until it is used.
+_LAZY = {
+    "Journal": "repro.robust.journal",
+    "recover": "repro.robust.journal",
+    "RecoveryResult": "repro.robust.journal",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "Poptrie",
@@ -63,6 +86,10 @@ __all__ = [
     "TransactionalPoptrie",
     "FaultPlan",
     "verify_poptrie",
+    # durability (lazy — see __getattr__)
+    "Journal",
+    "recover",
+    "RecoveryResult",
     # the route-lookup service
     "LookupServer",
     "TableHandle",
@@ -74,6 +101,7 @@ __all__ = [
     "UpdateRejectedError",
     "VerificationError",
     "InjectedFault",
+    "JournalCorrupt",
     "ProtocolError",
     "NO_ROUTE",
     "Fib",

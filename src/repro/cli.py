@@ -13,7 +13,9 @@ Usage examples::
     python -m repro bench rib.txt --metrics         # ... plus Prometheus dump
     python -m repro stats                           # observability self-demo
     python -m repro serve --table rib.txt --port 9000   # lookup service
+    python -m repro serve --journal wal/ --port 9000    # ... crash-recovered
     python -m repro loadgen --port 9000 --duration 2    # drive it
+    python -m repro recover wal/ --compact              # offline journal repair
 
 Argument spelling is unified across subcommands: every command that
 reads a table accepts it positionally *or* as ``--table PATH`` (the
@@ -376,8 +378,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import LookupServer, ServerConfig, TableHandle
 
     path = _resolve_table(args)
+    if path is None and not args.journal:
+        raise _UsageError(
+            "a table (positional TABLE or --table PATH) or --journal DIR "
+            "is required"
+        )
     rebuild = None
-    if _is_snapshot(path):
+    if args.journal:
+        structure, rebuild, routes = _recover_for_serve(args, path)
+    elif _is_snapshot(path):
         structure = serialize.load(path)
         routes = "snapshot"
     else:
@@ -420,6 +429,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover_for_serve(args: argparse.Namespace, table_path: Optional[str]):
+    """The ``serve --journal DIR`` startup path.
+
+    Recovers the durable state (newest checkpoint + replayed tail,
+    verified) and serves it.  A *fresh* journal directory with a
+    ``--table`` seeds the journal from the table and writes the initial
+    checkpoint, so the next crash-restart cycle already has durable state
+    to recover; when the journal holds state, it wins over ``--table``
+    (the journal is the authority on what was durably committed).
+    """
+    from repro.robust.journal import Journal, recover
+
+    journal = Journal(args.journal, fsync_every=args.fsync_every)
+    fresh = journal.last_seqno == 0 and journal.checkpoint_seqno == 0
+    if fresh and table_path is not None:
+        rib = tableio.load_table(table_path)
+        journal.checkpoint(rib)
+        trie = Poptrie.from_rib(rib)
+        print(
+            f"journal {args.journal}: fresh; seeded from {table_path} "
+            f"({len(rib)} routes, initial checkpoint written)"
+        )
+    else:
+        journal.close()
+        result = recover(args.journal)
+        rib = result.rib
+        trie = result.trie.trie
+        summary = result.describe()
+        print(
+            f"journal {args.journal}: recovered {summary['routes']} routes "
+            f"(checkpoint seqno {summary['checkpoint_seqno']}, "
+            f"{summary['replayed']} replayed, {summary['skipped']} skipped, "
+            f"{summary['torn_bytes']} torn bytes discarded) "
+            f"in {summary['duration_s'] * 1000:.1f} ms"
+        )
+        if table_path is not None:
+            print(
+                f"note: --table {table_path} ignored; the journal already "
+                "holds durable state",
+                file=sys.stderr,
+            )
+    rebuild = lambda: Poptrie.from_rib(rib)  # noqa: E731 (OP_RELOAD hook)
+    return trie, rebuild, f"{len(rib)} recovered routes"
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """Drive a running lookup server with open-loop load."""
     import asyncio
@@ -435,6 +489,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         batch=args.batch,
         schedule=args.schedule,
         seed=args.seed,
+        request_timeout=args.timeout,
+        deadline_us=args.deadline_us,
+        max_retries=args.retries,
     )
     generator = LoadGenerator(
         args.host, args.port, config,
@@ -460,6 +517,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 "schedule": args.schedule,
                 "seed": args.seed,
                 "swap_mid_run": args.swap_mid_run,
+                "timeout_s": args.timeout,
+                "deadline_us": args.deadline_us,
+                "retries": args.retries,
             },
             **report.to_dict(args.batch),
         }
@@ -468,6 +528,58 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             stream.write("\n")
         print(f"wrote {args.json}")
     return 1 if report.errors or report.mismatched else 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Inspect or repair a route-update journal offline.
+
+    Recovers the durable state exactly as ``serve --journal`` would and
+    prints what it found.  ``--output`` writes the recovered table;
+    ``--compact`` folds the replayed tail into a fresh checkpoint and
+    truncates the segments (repair after a crash, or routine journal
+    maintenance).  Exits 1 on :class:`~repro.errors.JournalCorrupt`.
+    """
+    from repro.robust.journal import Journal, recover
+
+    result = recover(
+        args.journal, verify=not args.no_verify, samples=args.samples
+    )
+    summary = result.describe()
+    print(f"journal {args.journal}:")
+    print(
+        f"  checkpoint: seqno {summary['checkpoint_seqno']}"
+        + (
+            f" ({summary['checkpoint']})"
+            if summary["checkpoint"]
+            else " (none)"
+        )
+        + (
+            f", {result.checkpoints_skipped} unreadable skipped"
+            if result.checkpoints_skipped
+            else ""
+        )
+    )
+    print(
+        f"  tail: {summary['segments']} segment(s), "
+        f"{summary['replayed']} replayed, {summary['skipped']} skipped, "
+        f"{summary['torn_bytes']} torn bytes discarded"
+    )
+    print(
+        f"  state: {summary['routes']} routes at seqno "
+        f"{summary['last_seqno']}"
+        + ("" if args.no_verify else ", verified")
+        + f" ({summary['duration_s'] * 1000:.1f} ms)"
+    )
+    for message in result.errors:
+        print(f"  skipped: {message}", file=sys.stderr)
+    if args.output:
+        count = tableio.save_table(result.rib, args.output)
+        print(f"wrote {count} routes to {args.output}")
+    if args.compact:
+        with Journal(args.journal) as journal:
+            path = journal.checkpoint(result.rib)
+        print(f"compacted into {path}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -551,13 +663,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve lookups over TCP with coalescing and hot swap",
     )
-    _add_table_arg(p)
+    _add_table_arg(p, required=False)
     _add_algorithm_arg(p)
     _add_endpoint_args(p, default_port=9000)
     p.add_argument("--max-batch", type=int, default=8192,
                    help="keys per coalesced lookup_batch call (default 8192)")
     p.add_argument("--max-wait-us", type=float, default=200.0,
                    help="coalescing window in microseconds (default 200)")
+    p.add_argument("--journal", metavar="DIR",
+                   help="recover startup state from this route-update "
+                        "journal (fresh directory + --table seeds it)")
+    p.add_argument("--fsync-every", type=int, default=1,
+                   help="journal fsync batching (default 1 = every append)")
     p.add_argument("--metrics", action="store_true",
                    help="dump Prometheus metrics on shutdown")
     p.set_defaults(func=cmd_serve)
@@ -579,9 +696,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2463534242)
     p.add_argument("--swap-mid-run", action="store_true",
                    help="send one OP_RELOAD halfway through (hot swap)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-attempt response timeout in seconds "
+                        "(default 5; 0 disables)")
+    p.add_argument("--deadline-us", type=int, default=0,
+                   help="deadline budget stamped on every request "
+                        "(default 0 = none; needs a v2 server)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries per request after transport errors or "
+                        "retryable statuses (default 0)")
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON (e.g. BENCH_server.json)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "recover",
+        help="inspect or repair a route-update journal offline",
+    )
+    p.add_argument("journal", metavar="DIR",
+                   help="journal directory (as in serve --journal)")
+    p.add_argument("-o", "--output", metavar="PATH",
+                   help="write the recovered table (text format)")
+    p.add_argument("--compact", action="store_true",
+                   help="fold the tail into a fresh checkpoint and "
+                        "truncate the segments")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the structural/semantic verification pass")
+    p.add_argument("--samples", type=int, default=500,
+                   help="verification sample addresses (default 500)")
+    p.set_defaults(func=cmd_recover)
 
     return parser
 

@@ -12,6 +12,8 @@ one ``except ReproError`` while still matching precise categories:
 :class:`VerificationError`     an invariant check against the shadow RIB failed
 :class:`InjectedFault`         a deliberately injected test fault fired
 :class:`ProtocolError`         a lookup-service wire frame is malformed
+:class:`JournalCorrupt`        a route-update journal segment is corrupt
+                               beyond the recoverable torn tail
 :class:`ReplaceCostExceeded`   incremental replacement cost crossed the
                                configured threshold (internal control flow:
                                the transactional layer catches it and falls
@@ -167,6 +169,37 @@ class ProtocolError(ReproError, ValueError):
     Traceback (most recent call last):
         ...
     repro.errors.ProtocolError: request header truncated (1 bytes)
+    """
+
+
+class JournalCorrupt(ReproError, ValueError):
+    """A route-update journal is corrupt beyond the recoverable torn tail.
+
+    Replay (:func:`repro.robust.journal.recover`) tolerates exactly one
+    kind of damage: an *incomplete* final record in the newest segment —
+    the signature of a crash mid-append — which is discarded and counted.
+    Anything else (a CRC mismatch on a complete record, a mangled segment
+    header, an impossible record length, damage in a non-final segment)
+    means the update history can no longer be trusted, and replay stops
+    with this error rather than rebuilding a silently wrong table.
+
+    >>> import os, tempfile
+    >>> from repro.robust.journal import Journal, recover
+    >>> from repro.data.updates import Update
+    >>> from repro.net.prefix import Prefix
+    >>> d = tempfile.mkdtemp()
+    >>> j = Journal(d)
+    >>> _ = j.append(Update("A", Prefix.parse("10.0.0.0/8"), 1))
+    >>> _ = j.append(Update("A", Prefix.parse("10.64.0.0/10"), 2))
+    >>> j.close()
+    >>> seg = os.path.join(d, sorted(os.listdir(d))[0])
+    >>> blob = bytearray(open(seg, "rb").read())
+    >>> blob[20] ^= 0xFF                    # flip a byte mid-segment
+    >>> with open(seg, "wb") as f: _ = f.write(blob)
+    >>> recover(d)
+    Traceback (most recent call last):
+        ...
+    repro.errors.JournalCorrupt: ...
     """
 
 

@@ -1,16 +1,23 @@
-"""Fault-tolerant control plane: transactions, verification, fault injection.
+"""Fault-tolerant control plane: transactions, durability, verification,
+fault injection.
 
-Three pieces, documented in ``docs/ROBUSTNESS.md``:
+Four pieces, documented in ``docs/ROBUSTNESS.md``:
 
 - :mod:`repro.robust.txn` — :class:`TransactionalPoptrie`, an
   :class:`~repro.core.update.UpdatablePoptrie` whose updates either commit
   atomically or roll RIB, trie and buddy-allocator state back, with
   graceful degradation to a full rebuild;
+- :mod:`repro.robust.journal` — :class:`Journal`, the CRC-framed
+  write-ahead log of route updates with checkpoint/truncate, and
+  :func:`recover`, which rebuilds the durable state after a crash
+  (``python -m repro recover``);
 - :mod:`repro.robust.verify` — the invariant verifier behind
   ``Poptrie.verify(rib)`` and ``python -m repro verify``;
 - :mod:`repro.robust.faults` — the :class:`FaultPlan` context manager that
   arms deterministic injection points threaded through the allocator, the
-  builder, the update stream and snapshot writing.
+  builder, the update stream, snapshot writing, the journal (append /
+  fsync / checkpoint / torn-write) and the lookup service's response path
+  (connection drop, torn frame).
 
 This ``__init__`` imports only :mod:`~repro.robust.faults` eagerly: the
 fault hooks are imported by low-level modules (``repro.mem.buddy``), so the
@@ -27,6 +34,11 @@ _LAZY = {
     "StreamReport": "repro.robust.txn",
     "VerificationReport": "repro.robust.verify",
     "verify_poptrie": "repro.robust.verify",
+    "Journal": "repro.robust.journal",
+    "JournalStats": "repro.robust.journal",
+    "RecoveryResult": "repro.robust.journal",
+    "recover": "repro.robust.journal",
+    "read_segment": "repro.robust.journal",
 }
 
 __all__ = ["FaultPlan", "active_plan", "fault_point", *_LAZY]

@@ -20,6 +20,29 @@ threaded through the library:
     :func:`repro.core.serialize.save` / ``dump_bytes`` — the emitted blob
     is truncated by ``truncate_snapshot`` bytes, modelling a partial write
     (full disk, crash mid-write).
+``journal``
+    :meth:`repro.robust.journal.Journal.append` — the Nth append raises
+    before any byte reaches the segment, modelling a failed write.
+``fsync``
+    :meth:`repro.robust.journal.Journal.flush` — the Nth fsync raises
+    before calling ``os.fsync``, modelling a device error at the worst
+    moment (records buffered but not durable).
+``checkpoint``
+    :meth:`repro.robust.journal.Journal.checkpoint` — the Nth checkpoint
+    raises after the temporary file is written but *before* the atomic
+    rename, modelling a crash mid-checkpoint (recovery must fall back to
+    the previous checkpoint plus the full tail).
+``conn-drop`` / ``conn-torn``
+    :meth:`repro.server.service.LookupServer._respond` — the Nth response
+    is dropped (connection closed before any byte) or torn (a partial
+    frame is written, then the connection closed), modelling a server
+    crash mid-response; clients must treat both as transport errors and
+    retry on a fresh connection.
+``torn-journal``
+    the Nth journal append writes only the first ``torn_journal_bytes``
+    bytes of the record and then raises, modelling a crash mid-append —
+    exactly the damage :func:`repro.robust.journal.recover` must discard
+    as a torn tail.
 
 Only code that enters a plan ever sees a fault; the hooks are a single
 ``is None`` check when disarmed.  Plans nest: the innermost active plan
@@ -82,6 +105,39 @@ def mangle_snapshot(blob: bytes) -> bytes:
     return blob[: len(blob) - drop]
 
 
+def torn_journal_write(record: bytes) -> Optional[bytes]:
+    """Hook for the ``torn-journal`` site.
+
+    Returns ``None`` in the common case.  When the armed plan schedules a
+    torn write for this append, returns the *partial* record the journal
+    must write before raising — modelling a crash mid-append.
+    """
+    plan = _ACTIVE
+    if plan is None or plan.torn_journal_at is None:
+        return None
+    count = plan.counters["torn-journal"] = (
+        plan.counters.get("torn-journal", 0) + 1
+    )
+    if count != plan.torn_journal_at:
+        return None
+    plan.fired.append(("torn-journal", count))
+    keep = min(plan.torn_journal_bytes, max(len(record) - 1, 0))
+    return record[:keep]
+
+
+def connection_fault() -> Optional[Tuple[str, int]]:
+    """Hook for the ``conn-drop`` / ``conn-torn`` response sites.
+
+    Returns ``None`` (serve normally), ``("drop", 0)`` (close the
+    connection without writing the response) or ``("torn", n)`` (write
+    only the first ``n`` bytes of the frame, then close).
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.connection_fault()
+
+
 class FaultPlan:
     """A deterministic, seeded schedule of faults to inject.
 
@@ -105,12 +161,37 @@ class FaultPlan:
         corrupt_update_at: Optional[int] = None,
         corrupt_update_every: Optional[int] = None,
         truncate_snapshot: Optional[int] = None,
+        journal_fail_at: Optional[int] = None,
+        journal_fail_every: Optional[int] = None,
+        fsync_fail_at: Optional[int] = None,
+        fsync_fail_every: Optional[int] = None,
+        checkpoint_fail_at: Optional[int] = None,
+        checkpoint_fail_every: Optional[int] = None,
+        torn_journal_at: Optional[int] = None,
+        torn_journal_bytes: int = 5,
+        drop_response_at: Optional[int] = None,
+        drop_response_every: Optional[int] = None,
+        torn_response_at: Optional[int] = None,
+        torn_response_bytes: int = 3,
         seed: int = 0,
     ) -> None:
         self._at = {"alloc": alloc_fail_at, "build": build_fail_at,
-                    "update": corrupt_update_at}
+                    "update": corrupt_update_at,
+                    "journal": journal_fail_at, "fsync": fsync_fail_at,
+                    "checkpoint": checkpoint_fail_at}
         self._every = {"alloc": alloc_fail_every, "build": build_fail_every,
-                       "update": corrupt_update_every}
+                       "update": corrupt_update_every,
+                       "journal": journal_fail_every,
+                       "fsync": fsync_fail_every,
+                       "checkpoint": checkpoint_fail_every}
+        self.torn_journal_at = torn_journal_at
+        self.torn_journal_bytes = torn_journal_bytes
+        self._drop_at = drop_response_at
+        self._drop_every = drop_response_every
+        self._torn_at = torn_response_at
+        self.torn_response_bytes = torn_response_bytes
+        if drop_response_every is not None and drop_response_every <= 0:
+            raise ValueError("conn-drop period must be positive")
         for site, every in self._every.items():
             if every is not None and every <= 0:
                 raise ValueError(f"{site} period must be positive")
@@ -148,6 +229,23 @@ class FaultPlan:
         if self._due(site, count):
             self.fired.append((site, count))
             raise InjectedFault(f"injected fault at {site} #{count}")
+
+    def connection_fault(self) -> Optional[Tuple[str, int]]:
+        """Decide the fate of one server response (see the ``conn-*`` sites).
+
+        Drop and torn faults share one visit counter (a response can only
+        die one way); drop is consulted first.
+        """
+        count = self.counters["conn"] = self.counters.get("conn", 0) + 1
+        if (self._drop_at is not None and count == self._drop_at) or (
+            self._drop_every is not None and count % self._drop_every == 0
+        ):
+            self.fired.append(("conn-drop", count))
+            return ("drop", 0)
+        if self._torn_at is not None and count == self._torn_at:
+            self.fired.append(("conn-torn", count))
+            return ("torn", self.torn_response_bytes)
+        return None
 
     def corrupt_update(self, update: Any) -> Any:
         """Return ``update`` or a deterministically corrupted copy of it.

@@ -56,6 +56,9 @@ class TxnStats:
     fallback_rebuilds: int = 0
     threshold_rebuilds: int = 0
     rejected: int = 0
+    #: Updates refused because the write-ahead journal append failed
+    #: (journal-then-publish: no durable record, no mutation).
+    journal_failures: int = 0
 
 
 def _count_txn(outcome: str) -> None:
@@ -148,11 +151,16 @@ class TransactionalPoptrie(UpdatablePoptrie):
         rib: Optional[Rib] = None,
         rebuild_threshold: Optional[int] = None,
         fallback_rebuild: bool = True,
+        journal=None,
     ) -> None:
         super().__init__(config, width, rib)
         self.rebuild_threshold = rebuild_threshold
         self.fallback_rebuild = fallback_rebuild
         self.txn_stats = TxnStats()
+        #: Optional :class:`repro.robust.journal.Journal`.  When set, every
+        #: validated update is appended (journal-then-publish) before any
+        #: in-memory state mutates; a failed append refuses the update.
+        self.journal = journal
 
     # -- transactional announce/withdraw -------------------------------------
 
@@ -174,6 +182,21 @@ class TransactionalPoptrie(UpdatablePoptrie):
             self.txn_stats.rejected += 1
             _count_txn("rejected")
             raise
+        if self.journal is not None:
+            # Journal-then-publish: the durable record must exist before
+            # any in-memory state mutates.  A failed append refuses the
+            # update outright — recovery then agrees with this process
+            # that the update never happened.
+            from repro.data.updates import Update
+
+            try:
+                self.journal.append(
+                    Update(kind, prefix, fib_index if kind == "A" else 0)
+                )
+            except Exception:
+                self.txn_stats.journal_failures += 1
+                _count_txn("journal_error")
+                raise
         txn = Transaction(self)
         try:
             if kind == "A":
@@ -204,6 +227,17 @@ class TransactionalPoptrie(UpdatablePoptrie):
         else:
             self.txn_stats.commits += 1
             _count_txn("commit")
+
+    def checkpoint(self) -> str:
+        """Freeze the current RIB through the attached journal.
+
+        Requires :attr:`journal`; returns the checkpoint path.  After the
+        call the journal's replayed segments are truncated, so recovery
+        time is proportional to the churn since this moment.
+        """
+        if self.journal is None:
+            raise ValueError("no journal attached to checkpoint through")
+        return self.journal.checkpoint(self.rib)
 
     def _rib_inverse(self, kind: str, prefix: Prefix, previous: int):
         """The inverse RIB operation for an applied announce/withdraw."""

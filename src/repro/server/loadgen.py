@@ -53,21 +53,62 @@ class LoadGenConfig:
     seed: int = 2463534242
     #: Seconds to wait for stragglers after the last scheduled arrival.
     drain_timeout: float = 5.0
+    #: Per-attempt response timeout in seconds (0 disables).
+    request_timeout: float = 5.0
+    #: Deadline budget stamped on every lookup request (version-2 wire
+    #: field); 0 sends no deadline.
+    deadline_us: int = 0
+    #: Retry attempts per request after a transport error or a retryable
+    #: status (overload, deadline exceeded, shutting down).
+    max_retries: int = 0
+    #: Jittered exponential backoff between attempts: the nth retry
+    #: sleeps ``min(backoff_max, backoff_base * 2**n)`` scaled by a
+    #: seeded uniform(0.5, 1.0) jitter.
+    backoff_base: float = 0.001
+    backoff_max: float = 0.1
+    #: Retry-budget token rate: each original request earns this many
+    #: tokens, each retry spends one.  At 0.2 the run retries at most 20%
+    #: of its traffic — retries cannot amplify an overload into a storm.
+    retry_budget: float = 0.2
 
 
 @dataclass
 class LoadReport:
-    """The outcome of one load-generator run."""
+    """The outcome of one load-generator run.
+
+    Every sent request ends in exactly one of three outcomes:
+    ``completed``, ``transport_errors`` (the connection died, timed out
+    or returned garbage — the response never arrived) or
+    ``status_errors`` (a well-formed response carried a non-OK status).
+    ``shed`` additionally counts every overload/deadline-exceeded
+    response *observed*, including ones later retried successfully;
+    ``retries``/``timeouts``/``reconnects`` are event counters, not
+    outcomes.
+    """
 
     sent: int = 0
     completed: int = 0
-    errors: int = 0
     mismatched: int = 0
+    #: Requests that ended without a response: connection error, timeout,
+    #: undecodable frame.
+    transport_errors: int = 0
+    #: Requests whose final response carried a non-OK status.
+    status_errors: int = 0
+    #: STATUS_OVERLOAD / STATUS_DEADLINE_EXCEEDED responses observed.
+    shed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    reconnects: int = 0
     duration: float = 0.0
     target_rate: float = 0.0
     latencies_us: List[float] = field(default_factory=list)
     generations: Dict[int, int] = field(default_factory=dict)
     statuses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        """Failed requests of either class (the headline failure count)."""
+        return self.transport_errors + self.status_errors
 
     @property
     def throughput_rps(self) -> float:
@@ -92,6 +133,12 @@ class LoadReport:
             "sent": self.sent,
             "completed": self.completed,
             "errors": self.errors,
+            "transport_errors": self.transport_errors,
+            "status_errors": self.status_errors,
+            "shed": self.shed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "reconnects": self.reconnects,
             "mismatched": self.mismatched,
             "duration_s": round(self.duration, 6),
             "target_rate_rps": self.target_rate,
@@ -117,7 +164,9 @@ class LoadReport:
         latency = summary["latency_us"]
         lines = [
             f"requests: {self.completed}/{self.sent} completed, "
-            f"{self.errors} errors, {self.mismatched} mismatched",
+            f"{self.errors} errors ({self.transport_errors} transport, "
+            f"{self.status_errors} status), {self.shed} shed, "
+            f"{self.retries} retries, {self.mismatched} mismatched",
             f"throughput: {summary['throughput_rps']:.0f} req/s "
             f"({summary['throughput_klps']:.1f} klps at {batch} keys/req, "
             f"target {self.target_rate:.0f} req/s)",
@@ -134,16 +183,45 @@ class _Connection:
     """One pipelined client connection: request_id -> future matching."""
 
     def __init__(self) -> None:
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self._open_lock = asyncio.Lock()
 
     async def open(self, host: str, port: int) -> None:
+        self.host, self.port = host, port
         self.reader, self.writer = await asyncio.open_connection(host, port)
         self._reader_task = asyncio.create_task(self._read_loop())
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self.writer is not None
+            and not self.writer.is_closing()
+            and self._reader_task is not None
+            and not self._reader_task.done()
+        )
+
+    async def ensure_open(self) -> bool:
+        """Reconnect if the connection has died.
+
+        Returns ``True`` when a reconnect actually happened (so the
+        caller can count it); concurrent callers coordinate through the
+        open lock and only the first one pays for the reopen.
+        """
+        if self.alive:
+            return False
+        async with self._open_lock:
+            if self.alive:
+                return False
+            await self.close()
+            await self.open(self.host, self.port)
+            return True
 
     async def _read_loop(self) -> None:
         try:
@@ -171,17 +249,32 @@ class _Connection:
         self._pending.clear()
 
     async def request(
-        self, opcode: int, keys: Sequence[int] = ()
+        self,
+        opcode: int,
+        keys: Sequence[int] = (),
+        *,
+        deadline_us: int = 0,
+        timeout: Optional[float] = None,
     ) -> protocol.Response:
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF
         request_id = self._next_id
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        payload = protocol.encode_request(opcode, request_id, keys)
+        payload = protocol.encode_request(
+            opcode, request_id, keys, deadline_us=deadline_us
+        )
         async with self._write_lock:
             protocol.write_frame(self.writer, payload)
             await self.writer.drain()
-        return await future
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            # Forget the request: a straggler response must not be
+            # mistaken for an answer to a later request.
+            self._pending.pop(request_id, None)
+            raise
 
     async def close(self) -> None:
         if self._reader_task is not None:
@@ -228,6 +321,9 @@ class LoadGenerator:
         self.keys = [int(k) for k in keys]
         self.width = width
         self.oracle = oracle
+        #: Retry-budget token bucket (see :class:`LoadGenConfig`).
+        self._retry_tokens = 0.0
+        self._backoff_rng = random.Random(self.config.seed ^ 0x5EED)
 
     def _arrival_gaps(self):
         """The open-loop arrival schedule: inter-arrival gaps in seconds."""
@@ -297,7 +393,8 @@ class LoadGenerator:
                 )
                 for task in pending:
                     task.cancel()
-                    report.errors += 1
+                    report.timeouts += 1
+                    report.transport_errors += 1
             if reload_task is not None:
                 await reload_task
         finally:
@@ -311,28 +408,85 @@ class LoadGenerator:
     async def _one_request(
         self, conn: _Connection, opcode: int, keys, report: LoadReport
     ) -> None:
+        """One logical request: attempt, classify, maybe retry.
+
+        Transport failures (connection death, timeout) and retryable
+        statuses (overload, deadline exceeded, shutting down) are retried
+        up to ``max_retries`` times with jittered exponential backoff,
+        as long as the retry-budget bucket has a token.  Latency is
+        measured first send to final success, retries included.
+        """
+        config = self.config
+        self._retry_tokens += config.retry_budget
+        timeout = config.request_timeout or None
+        attempt = 0
         start = time.perf_counter()
-        try:
-            response = await conn.request(opcode, keys)
-        except Exception:
-            report.errors += 1
+        while True:
+            retryable = False
+            try:
+                response = await conn.request(
+                    opcode,
+                    keys,
+                    deadline_us=config.deadline_us,
+                    timeout=timeout,
+                )
+            except asyncio.TimeoutError:
+                report.timeouts += 1
+                response = None
+            except Exception:
+                response = None
+            if response is not None:
+                report.statuses[response.status] = (
+                    report.statuses.get(response.status, 0) + 1
+                )
+                if response.ok and len(response.results) == len(keys):
+                    report.completed += 1
+                    report.latencies_us.append(
+                        (time.perf_counter() - start) * 1e6
+                    )
+                    report.generations[response.generation] = (
+                        report.generations.get(response.generation, 0) + 1
+                    )
+                    if self.oracle is not None:
+                        for key, result in zip(keys, response.results):
+                            if self.oracle(key) != int(result):
+                                report.mismatched += 1
+                    return
+                if response.status in (
+                    protocol.STATUS_OVERLOAD,
+                    protocol.STATUS_DEADLINE_EXCEEDED,
+                ):
+                    report.shed += 1
+                retryable = response.status in protocol.RETRYABLE_STATUSES
+            if (
+                (response is None or retryable)
+                and attempt < config.max_retries
+                and self._retry_tokens >= 1.0
+            ):
+                self._retry_tokens -= 1.0
+                report.retries += 1
+                if response is None:
+                    try:
+                        if await conn.ensure_open():
+                            report.reconnects += 1
+                    except OSError:
+                        report.transport_errors += 1
+                        return
+                await asyncio.sleep(self._backoff_delay(attempt))
+                attempt += 1
+                continue
+            if response is None:
+                report.transport_errors += 1
+            else:
+                report.status_errors += 1
             return
-        elapsed_us = (time.perf_counter() - start) * 1e6
-        report.statuses[response.status] = (
-            report.statuses.get(response.status, 0) + 1
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(
+            self.config.backoff_max,
+            self.config.backoff_base * (2 ** attempt),
         )
-        if not response.ok or len(response.results) != len(keys):
-            report.errors += 1
-            return
-        report.completed += 1
-        report.latencies_us.append(elapsed_us)
-        report.generations[response.generation] = (
-            report.generations.get(response.generation, 0) + 1
-        )
-        if self.oracle is not None:
-            for key, result in zip(keys, response.results):
-                if self.oracle(key) != int(result):
-                    report.mismatched += 1
+        return delay * self._backoff_rng.uniform(0.5, 1.0)
 
     async def _reload_later(
         self, conn: _Connection, delay: float, report: LoadReport
@@ -341,7 +495,7 @@ class LoadGenerator:
         try:
             response = await conn.request(protocol.OP_RELOAD)
         except Exception:
-            report.errors += 1
+            report.transport_errors += 1
             return
         if not response.ok:
-            report.errors += 1
+            report.status_errors += 1

@@ -9,22 +9,33 @@ coalescer (see :mod:`repro.server.service`).
 
 Request payload layout (big-endian throughout)::
 
-    u8  version   (PROTOCOL_VERSION)
+    u8  version   (1 or 2)
     u8  opcode    (OP_*)
     u16 count     (number of keys; 0 for PING/STATS/RELOAD)
     u32 request_id
+    u32 deadline_us  (version >= 2 only; 0 = no deadline)
     keys:  OP_LOOKUP4 -> count * u32 addresses
            OP_LOOKUP6 -> count * (u64 hi, u64 lo) address halves
 
-Response payload layout::
+Response payload layout (identical in versions 1 and 2)::
 
-    u8  version
+    u8  version   (echoes the request's version)
     u8  status    (STATUS_*)
     u16 count     (number of results)
     u32 request_id
     u64 generation  (the served table's RCU generation)
     count * u32 FIB indices
     trailing bytes: UTF-8 text (error message, or the STATS JSON body)
+
+Version 2 adds the request ``deadline_us`` field: the client's latency
+budget for this request, measured from server receipt.  The server sheds
+a request whose budget expires while it queues
+(:data:`STATUS_DEADLINE_EXCEEDED`) instead of serving a uselessly late
+answer, and refuses admission outright under overload
+(:data:`STATUS_OVERLOAD`).  The bump is backward compatible both ways: a
+version-1 request is decoded with no deadline (never deadline-shed), and
+every response echoes the request's version, so a version-1 client talks
+to a version-2 server without change.
 
 The IPv6 ``(hi, lo)`` split mirrors the batch-lookup key contract
 (:func:`repro.lookup.base.normalize_batch_keys`): IPv4 keys travel as
@@ -46,7 +57,11 @@ import numpy as np
 
 from repro.errors import ProtocolError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Protocol versions this module can decode (see the version-2 notes in
+#: the module docstring; version 1 lacks the request deadline field).
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Hard ceiling on one frame's payload; a longer length prefix is treated
 #: as a protocol violation, not an allocation request.
@@ -73,9 +88,18 @@ STATUS_WRONG_FAMILY = 2   #: lookup family does not match the served table
 STATUS_UNSUPPORTED = 3    #: opcode valid but not available (e.g. no RIB)
 STATUS_SERVER_ERROR = 4   #: the lookup engine raised
 STATUS_SHUTTING_DOWN = 5  #: request arrived while the server was stopping
+STATUS_OVERLOAD = 6       #: admission refused: dispatcher queue is full
+STATUS_DEADLINE_EXCEEDED = 7  #: deadline expired while the request queued
+
+#: Statuses a client may transparently retry (after backoff): the request
+#: was never served, so retrying cannot double-apply anything.
+RETRYABLE_STATUSES = frozenset(
+    {STATUS_OVERLOAD, STATUS_DEADLINE_EXCEEDED, STATUS_SHUTTING_DOWN}
+)
 
 _LEN = struct.Struct("!I")
 _REQ_HEADER = struct.Struct("!BBHI")
+_REQ_DEADLINE = struct.Struct("!I")
 _RESP_HEADER = struct.Struct("!BBHIQ")
 _V6_KEY = struct.Struct("!QQ")
 
@@ -91,6 +115,11 @@ class Request:
     #: Normalized keys, ready for ``lookup_batch``: a uint64 array for
     #: OP_LOOKUP4, an object array of Python ints for OP_LOOKUP6.
     keys: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint64))
+    #: Latency budget in microseconds from server receipt; 0 = none.
+    #: Always 0 for version-1 requests, which have no deadline field.
+    deadline_us: int = 0
+    #: The protocol version the client spoke; responses echo it.
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass(frozen=True)
@@ -109,17 +138,33 @@ class Response:
 
 
 def encode_request(
-    opcode: int, request_id: int, keys: Sequence[int] = ()
+    opcode: int,
+    request_id: int,
+    keys: Sequence[int] = (),
+    *,
+    deadline_us: int = 0,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
-    """Encode one request payload (without the length prefix)."""
+    """Encode one request payload (without the length prefix).
+
+    ``version=1`` emits the legacy header without the deadline field (and
+    therefore rejects a nonzero ``deadline_us``) — used by the
+    backward-compatibility tests to impersonate an old client.
+    """
     if opcode not in OPCODES:
         raise ProtocolError(f"unknown opcode {opcode}")
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"cannot encode protocol version {version}")
+    if not 0 <= deadline_us <= 0xFFFFFFFF:
+        raise ProtocolError(f"deadline {deadline_us}us outside the u32 field")
+    if version < 2 and deadline_us:
+        raise ProtocolError("version-1 requests cannot carry a deadline")
     count = len(keys)
     if count > 0xFFFF:
         raise ProtocolError(f"{count} keys exceed the u16 count field")
-    header = _REQ_HEADER.pack(
-        PROTOCOL_VERSION, opcode, count, request_id & 0xFFFFFFFF
-    )
+    header = _REQ_HEADER.pack(version, opcode, count, request_id & 0xFFFFFFFF)
+    if version >= 2:
+        header += _REQ_DEADLINE.pack(deadline_us)
     if opcode == OP_LOOKUP4:
         body = np.asarray(keys, dtype=">u4").tobytes()
     elif opcode == OP_LOOKUP6:
@@ -139,11 +184,18 @@ def decode_request(payload: bytes) -> Request:
     if len(payload) < _REQ_HEADER.size:
         raise ProtocolError(f"request header truncated ({len(payload)} bytes)")
     version, opcode, count, request_id = _REQ_HEADER.unpack_from(payload)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"protocol version {version} not supported")
     if opcode not in OPCODES:
         raise ProtocolError(f"unknown opcode {opcode}")
-    body = payload[_REQ_HEADER.size:]
+    deadline_us = 0
+    offset = _REQ_HEADER.size
+    if version >= 2:
+        if len(payload) < offset + _REQ_DEADLINE.size:
+            raise ProtocolError("request deadline field truncated")
+        (deadline_us,) = _REQ_DEADLINE.unpack_from(payload, offset)
+        offset += _REQ_DEADLINE.size
+    body = payload[offset:]
     if opcode == OP_LOOKUP4:
         expected = 4 * count
         if len(body) != expected:
@@ -165,7 +217,13 @@ def decode_request(payload: bytes) -> Request:
         if body or count:
             raise ProtocolError(f"opcode {opcode} takes no keys")
         keys = np.empty(0, dtype=np.uint64)
-    return Request(opcode=opcode, request_id=request_id, keys=keys)
+    return Request(
+        opcode=opcode,
+        request_id=request_id,
+        keys=keys,
+        deadline_us=deadline_us,
+        version=version,
+    )
 
 
 def encode_response(
@@ -174,13 +232,20 @@ def encode_response(
     generation: int = 0,
     results: Sequence[int] = (),
     text: str = "",
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
-    """Encode one response payload (without the length prefix)."""
+    """Encode one response payload (without the length prefix).
+
+    ``version`` echoes the request's version so old clients see the
+    version they spoke (the response layout itself is version-invariant).
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"cannot encode protocol version {version}")
     count = len(results)
     if count > 0xFFFF:
         raise ProtocolError(f"{count} results exceed the u16 count field")
     header = _RESP_HEADER.pack(
-        PROTOCOL_VERSION,
+        version,
         status,
         count,
         request_id & 0xFFFFFFFF,
@@ -199,7 +264,7 @@ def decode_response(payload: bytes) -> Response:
     version, status, count, request_id, generation = _RESP_HEADER.unpack_from(
         payload
     )
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"protocol version {version} not supported")
     body = payload[_RESP_HEADER.size:]
     expected = 4 * count
@@ -224,13 +289,18 @@ def decode_response(payload: bytes) -> Response:
 # -- asyncio frame transport ---------------------------------------------------
 
 
-def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
-    """Queue one length-prefixed frame on ``writer`` (caller drains)."""
+def frame_bytes(payload: bytes) -> bytes:
+    """The on-wire bytes of one frame: length prefix plus payload."""
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
         )
-    writer.write(_LEN.pack(len(payload)) + payload)
+    return _LEN.pack(len(payload)) + payload
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one length-prefixed frame on ``writer`` (caller drains)."""
+    writer.write(frame_bytes(payload))
 
 
 async def read_frame(

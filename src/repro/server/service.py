@@ -23,6 +23,17 @@ overhead); larger windows amortise the per-batch cost across more
 concurrent requests at the price of queueing delay — the
 ``repro_server_coalesced_requests`` histogram shows where a deployment
 actually lands.
+
+Overload control bounds that queueing delay.  Admission is refused
+(:data:`~repro.server.protocol.STATUS_OVERLOAD`) once the dispatcher
+queue holds ``max_pending_requests`` requests or ``max_pending_keys``
+keys, so a burst beyond capacity is answered immediately instead of
+growing the queue without bound.  Version-2 requests may carry a
+``deadline_us`` budget; a queued request whose budget expires before the
+dispatcher reaches it is shed
+(:data:`~repro.server.protocol.STATUS_DEADLINE_EXCEEDED`) rather than
+served uselessly late — under overload the server spends its cycles on
+answers somebody still wants.
 """
 
 from __future__ import annotations
@@ -37,8 +48,13 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.robust import faults
 from repro.server import protocol
 from repro.server.handle import TableHandle
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: a queued request's deadline expired before dispatch."""
 
 
 @dataclass(frozen=True)
@@ -56,6 +72,13 @@ class ServerConfig:
     max_wait_us: float = 200.0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     max_keys_per_request: int = protocol.MAX_KEYS_PER_REQUEST
+    #: Admission bound: lookup requests queued for the dispatcher.  A
+    #: request arriving with the queue at this depth is refused with
+    #: STATUS_OVERLOAD instead of queued.
+    max_pending_requests: int = 1024
+    #: Admission bound on total queued keys (the actual work unit); the
+    #: same STATUS_OVERLOAD refusal when exceeded.
+    max_pending_keys: int = 1 << 16
 
 
 @dataclass
@@ -71,17 +94,36 @@ class ServerStats:
     max_coalesced: int = 0
     connections: int = 0
     reloads: int = 0
+    #: OP_RELOAD requests whose rebuild or swap raised; the previous
+    #: table generation kept serving.
+    reload_failures: int = 0
+    #: Requests refused at admission (queue full).
+    shed_overload: int = 0
+    #: Requests shed because their deadline expired while queued.
+    shed_deadline: int = 0
+    #: Responses destroyed by an armed FaultPlan (chaos testing only).
+    dropped_responses: int = 0
+    torn_responses: int = 0
 
 
 class _Pending:
     """One lookup request waiting for the dispatcher."""
 
-    __slots__ = ("keys", "future", "enqueued")
+    __slots__ = ("keys", "future", "enqueued", "deadline")
 
-    def __init__(self, keys, future, enqueued: float) -> None:
+    def __init__(
+        self,
+        keys,
+        future,
+        enqueued: float,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.keys = keys
         self.future = future
         self.enqueued = enqueued
+        #: Absolute ``perf_counter`` time after which serving this
+        #: request is pointless, or ``None`` (version-1 / no budget).
+        self.deadline = deadline
 
 
 class LookupServer:
@@ -228,6 +270,7 @@ class LookupServer:
                 protocol.STATUS_SERVER_ERROR,
                 generation=self.handle.generation,
                 text=f"{type(error).__name__}: {error}",
+                version=request.version,
             )
         self._observe_latency(start)
         await self._respond(writer, write_lock, payload)
@@ -238,13 +281,16 @@ class LookupServer:
             return await self._execute_lookup(request)
         if opcode == protocol.OP_PING:
             return protocol.encode_response(
-                request.request_id, generation=self.handle.generation
+                request.request_id,
+                generation=self.handle.generation,
+                version=request.version,
             )
         if opcode == protocol.OP_STATS:
             return protocol.encode_response(
                 request.request_id,
                 generation=self.handle.generation,
                 text=json.dumps(self.describe()),
+                version=request.version,
             )
         if opcode == protocol.OP_RELOAD:
             return await self._execute_reload(request)
@@ -259,6 +305,7 @@ class LookupServer:
                 protocol.STATUS_WRONG_FAMILY,
                 generation=self.handle.generation,
                 text=f"served table holds width-{width} addresses",
+                version=request.version,
             )
         if len(request.keys) > self.config.max_keys_per_request:
             self.stats.errors += 1
@@ -270,6 +317,7 @@ class LookupServer:
                     f"{len(request.keys)} keys exceed the per-request "
                     f"limit of {self.config.max_keys_per_request}"
                 ),
+                version=request.version,
             )
         if self._stopping:
             return protocol.encode_response(
@@ -277,19 +325,53 @@ class LookupServer:
                 protocol.STATUS_SHUTTING_DOWN,
                 generation=self.handle.generation,
                 text="server shutting down",
+                version=request.version,
             )
-        future = asyncio.get_running_loop().create_future()
-        self._pending.append(
-            _Pending(request.keys, future, time.perf_counter())
+        # Bounded admission: refuse immediately rather than queue beyond
+        # what the dispatcher can drain — the client's backoff is the
+        # system's only stable response to sustained overload.
+        if (
+            len(self._pending) >= self.config.max_pending_requests
+            or self._pending_keys + len(request.keys)
+            > self.config.max_pending_keys
+        ):
+            self.stats.shed_overload += 1
+            self._count_shed("overload")
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_OVERLOAD,
+                generation=self.handle.generation,
+                text=(
+                    f"dispatcher queue full "
+                    f"({len(self._pending)} requests, "
+                    f"{self._pending_keys} keys pending)"
+                ),
+                version=request.version,
+            )
+        now = time.perf_counter()
+        deadline = (
+            now + request.deadline_us / 1e6 if request.deadline_us else None
         )
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(_Pending(request.keys, future, now, deadline))
         self._pending_keys += len(request.keys)
         self._gauge_inflight(len(self._pending))
         self._wakeup.set()
-        results, generation = await future
+        try:
+            results, generation = await future
+        except _DeadlineExceeded:
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_DEADLINE_EXCEEDED,
+                generation=self.handle.generation,
+                text=f"deadline of {request.deadline_us}us expired in queue",
+                version=request.version,
+            )
         return protocol.encode_response(
             request.request_id,
             generation=generation,
             results=results,
+            version=request.version,
         )
 
     async def _execute_reload(self, request: protocol.Request) -> bytes:
@@ -299,12 +381,26 @@ class LookupServer:
                 protocol.STATUS_UNSUPPORTED,
                 generation=self.handle.generation,
                 text="server has no RIB to rebuild from",
+                version=request.version,
             )
-        structure = await asyncio.to_thread(self.rebuild)
-        generation = await self.handle.swap_async(structure)
+        try:
+            structure = await asyncio.to_thread(self.rebuild)
+            generation = await self.handle.swap_async(structure)
+        except Exception as error:
+            # Failed rebuild must not disturb service: the previous
+            # generation keeps serving, the client learns why.
+            self.stats.reload_failures += 1
+            self._count("repro_server_reload_failures_total")
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_SERVER_ERROR,
+                generation=self.handle.generation,
+                text=f"reload failed: {type(error).__name__}: {error}",
+                version=request.version,
+            )
         self.stats.reloads += 1
         return protocol.encode_response(
-            request.request_id, generation=generation
+            request.request_id, generation=generation, version=request.version
         )
 
     async def _respond(
@@ -313,6 +409,10 @@ class LookupServer:
         write_lock: asyncio.Lock,
         payload: bytes,
     ) -> None:
+        fate = faults.connection_fault()
+        if fate is not None:
+            await self._destroy_response(writer, write_lock, payload, fate)
+            return
         try:
             async with write_lock:
                 protocol.write_frame(writer, payload)
@@ -323,6 +423,34 @@ class LookupServer:
             )
         except (ConnectionError, OSError):
             pass  # client went away; nothing to tell it
+
+    async def _destroy_response(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: bytes,
+        fate: Tuple[str, int],
+    ) -> None:
+        """Chaos path: an armed FaultPlan killed this response.
+
+        ``("drop", _)`` closes the connection before any byte of the
+        response; ``("torn", n)`` writes only the first ``n`` bytes of
+        the frame and then closes — the client sees a connection lost
+        mid-frame, exactly as if the server died mid-send.
+        """
+        action, nbytes = fate
+        try:
+            async with write_lock:
+                if action == "torn":
+                    frame = protocol.frame_bytes(payload)
+                    writer.write(frame[: min(nbytes, len(frame) - 1)])
+                    await writer.drain()
+                    self.stats.torn_responses += 1
+                else:
+                    self.stats.dropped_responses += 1
+                writer.close()
+        except (ConnectionError, OSError):
+            pass
 
     # -- the coalescing dispatcher -------------------------------------------
 
@@ -339,9 +467,18 @@ class LookupServer:
                 await asyncio.sleep(window)
             batch = []
             nkeys = 0
+            now = time.perf_counter()
             while self._pending and nkeys < self.config.max_batch:
                 item = self._pending.popleft()
                 self._pending_keys -= len(item.keys)
+                if item.deadline is not None and now > item.deadline:
+                    # The client's budget expired while this request sat
+                    # in the queue: shed it instead of doing dead work.
+                    if not item.future.done():
+                        item.future.set_exception(_DeadlineExceeded())
+                    self.stats.shed_deadline += 1
+                    self._count_shed("deadline")
+                    continue
                 batch.append(item)
                 nkeys += len(item.keys)
             if batch:
@@ -388,6 +525,8 @@ class LookupServer:
             "config": {
                 "max_batch": self.config.max_batch,
                 "max_wait_us": self.config.max_wait_us,
+                "max_pending_requests": self.config.max_pending_requests,
+                "max_pending_keys": self.config.max_pending_keys,
             },
             "handle": self.handle.stats(),
             "requests": self.stats.requests,
@@ -404,7 +543,19 @@ class LookupServer:
             ),
             "connections": self.stats.connections,
             "reloads": self.stats.reloads,
+            "reload_failures": self.stats.reload_failures,
+            "shed_overload": self.stats.shed_overload,
+            "shed_deadline": self.stats.shed_deadline,
         }
+
+    def _count_shed(self, reason: str) -> None:
+        from repro import obs
+
+        obs.registry().counter(
+            "repro_server_shed_total",
+            "Lookup requests shed by overload control, by reason.",
+            reason=reason,
+        ).inc()
 
     def _count(self, name: str, **labels) -> None:
         from repro import obs

@@ -1,0 +1,110 @@
+"""Subprocess body for the chaos test: apply a journaled update stream.
+
+Run as ``python tests/_chaos_worker.py JOURNAL_DIR UPDATES_FILE [options]``
+with ``repro`` importable.  The worker
+
+1. recovers the durable state from ``JOURNAL_DIR`` (newest checkpoint +
+   replayed tail),
+2. resumes applying the update stream *from that point* — every valid
+   update is journaled exactly once in order, so the durable sequence
+   number doubles as the stream position,
+3. journals every update (journal-then-publish), checkpoints every
+   ``--checkpoint-every`` applied updates, and
+4. writes ``--done-marker`` (the final sequence number) after the last
+   update is durable.
+
+The parent test SIGKILLs this process at random instants and restarts
+it; ``--*-fail-at`` options additionally arm a
+:class:`~repro.robust.faults.FaultPlan` so some "crashes" happen exactly
+at a journal append, fsync, torn write or checkpoint.  An injected fault
+exits via ``os._exit`` — no cleanup, like the SIGKILL it stands in for.
+
+``UPDATES_FILE`` is a flat concatenation of fixed-size journal record
+payloads (:func:`repro.robust.journal.encode_update`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("journal")
+    parser.add_argument("updates")
+    parser.add_argument("--checkpoint-every", type=int, default=200)
+    parser.add_argument("--fsync-every", type=int, default=1)
+    parser.add_argument("--throttle-us", type=int, default=0,
+                        help="sleep per update, to give the parent time "
+                             "to kill the process mid-stream")
+    parser.add_argument("--done-marker", default=None)
+    parser.add_argument("--journal-fail-at", type=int, default=None)
+    parser.add_argument("--fsync-fail-at", type=int, default=None)
+    parser.add_argument("--checkpoint-fail-at", type=int, default=None)
+    parser.add_argument("--torn-journal-at", type=int, default=None)
+    return parser.parse_args(argv)
+
+
+def load_updates(path):
+    from repro.robust.journal import decode_update
+
+    with open(path, "rb") as stream:
+        blob = stream.read()
+    size = 24  # fixed payload size of the journal record format
+    assert len(blob) % size == 0, "updates file is not whole records"
+    return [
+        decode_update(blob[offset:offset + size])
+        for offset in range(0, len(blob), size)
+    ]
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+
+    from repro.errors import InjectedFault
+    from repro.robust.faults import FaultPlan
+    from repro.robust.journal import Journal, recover
+
+    updates = load_updates(args.updates)
+    result = recover(args.journal, verify=False)
+    start = result.last_seqno  # stream position == durable seqno
+    txn = result.trie
+    txn.journal = Journal(args.journal, fsync_every=args.fsync_every)
+
+    plan = FaultPlan(
+        journal_fail_at=args.journal_fail_at,
+        fsync_fail_at=args.fsync_fail_at,
+        checkpoint_fail_at=args.checkpoint_fail_at,
+        torn_journal_at=args.torn_journal_at,
+    )
+    throttle = args.throttle_us / 1e6
+    applied = 0
+    try:
+        with plan:
+            for update in updates[start:]:
+                if update.kind == "A":
+                    txn.announce(update.prefix, update.nexthop)
+                else:
+                    txn.withdraw(update.prefix)
+                applied += 1
+                if applied % args.checkpoint_every == 0:
+                    txn.checkpoint()
+                if throttle:
+                    time.sleep(throttle)
+    except InjectedFault:
+        # The injected crash: die on the spot, no cleanup, no flush —
+        # exactly what the SIGKILL variant of this test does.
+        os._exit(7)
+    txn.journal.close()
+    if args.done_marker:
+        with open(args.done_marker, "w") as stream:
+            stream.write(f"{txn.journal.last_seqno}\n")
+    print(f"done at seqno {txn.journal.last_seqno}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

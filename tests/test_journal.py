@@ -1,0 +1,432 @@
+"""The route-update journal: durability, torn tails, corruption, recovery.
+
+Covers the write path (framing, fsync batching, segment rotation,
+checkpoint truncation), the recovery path (empty directory, checkpoint
+only, torn final record, replay idempotence), the corruption taxonomy
+(a CRC-damaged record mid-segment is :class:`JournalCorrupt`, a torn
+*tail* is not), and the journal-then-publish contract of
+:class:`TransactionalPoptrie` with a journal attached.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.core.poptrie import Poptrie
+from repro.data import tableio
+from repro.data.updates import Update, generate_update_stream
+from repro.errors import InjectedFault, JournalCorrupt
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.robust.faults import FaultPlan
+from repro.robust.journal import (
+    Journal,
+    decode_update,
+    encode_update,
+    read_segment,
+    recover,
+)
+from repro.robust.txn import TransactionalPoptrie
+
+
+def small_rib() -> Rib:
+    rib = Rib()
+    rib.insert(Prefix.parse("0.0.0.0/0"), 9)
+    rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+    rib.insert(Prefix.parse("192.0.2.0/24"), 3)
+    return rib
+
+
+def some_updates(n: int = 20, seed: int = 5):
+    return list(generate_update_stream(small_rib(), count=n, seed=seed))
+
+
+def segment_paths(directory: str):
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith("wal-")
+    )
+
+
+def route_set(rib: Rib):
+    return {(p.value, p.length, p.width, hop) for p, hop in rib.routes()}
+
+
+# ---------------------------------------------------------------------------
+# record encoding
+# ---------------------------------------------------------------------------
+
+
+class TestRecordCodec:
+    def test_roundtrip_v4_and_v6(self):
+        for update in (
+            Update("A", Prefix.parse("10.0.0.0/8"), 42),
+            Update("W", Prefix.parse("10.0.0.0/8")),
+            Update("A", Prefix.parse("2001:db8::/32"), 7),
+        ):
+            decoded = decode_update(encode_update(update))
+            assert decoded.kind == update.kind
+            assert decoded.prefix == update.prefix
+            if update.kind == "A":
+                assert decoded.nexthop == update.nexthop
+
+    def test_withdraw_nexthop_normalised_to_zero(self):
+        update = Update("W", Prefix.parse("10.0.0.0/8"), 999)
+        assert decode_update(encode_update(update)).nexthop == 0
+
+    def test_bad_payloads_are_corrupt(self):
+        good = encode_update(Update("A", Prefix.parse("10.0.0.0/8"), 1))
+        with pytest.raises(JournalCorrupt):
+            decode_update(good[:-1])  # wrong size
+        with pytest.raises(JournalCorrupt):
+            decode_update(b"\x07" + good[1:])  # unknown kind code
+        with pytest.raises(JournalCorrupt):
+            decode_update(b"\x00\x21" + good[2:])  # width 33
+
+    def test_unjournalable_updates_rejected(self):
+        with pytest.raises(ValueError):
+            encode_update(Update("?", Prefix.parse("10.0.0.0/8"), 1))
+        with pytest.raises(ValueError):
+            encode_update(Update("A", Prefix.parse("10.0.0.0/8"), 1 << 40))
+
+
+# ---------------------------------------------------------------------------
+# the write path
+# ---------------------------------------------------------------------------
+
+
+class TestJournalWrites:
+    def test_appends_are_sequenced_and_survive_reopen(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            seqnos = [journal.append(u) for u in some_updates(5)]
+        assert seqnos == [1, 2, 3, 4, 5]
+        reopened = Journal(d)
+        assert reopened.last_seqno == 5
+        assert reopened.append(some_updates(1)[0]) == 6
+        reopened.close()
+
+    def test_fsync_batching(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync_every=4)
+        for update in some_updates(8):
+            journal.append(update)
+        assert journal.stats.fsyncs == 2
+        journal.append(some_updates(1)[0])
+        journal.flush()  # one unsynced record -> one more fsync
+        assert journal.stats.fsyncs == 3
+        journal.flush()  # nothing unsynced -> no fsync
+        assert journal.stats.fsyncs == 3
+        journal.close()
+
+    def test_segment_rotation(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d, segment_bytes=128)
+        for update in some_updates(12):
+            journal.append(update)
+        journal.close()
+        paths = segment_paths(d)
+        assert len(paths) > 1
+        assert journal.stats.rotations == len(paths) - 1
+        # Segments chain: each starts where the previous ended.
+        expected_base = 1
+        total = 0
+        for path in paths:
+            info = read_segment(path)
+            assert info.base == expected_base
+            expected_base = info.next_seqno
+            total += info.count
+        assert total == 12
+
+    def test_checkpoint_truncates_segments(self, tmp_path):
+        d = str(tmp_path)
+        rib = small_rib()
+        journal = Journal(d)
+        txn = TransactionalPoptrie(rib=rib, journal=journal)
+        for update in some_updates(10):
+            try:
+                if update.kind == "A":
+                    txn.announce(update.prefix, update.nexthop)
+                else:
+                    txn.withdraw(update.prefix)
+            except Exception:
+                pass
+        assert segment_paths(d)
+        path = txn.checkpoint()
+        assert os.path.exists(path)
+        assert segment_paths(d) == []
+        # Recovery from the checkpoint alone reproduces the live state.
+        result = recover(d)
+        assert result.replayed == 0
+        assert route_set(result.rib) == route_set(txn.rib)
+        journal.close()
+
+    def test_checkpoint_requires_journal(self):
+        with pytest.raises(ValueError):
+            TransactionalPoptrie(rib=small_rib()).checkpoint()
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_empty_directory_recovers_empty_table(self, tmp_path):
+        result = recover(str(tmp_path))
+        assert result.last_seqno == 0
+        assert len(result.rib) == 0
+        assert result.checkpoint_path is None
+
+    def test_missing_directory_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            recover(str(tmp_path / "nope"))
+
+    def test_checkpoint_only(self, tmp_path):
+        d = str(tmp_path)
+        rib = small_rib()
+        with Journal(d) as journal:
+            journal.checkpoint(rib)
+        result = recover(d)
+        assert result.replayed == 0
+        assert result.checkpoint_seqno == 0
+        assert route_set(result.rib) == route_set(rib)
+
+    def test_tail_replay_matches_in_process_oracle(self, tmp_path):
+        d = str(tmp_path)
+        rib = small_rib()
+        updates = some_updates(40, seed=9)
+        with Journal(d) as journal:
+            journal.checkpoint(rib)
+            oracle = TransactionalPoptrie(rib=small_rib(), journal=journal)
+            oracle.apply_stream(updates, on_error="skip")
+        result = recover(d)
+        assert result.replayed + result.skipped == len(updates)
+        assert route_set(result.rib) == route_set(oracle.rib)
+
+    def test_replay_is_idempotent(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(25, seed=13):
+                journal.append(update)
+        first = recover(d)
+        second = recover(d)
+        assert route_set(first.rib) == route_set(second.rib)
+        assert first.last_seqno == second.last_seqno == 25
+
+    def test_torn_final_record_discarded(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(6):
+                journal.append(update)
+        path = segment_paths(d)[-1]
+        with open(path, "ab") as stream:
+            stream.write(b"\x18\x00\x00")  # half a record header
+        result = recover(d)
+        assert result.torn_bytes == 3
+        assert result.last_seqno == 6
+        # Reopening for append truncates the torn bytes in place.
+        journal = Journal(d)
+        assert journal.stats.torn_bytes_discarded == 3
+        assert journal.append(some_updates(1)[0]) == 7
+        journal.close()
+        assert recover(d).last_seqno == 7
+
+    def test_crc_corrupt_mid_segment_raises(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(6):
+                journal.append(update)
+        path = segment_paths(d)[-1]
+        # Flip one payload byte of the *second* record: a complete frame
+        # with a bad CRC — real corruption, never a torn tail.
+        record_bytes = 8 + 24
+        offset = 16 + record_bytes + 8 + 2
+        with open(path, "rb+") as stream:
+            stream.seek(offset)
+            byte = stream.read(1)
+            stream.seek(offset)
+            stream.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(JournalCorrupt, match="CRC mismatch"):
+            recover(d)
+        with pytest.raises(JournalCorrupt):
+            read_segment(path, tail_ok=True)  # tail_ok does not excuse CRCs
+
+    def test_missing_segment_raises(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d, segment_bytes=128) as journal:
+            for update in some_updates(12):
+                journal.append(update)
+        paths = segment_paths(d)
+        assert len(paths) >= 3
+        os.unlink(paths[1])
+        with pytest.raises(JournalCorrupt, match="missing segment"):
+            recover(d)
+
+    def test_unreadable_checkpoint_falls_back(self, tmp_path):
+        d = str(tmp_path)
+        rib = small_rib()
+        journal = Journal(d)
+        first = journal.checkpoint(rib)
+        # Fake a newer, damaged checkpoint alongside the good one.
+        bogus = os.path.join(d, "checkpoint-00000000000000000009.tbl")
+        with open(bogus, "w") as stream:
+            stream.write("not a table\n")
+        result = recover(d)
+        assert result.checkpoints_skipped == 1
+        assert result.checkpoint_path == first
+        assert route_set(result.rib) == route_set(rib)
+        journal.close()
+
+
+# ---------------------------------------------------------------------------
+# journal-then-publish and fault sites
+# ---------------------------------------------------------------------------
+
+
+class TestJournalFaults:
+    def test_failed_append_refuses_the_update(self, tmp_path):
+        journal = Journal(str(tmp_path))
+        txn = TransactionalPoptrie(rib=small_rib(), journal=journal)
+        before = route_set(txn.rib)
+        with FaultPlan(journal_fail_at=1):
+            with pytest.raises(InjectedFault):
+                txn.announce(Prefix.parse("172.16.0.0/12"), 5)
+        assert route_set(txn.rib) == before
+        assert txn.txn_stats.journal_failures == 1
+        assert journal.last_seqno == 0
+        journal.close()
+
+    def test_torn_write_fault_recovers_clean(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        updates = some_updates(5)
+        for update in updates[:3]:
+            journal.append(update)
+        with FaultPlan(torn_journal_at=1, torn_journal_bytes=7) as plan:
+            with pytest.raises(InjectedFault):
+                journal.append(updates[3])
+        assert plan.fired == [("torn-journal", 1)]
+        # The partial record is on disk; recovery discards exactly it.
+        result = recover(d)
+        assert result.torn_bytes == 7
+        assert result.last_seqno == 3
+
+    def test_fsync_fault_propagates(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync_every=1)
+        with FaultPlan(fsync_fail_at=1):
+            with pytest.raises(InjectedFault):
+                journal.append(some_updates(1)[0])
+
+    def test_checkpoint_fault_keeps_previous_state(self, tmp_path):
+        d = str(tmp_path)
+        rib = small_rib()
+        journal = Journal(d)
+        journal.checkpoint(rib)
+        for update in some_updates(4):
+            journal.append(update)
+        expected = route_set(recover(d).rib)
+        with FaultPlan(checkpoint_fail_at=1):
+            with pytest.raises(InjectedFault):
+                journal.checkpoint(recover(d).rib)
+        # No temporary litter, old checkpoint + tail intact.
+        assert not [n for n in os.listdir(d) if n.endswith(".tmp")]
+        assert segment_paths(d)
+        assert route_set(recover(d).rib) == expected
+        journal.close()
+
+
+# ---------------------------------------------------------------------------
+# serve --journal / recover CLI integration (in-process)
+# ---------------------------------------------------------------------------
+
+
+class TestRecoverCli:
+    def test_recover_reports_and_writes_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        d = str(tmp_path / "wal")
+        with Journal(d) as journal:
+            journal.checkpoint(small_rib())
+            for update in some_updates(8):
+                journal.append(update)
+        out = str(tmp_path / "recovered.txt")
+        assert main(["recover", d, "-o", out]) == 0
+        text = capsys.readouterr().out
+        assert "replayed" in text and "verified" in text
+        recovered = tableio.load_table(out)
+        assert route_set(recovered) == route_set(recover(d).rib)
+
+    def test_recover_compact_truncates(self, tmp_path):
+        from repro.cli import main
+
+        d = str(tmp_path / "wal")
+        with Journal(d) as journal:
+            for update in some_updates(8):
+                journal.append(update)
+        assert main(["recover", d, "--compact"]) == 0
+        assert segment_paths(d) == []
+        result = recover(d)
+        assert result.checkpoint_seqno == 8
+        assert result.replayed == 0
+
+    def test_recover_exits_1_on_corruption(self, tmp_path, capsys):
+        from repro.cli import main
+
+        d = str(tmp_path / "wal")
+        with Journal(d) as journal:
+            for update in some_updates(4):
+                journal.append(update)
+        path = segment_paths(d)[-1]
+        with open(path, "rb+") as stream:
+            stream.seek(16 + 8 + 4)  # first record's payload
+            stream.write(b"\xff\xff")
+        assert main(["recover", d]) == 1
+        assert "CRC" in capsys.readouterr().err
+
+    def test_obs_counters_flow(self, tmp_path):
+        from repro import obs
+
+        obs.enable()
+        try:
+            d = str(tmp_path / "wal")
+            with Journal(d) as journal:
+                for update in some_updates(3):
+                    journal.append(update)
+                journal.checkpoint(recover(d).rib)
+            registry = obs.registry()
+            label = os.path.basename(os.path.normpath(d))
+            assert registry.counter(
+                "repro_journal_appends_total", journal=label
+            ).value == 3
+            assert registry.counter(
+                "repro_journal_checkpoints_total", journal=label
+            ).value == 1
+            assert registry.counter(
+                "repro_journal_fsyncs_total", journal=label
+            ).value >= 3
+            assert registry.gauge(
+                "repro_journal_recovery_seconds", journal=label
+            ).value > 0
+        finally:
+            obs.disable()
+
+
+def test_recovered_table_compiles_identically(tmp_path):
+    """Byte-identical compile: recovery loses nothing a build can see."""
+    from repro.core.serialize import dump_bytes
+
+    d = str(tmp_path)
+    rib = small_rib()
+    updates = some_updates(30, seed=21)
+    with Journal(d) as journal:
+        journal.checkpoint(rib)
+        oracle = TransactionalPoptrie(rib=small_rib(), journal=journal)
+        oracle.apply_stream(updates, on_error="skip")
+    recovered = recover(d)
+    assert dump_bytes(Poptrie.from_rib(recovered.rib)) == dump_bytes(
+        Poptrie.from_rib(oracle.rib)
+    )

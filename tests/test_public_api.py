@@ -25,12 +25,14 @@ EXPECTED_TOP_LEVEL = {
     "obs",
     # robustness toolkit
     "FaultPlan", "verify_poptrie",
+    # durability (journal + crash recovery)
+    "Journal", "recover", "RecoveryResult",
     # the route-lookup service
     "LookupServer", "TableHandle", "LoadGenerator",
     # errors
     "ReproError", "StructuralLimitError", "TableFormatError",
     "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
-    "InjectedFault", "ProtocolError",
+    "InjectedFault", "ProtocolError", "JournalCorrupt",
     # network substrate
     "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
     # metadata
@@ -58,10 +60,54 @@ EXPECTED_OBS = {
 }
 
 
+#: The wire protocol's status codes and version are frozen numbers: old
+#: clients interpret them, so renumbering is a compatibility break.
+EXPECTED_PROTOCOL = {
+    "PROTOCOL_VERSION": 2,
+    "SUPPORTED_VERSIONS": frozenset({1, 2}),
+    "STATUS_OK": 0,
+    "STATUS_BAD_REQUEST": 1,
+    "STATUS_WRONG_FAMILY": 2,
+    "STATUS_UNSUPPORTED": 3,
+    "STATUS_SERVER_ERROR": 4,
+    "STATUS_SHUTTING_DOWN": 5,
+    "STATUS_OVERLOAD": 6,
+    "STATUS_DEADLINE_EXCEEDED": 7,
+}
+
+
 def test_top_level_exports_are_frozen():
     assert set(repro.__all__) == EXPECTED_TOP_LEVEL, GUIDANCE
     for name in repro.__all__:
         assert hasattr(repro, name), f"{name} exported but missing"
+
+
+def test_lazy_journal_exports_resolve():
+    from repro.robust.journal import Journal, RecoveryResult, recover
+
+    assert repro.Journal is Journal
+    assert repro.recover is recover
+    assert repro.RecoveryResult is RecoveryResult
+    assert "Journal" in dir(repro)
+
+
+def test_protocol_constants_are_frozen():
+    from repro.server import protocol
+
+    for name, value in EXPECTED_PROTOCOL.items():
+        assert getattr(protocol, name) == value, GUIDANCE
+    assert protocol.RETRYABLE_STATUSES == frozenset(
+        {
+            protocol.STATUS_OVERLOAD,
+            protocol.STATUS_DEADLINE_EXCEEDED,
+            protocol.STATUS_SHUTTING_DOWN,
+        }
+    )
+
+
+def test_journal_corrupt_taxonomy():
+    assert issubclass(repro.JournalCorrupt, repro.ReproError)
+    assert issubclass(repro.JournalCorrupt, ValueError)
 
 
 def test_registry_names_are_frozen():

@@ -469,3 +469,363 @@ def test_server_scenario_smoke():
         result["latency_us"]
     )
     assert time.perf_counter() - t0 < 30
+
+
+# ---------------------------------------------------------------------------
+# protocol v2: deadlines and backward compatibility
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolV2:
+    def test_deadline_roundtrip(self):
+        payload = protocol.encode_request(
+            protocol.OP_LOOKUP4, 7, [1, 2], deadline_us=1500
+        )
+        request = protocol.decode_request(payload)
+        assert request.version == 2
+        assert request.deadline_us == 1500
+        assert request.keys.tolist() == [1, 2]
+
+    def test_v1_request_still_decodes(self):
+        payload = protocol.encode_request(
+            protocol.OP_LOOKUP4, 7, [1, 2], version=1
+        )
+        request = protocol.decode_request(payload)
+        assert request.version == 1
+        assert request.deadline_us == 0
+        assert request.keys.tolist() == [1, 2]
+
+    def test_v1_cannot_carry_a_deadline(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                protocol.OP_PING, 1, deadline_us=5, version=1
+            )
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(protocol.OP_PING, 1, deadline_us=1 << 32)
+
+    def test_truncated_deadline_field(self):
+        payload = protocol.encode_request(protocol.OP_PING, 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(payload[:5])  # v2 header cut short
+
+    def test_response_version_echo(self):
+        for version in (1, 2):
+            payload = protocol.encode_response(3, version=version)
+            assert payload[0] == version
+            assert protocol.decode_response(payload).ok
+
+    def test_frame_bytes_matches_write_frame(self):
+        payload = protocol.encode_response(1)
+        frame = protocol.frame_bytes(payload)
+        assert frame[4:] == payload
+        assert int.from_bytes(frame[:4], "big") == len(payload)
+
+
+# ---------------------------------------------------------------------------
+# overload control and deadline shedding
+# ---------------------------------------------------------------------------
+
+
+async def _pipelined_sweep(host, port, keys_per_request, count, deadline_us=0):
+    """Fire `count` lookup frames back-to-back, then gather all responses."""
+    reader, writer = await _client(host, port)
+    for request_id in range(1, count + 1):
+        protocol.write_frame(
+            writer,
+            protocol.encode_request(
+                protocol.OP_LOOKUP4,
+                request_id,
+                keys_per_request,
+                deadline_us=deadline_us,
+            ),
+        )
+    await writer.drain()
+    responses = {}
+    for _ in range(count):
+        payload = await protocol.read_frame(reader)
+        assert payload is not None
+        response = protocol.decode_response(payload)
+        responses[response.request_id] = response
+    writer.close()
+    return responses
+
+
+class TestOverloadControl:
+    def test_burst_beyond_admission_limit_sheds(self):
+        """2x the admission limit: the excess sheds, served answers exact."""
+
+        async def scenario():
+            rib = small_rib()
+            trie = Poptrie.from_rib(rib)
+            server = LookupServer(
+                TableHandle(trie),
+                ServerConfig(
+                    max_pending_requests=4,
+                    max_wait_us=100_000.0,  # dispatcher naps; the queue fills
+                ),
+            )
+            host, port = await server.start()
+            keys = [Prefix.parse("10.1.2.3/32").value]
+            try:
+                responses = await _pipelined_sweep(host, port, keys, 16)
+            finally:
+                await server.stop()
+            return server, responses, trie.lookup(keys[0])
+
+        server, responses, expected = asyncio.run(scenario())
+        statuses = [r.status for r in responses.values()]
+        shed = statuses.count(protocol.STATUS_OVERLOAD)
+        served = statuses.count(protocol.STATUS_OK)
+        assert shed == server.stats.shed_overload >= 8
+        assert served == 16 - shed > 0
+        # Zero misroutes: every served answer is exact.
+        for response in responses.values():
+            if response.ok:
+                assert response.results.tolist() == [expected]
+        assert "dispatcher queue full" in next(
+            r.text
+            for r in responses.values()
+            if r.status == protocol.STATUS_OVERLOAD
+        )
+
+    def test_key_budget_also_bounds_admission(self):
+        async def scenario():
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(small_rib())),
+                ServerConfig(max_pending_keys=8, max_wait_us=100_000.0),
+            )
+            host, port = await server.start()
+            try:
+                responses = await _pipelined_sweep(
+                    host, port, [1, 2, 3, 4], 6
+                )
+            finally:
+                await server.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        statuses = [r.status for r in responses.values()]
+        assert statuses.count(protocol.STATUS_OVERLOAD) >= 4
+        assert statuses.count(protocol.STATUS_OK) >= 1
+
+    def test_expired_deadline_is_shed(self):
+        async def scenario():
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(small_rib())),
+                ServerConfig(max_wait_us=50_000.0),  # 50ms window
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await _client(host, port)
+                protocol.write_frame(
+                    writer,
+                    protocol.encode_request(
+                        protocol.OP_LOOKUP4, 1, [1], deadline_us=1_000
+                    ),
+                )
+                await writer.drain()
+                payload = await protocol.read_frame(reader)
+                shed = protocol.decode_response(payload)
+                # A fresh request without a deadline is served normally.
+                ok = await _roundtrip(
+                    reader, writer, protocol.OP_LOOKUP4, 2, [1]
+                )
+                writer.close()
+            finally:
+                await server.stop()
+            return server, shed, ok
+
+        server, shed, ok = asyncio.run(scenario())
+        assert shed.status == protocol.STATUS_DEADLINE_EXCEEDED
+        assert "expired" in shed.text
+        assert ok.ok
+        assert server.stats.shed_deadline == 1
+
+    def test_v1_client_served_by_v2_server(self):
+        """An old client (no deadline field) gets version-1 responses."""
+
+        async def scenario():
+            rib = small_rib()
+            trie = Poptrie.from_rib(rib)
+            server = LookupServer(TableHandle(trie))
+            host, port = await server.start()
+            key = Prefix.parse("192.0.2.9/32").value
+            try:
+                reader, writer = await _client(host, port)
+                protocol.write_frame(
+                    writer,
+                    protocol.encode_request(
+                        protocol.OP_LOOKUP4, 11, [key], version=1
+                    ),
+                )
+                await writer.drain()
+                payload = await protocol.read_frame(reader)
+                writer.close()
+            finally:
+                await server.stop()
+            return payload, trie.lookup(key)
+
+        payload, expected = asyncio.run(scenario())
+        assert payload[0] == 1  # the response echoes the client's version
+        response = protocol.decode_response(payload)
+        assert response.ok
+        assert response.results.tolist() == [expected]
+
+    def test_shed_counter_reaches_obs(self):
+        async def scenario():
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(small_rib())),
+                ServerConfig(max_pending_requests=1, max_wait_us=100_000.0),
+            )
+            host, port = await server.start()
+            try:
+                await _pipelined_sweep(host, port, [1], 4)
+            finally:
+                await server.stop()
+
+        obs.enable()
+        try:
+            asyncio.run(scenario())
+            counter = obs.registry().counter(
+                "repro_server_shed_total", reason="overload"
+            )
+            assert counter.value >= 2
+        finally:
+            obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# OP_RELOAD failure: the previous generation keeps serving
+# ---------------------------------------------------------------------------
+
+
+class TestReloadFailure:
+    def test_failed_rebuild_keeps_old_generation(self):
+        from repro.robust.faults import FaultPlan
+
+        async def scenario(rib):
+            server = LookupServer(
+                TableHandle(Poptrie.from_rib(rib)),
+                rebuild=lambda: Poptrie.from_rib(rib),
+            )
+            host, port = await server.start()
+            key = Prefix.parse("10.1.2.3/32").value
+            try:
+                reader, writer = await _client(host, port)
+                with FaultPlan(build_fail_at=1):
+                    failed = await _roundtrip(
+                        reader, writer, protocol.OP_RELOAD, 1
+                    )
+                # Lookups keep succeeding on the old generation...
+                lookup = await _roundtrip(
+                    reader, writer, protocol.OP_LOOKUP4, 2, [key]
+                )
+                # ...and a later reload (fault disarmed) succeeds.
+                reloaded = await _roundtrip(
+                    reader, writer, protocol.OP_RELOAD, 3
+                )
+                writer.close()
+            finally:
+                await server.stop()
+            return server, failed, lookup, reloaded
+
+        rib = small_rib()
+        server, failed, lookup, reloaded = asyncio.run(scenario(rib))
+        assert failed.status == protocol.STATUS_SERVER_ERROR
+        assert "reload failed" in failed.text
+        assert failed.generation == 0  # unchanged
+        assert server.stats.reload_failures == 1
+        assert lookup.ok and lookup.generation == 0
+        assert reloaded.ok and reloaded.generation == 1
+        assert server.stats.reloads == 1
+
+
+# ---------------------------------------------------------------------------
+# network-level response faults (chaos building blocks)
+# ---------------------------------------------------------------------------
+
+
+class TestConnectionFaults:
+    def test_dropped_response_closes_cleanly(self):
+        from repro.robust.faults import FaultPlan
+
+        async def scenario():
+            server = LookupServer(TableHandle(Poptrie.from_rib(small_rib())))
+            host, port = await server.start()
+            try:
+                with FaultPlan(drop_response_at=1) as plan:
+                    reader, writer = await _client(host, port)
+                    protocol.write_frame(
+                        writer,
+                        protocol.encode_request(protocol.OP_LOOKUP4, 1, [1]),
+                    )
+                    await writer.drain()
+                    payload = await protocol.read_frame(reader)
+                    writer.close()
+            finally:
+                await server.stop()
+            return server, plan, payload
+
+        server, plan, payload = asyncio.run(scenario())
+        assert payload is None  # connection closed before any byte
+        assert plan.fired == [("conn-drop", 1)]
+        assert server.stats.dropped_responses == 1
+
+    def test_torn_response_breaks_mid_frame(self):
+        from repro.robust.faults import FaultPlan
+
+        async def scenario():
+            server = LookupServer(TableHandle(Poptrie.from_rib(small_rib())))
+            host, port = await server.start()
+            try:
+                with FaultPlan(torn_response_at=1, torn_response_bytes=6):
+                    reader, writer = await _client(host, port)
+                    protocol.write_frame(
+                        writer,
+                        protocol.encode_request(protocol.OP_LOOKUP4, 1, [1]),
+                    )
+                    await writer.drain()
+                    with pytest.raises(ProtocolError):
+                        await protocol.read_frame(reader)
+                    writer.close()
+            finally:
+                await server.stop()
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.stats.torn_responses == 1
+
+    def test_loadgen_retries_through_dropped_responses(self):
+        from repro.robust.faults import FaultPlan
+
+        async def scenario():
+            rib = small_rib()
+            trie = Poptrie.from_rib(rib)
+            server = LookupServer(TableHandle(trie))
+            host, port = await server.start()
+            generator = LoadGenerator(
+                host,
+                port,
+                LoadGenConfig(
+                    connections=1, rate=200.0, duration=0.3, batch=4,
+                    schedule="uniform", max_retries=3, request_timeout=2.0,
+                    backoff_base=0.005, retry_budget=1.0,
+                ),
+                keys=[Prefix.parse("10.1.2.3/32").value],
+                oracle=trie.lookup,
+            )
+            try:
+                with FaultPlan(drop_response_at=3):
+                    report = await generator.run()
+            finally:
+                await server.stop()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.sent > 5
+        assert report.retries >= 1
+        assert report.reconnects >= 1
+        assert report.mismatched == 0
+        # The dropped response was recovered by a retry: no failed requests.
+        assert report.transport_errors == 0
+        assert report.completed == report.sent
