@@ -1,29 +1,45 @@
 """Figure 8: aggregated lookup rate by the number of cores.
 
 The paper: "the lookup rate of Poptrie can be linearly scaled up to the
-number of CPU cores" because the structure is read-shared.  We fork 1–4
-workers over one built Poptrie (copy-on-write sharing — no duplication of
-the structure, like threads sharing one cache-resident copy) and report
-the aggregate rate on REAL-Tier1-A and REAL-Tier1-B.
+number of CPU cores" because the structure is read-shared.  Measured two
+ways over REAL-Tier1-A and REAL-Tier1-B:
+
+- **pool (measured)** — :class:`repro.parallel.WorkerPool`, the real
+  data plane behind ``serve --workers N``: the built Poptrie frozen as
+  one RPIMG001 image in POSIX shared memory, N worker processes attached
+  zero-copy, batches sharded with ordered reassembly.  This number
+  includes the pool's IPC and reassembly overhead — the honest
+  multicore rate of this implementation.
+- **fork (reference)** — bare fork-shared lookup loops with no pool in
+  the way (:func:`repro.bench.parallel.measure_parallel_rate`).  This is
+  the analytic upper bound plotted alongside, like the dashed linear
+  reference in the paper's Figure 8; the gap between the two lines *is*
+  the pool overhead.
+
+Both series land in ``figure8_multicore.txt`` and the machine-readable
+``BENCH_multicore.json`` (the CI artifact).
 
 The linear-scaling assertion needs real parallel hardware; on boxes with
 fewer than four usable CPUs (CI containers are often pinned to one core)
-the table is still produced — demonstrating the fork-shared, zero-copy
-property — but the speedup assertion is skipped and the run records the
-environment limitation.
+the artifacts are still produced — demonstrating the shared-memory,
+zero-copy property — but the speedup assertion is skipped and the run
+records the environment limitation.
 """
 
+import json
 import os
 
 import pytest
 
-from benchmarks.conftest import dataset, emit
+from benchmarks.conftest import RESULTS_DIR, SCALE, dataset, emit
 
-from repro.bench.parallel import scaling_curve
+from repro.bench.parallel import pool_scaling_curve, scaling_curve
 from repro.bench.report import Table
 from repro.core.aggregate import aggregated_rib
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.data.traffic import random_addresses
+
+MAX_WORKERS = 4
 
 
 def _usable_cpus() -> int:
@@ -40,13 +56,23 @@ def test_figure8_multicore_scaling(benchmark):
     cpus = _usable_cpus()
     keys = random_addresses(200_000, seed=88)
     table = Table(
-        ["Dataset", "1 worker", "2 workers", "3 workers", "4 workers"],
+        ["Dataset", "Series", "1 worker", "2 workers", "3 workers",
+         "4 workers"],
         title=(
-            "Figure 8: aggregate Mlps vs workers (Poptrie18, fork-shared; "
+            "Figure 8: aggregate Mlps vs workers (Poptrie18; "
             f"{cpus} usable CPUs)"
         ),
     )
-    curves = {}
+    payload = {
+        "scenario": "multicore",
+        "figure": 8,
+        "scale": SCALE,
+        "cpu_count": cpus,
+        "queries": len(keys),
+        "max_workers": MAX_WORKERS,
+        "datasets": {},
+    }
+    pool_curves = {}
     for name in ("REAL-Tier1-A", "REAL-Tier1-B"):
         ds = dataset(name)
         trie = Poptrie.from_rib(
@@ -56,20 +82,36 @@ def test_figure8_multicore_scaling(benchmark):
             benchmark.pedantic(
                 lambda: trie.lookup_batch(keys[:65536]), rounds=3, iterations=1
             )
-        results = scaling_curve(trie, keys, max_workers=4)
-        curves[name] = [r.mlps for r in results]
-        table.add_row([name] + curves[name])
+        pool = [
+            r.mlps for r in pool_scaling_curve(trie, keys, MAX_WORKERS)
+        ]
+        reference = [r.mlps for r in scaling_curve(trie, keys, MAX_WORKERS)]
+        pool_curves[name] = pool
+        table.add_row([name, "pool (measured)"] + pool)
+        table.add_row([name, "fork (reference)"] + reference)
+        payload["datasets"][name] = {
+            "routes": len(ds.rib),
+            "pool_mlps": pool,
+            "fork_reference_mlps": reference,
+            "pool_speedup": [rate / (pool[0] or 1e-9) for rate in pool],
+        }
     emit(table, "figure8_multicore")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_multicore.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
     if cpus >= 4:
-        for name, rates in curves.items():
-            # Aggregate throughput grows with workers (sub-linear headroom
-            # for fork overhead and shared-cache contention).
+        for name, rates in pool_curves.items():
+            # Aggregate throughput through the *real* pool grows with
+            # workers (sub-linear headroom for shard IPC and shared-cache
+            # contention).
             assert rates[3] > rates[0] * 1.8, (name, rates)
             assert rates[1] > rates[0] * 1.2, (name, rates)
     else:
-        # Single-core environment: the property still demonstrated is that
-        # N forked workers share one structure and none of them crashes or
-        # degrades catastrophically (no copy, no locks).
-        for name, rates in curves.items():
+        # Single-core environment: the property still demonstrated is
+        # that N workers attach to one shared-memory image and answer
+        # correctly (no copy, no locks, no crashes); scaling itself
+        # cannot show on one core.
+        for name, rates in pool_curves.items():
             assert all(rate > 0 for rate in rates), (name, rates)

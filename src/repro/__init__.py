@@ -34,6 +34,7 @@ from repro.core.update import UpdatablePoptrie
 from repro.errors import (
     InjectedFault,
     JournalCorrupt,
+    PoolError,
     ProtocolError,
     ReproError,
     SnapshotFormatError,
@@ -52,14 +53,18 @@ from repro.robust.txn import TransactionalPoptrie
 from repro.robust.verify import verify_poptrie
 from repro.server import LoadGenerator, LookupServer, TableHandle
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-# The journal machinery is exposed lazily (PEP 562): importing repro must
-# not pay for — or depend on — the durability stack until it is used.
+# The journal machinery and the multicore data plane are exposed lazily
+# (PEP 562): importing repro must not pay for — or depend on — the
+# durability or multiprocessing stacks until they are used.
 _LAZY = {
     "Journal": "repro.robust.journal",
     "recover": "repro.robust.journal",
     "RecoveryResult": "repro.robust.journal",
+    "TableImage": "repro.parallel",
+    "WorkerPool": "repro.parallel",
+    "PoolConfig": "repro.parallel",
 }
 
 
@@ -90,11 +95,16 @@ __all__ = [
     "Journal",
     "recover",
     "RecoveryResult",
+    # the multicore data plane (lazy — see __getattr__)
+    "TableImage",
+    "WorkerPool",
+    "PoolConfig",
     # the route-lookup service
     "LookupServer",
     "TableHandle",
     "LoadGenerator",
     "ReproError",
+    "PoolError",
     "StructuralLimitError",
     "TableFormatError",
     "SnapshotFormatError",

@@ -33,7 +33,6 @@ import time
 from typing import List, Optional
 
 from repro.core.poptrie import Poptrie, PoptrieConfig
-from repro.core import serialize
 from repro.data import tableio
 from repro.errors import ReproError
 from repro.net.ip import parse_address
@@ -43,18 +42,34 @@ class _UsageError(ValueError):
     """Bad argument spelling or combination — exits 2, like argparse."""
 
 
-def _load_structure(path: str) -> Poptrie:
-    """Load either a compiled snapshot or a text table (compiled on load)."""
+def _snapshot_kind(path: str) -> Optional[str]:
+    """``"structure"`` for a compiled snapshot (RPIMG001 image or legacy
+    POPTRIE1 blob), ``"rib"`` for a frozen routing-table image, ``None``
+    for anything else (i.e. a text table)."""
+    from repro.parallel import image as image_mod
+
     with open(path, "rb") as stream:
-        magic = stream.read(len(serialize.MAGIC))
-    if magic == serialize.MAGIC:
-        return serialize.load(path)
+        head = stream.read(8)
+    magic = image_mod.sniff_magic(head)
+    if magic == "legacy":
+        return "structure"
+    if magic != "image":
+        return None
+    with open(path, "rb") as stream:
+        return image_mod.TableImage.open(stream.read()).kind
+
+
+def _load_structure(path: str):
+    """Load a compiled snapshot, or compile a table (text or rib image)."""
+    if _snapshot_kind(path) == "structure":
+        from repro.parallel.image import load_structure
+
+        return load_structure(path)
     return Poptrie.from_rib(tableio.load_table(path))
 
 
 def _is_snapshot(path: str) -> bool:
-    with open(path, "rb") as stream:
-        return stream.read(len(serialize.MAGIC)) == serialize.MAGIC
+    return _snapshot_kind(path) == "structure"
 
 
 # -- shared argument groups ----------------------------------------------------
@@ -173,7 +188,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
         rib = aggregated_rib(rib)
     trie = Poptrie.from_rib(rib, config)
     elapsed = time.perf_counter() - start
-    size = serialize.save(trie, args.output)
+    from repro.parallel.image import save_structure
+
+    size = save_structure(trie, args.output)
     print(
         f"compiled {len(rib)} routes in {elapsed * 1000:.1f} ms: "
         f"{trie.inode_count} inodes, {trie.leaf_count} leaves, "
@@ -216,8 +233,13 @@ def cmd_verify(args: argparse.Namespace) -> int:
     """
     path = _resolve_table(args)
     if _is_snapshot(path):
-        trie = serialize.load(path)
+        trie = _load_structure(path)
         rib = tableio.load_table(args.against) if args.against else None
+        if not hasattr(trie, "verify"):
+            raise _UsageError(
+                f"{path}: {type(trie).__name__} snapshots have no "
+                "structural verifier (only Poptrie snapshots do)"
+            )
     else:
         rib = tableio.load_table(args.against or path)
         trie = Poptrie.from_rib(rib)
@@ -260,6 +282,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.data.traffic import random_addresses
     from repro.lookup.registry import standard_roster
 
+    if args.workers:
+        return _bench_multicore(args)
     if args.metrics:
         obs.enable()
     rib = tableio.load_table(_resolve_table(args))
@@ -290,6 +314,81 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print()
         print(obs.registry().render())
         obs.disable()
+    return 0
+
+
+def _bench_multicore(args: argparse.Namespace) -> int:
+    """``bench --workers N``: the real Figure 8 measurement.
+
+    Builds one structure, measures the in-process batch rate as the
+    single-core reference, then the shared-memory :class:`WorkerPool`
+    aggregate rate at 1..N workers.  ``--json`` writes the series as
+    ``BENCH_multicore.json`` (the CI artifact).
+    """
+    import json
+    import os
+
+    from repro.bench.harness import measure_rate_batch
+    from repro.bench.parallel import pool_scaling_curve
+    from repro.bench.report import Table
+    from repro.data.traffic import random_addresses
+    from repro.lookup.registry import get as get_algorithm
+
+    names = args.algorithm or ["Poptrie18"]
+    if len(names) > 1:
+        raise _UsageError(
+            "--workers benches one algorithm; pass --algorithm at most once"
+        )
+    try:
+        entry = get_algorithm(names[0])
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+    if not entry.supports_image:
+        raise _UsageError(
+            f"--workers: {names[0]} does not support zero-copy table images"
+        )
+    rib = tableio.load_table(_resolve_table(args))
+    structure = entry.from_rib(rib)
+    keys = random_addresses(args.queries, seed=args.seed)
+    single = measure_rate_batch(structure, keys, repeats=args.repeats)
+    curve = pool_scaling_curve(
+        structure, keys, max_workers=args.workers, rounds=args.repeats
+    )
+    base = curve[0].mlps or 1e-9
+    table = Table(
+        ["Workers", "aggregate Mlps", "speedup"],
+        title=(
+            f"{structure.name}: pool scaling over {len(rib)} routes "
+            f"({args.queries} queries; in-process reference "
+            f"{single.mlps:.2f} Mlps)"
+        ),
+    )
+    for workers, result in enumerate(curve, start=1):
+        table.add_row([workers, result.mlps, result.mlps / base])
+    print(table.render())
+    if args.json:
+        payload = {
+            "scenario": "multicore",
+            "figure": 8,
+            "algorithm": structure.name,
+            "routes": len(rib),
+            "queries": args.queries,
+            "repeats": args.repeats,
+            "cpu_count": os.cpu_count(),
+            "single_process_mlps": single.mlps,
+            "series": [
+                {
+                    "workers": workers,
+                    "mlps": result.mlps,
+                    "speedup": result.mlps / base,
+                }
+                for workers, result in enumerate(curve, start=1)
+            ],
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -358,7 +457,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 pipeline = ForwardingPipeline(poptrie, fib, batch_size=32)
                 pipeline.run([int(k) for k in keys[:2048]])
 
-            # 4. Refresh pull-model gauges, then dump.
+            # 4. The shared-memory worker pool (per-worker batch
+            # counters, shard-size histogram, generation gauge).
+            pool_source = roster.get("Poptrie18") or next(
+                (s for s in roster.values() if s is not None), None
+            )
+            if pool_source is not None:
+                from repro.parallel import PoolConfig, WorkerPool
+
+                with WorkerPool(
+                    pool_source, PoolConfig(workers=2)
+                ) as pool:
+                    pool.view().lookup_batch(keys)
+                    pool.stats()
+
+            # 5. Refresh pull-model gauges, then dump.
             for structure in roster.values():
                 if structure is not None:
                     structure.stats()
@@ -387,7 +500,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.journal:
         structure, rebuild, routes = _recover_for_serve(args, path)
     elif _is_snapshot(path):
-        structure = serialize.load(path)
+        structure = _load_structure(path)
         routes = "snapshot"
     else:
         from repro.lookup.registry import get as get_algorithm
@@ -402,7 +515,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         routes = f"{len(rib)} routes"
     if args.metrics:
         obs.enable()
-    handle = TableHandle(structure)
+    pool = None
+    if args.workers > 1:
+        # The multicore data plane: freeze the structure as a shared-
+        # memory image, attach N worker processes zero-copy, and serve
+        # batches through the pool view.  OP_RELOAD then publishes the
+        # rebuilt table to every worker (RCU hot swap) before the handle
+        # swap makes the new view current.
+        from repro.parallel import PoolConfig, WorkerPool
+
+        probe = getattr(type(structure), "supports_image", None)
+        if not (callable(probe) and probe()):
+            raise _UsageError(
+                f"--workers: {type(structure).__name__} does not support "
+                "zero-copy table images"
+            )
+        pool = WorkerPool(structure, PoolConfig(workers=args.workers))
+        if rebuild is not None:
+            inner_rebuild = rebuild
+            rebuild = lambda: pool.publish_structure(  # noqa: E731
+                inner_rebuild()
+            )
+        handle = TableHandle(pool.view())
+        routes = f"{routes}, {args.workers} workers"
+    else:
+        handle = TableHandle(structure)
     server = LookupServer(
         handle,
         ServerConfig(
@@ -415,14 +552,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _main() -> None:
+        import signal
+
         host, port = await server.start()
         print(f"serving {handle.name} ({routes}) on {host}:{port}", flush=True)
+        # SIGTERM (the supervisor/CI stop signal) drains like Ctrl-C so
+        # the pool's shared-memory segments are unlinked on the way out.
+        loop = asyncio.get_running_loop()
+        main_task = asyncio.current_task()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, main_task.cancel)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
         await server.serve_forever()
 
     try:
         asyncio.run(_main())
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, asyncio.CancelledError):
         print("shutting down", file=sys.stderr)
+    finally:
+        if pool is not None:
+            pool.close()
     if args.metrics:
         print(obs.registry().render())
         obs.disable()
@@ -641,6 +791,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2463534242)
     p.add_argument("--metrics", action="store_true",
                    help="append a Prometheus-style metrics dump")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="measure shared-memory pool scaling at 1..N "
+                        "workers instead of the roster comparison "
+                        "(the real Figure 8)")
+    p.add_argument("--json", metavar="PATH",
+                   help="with --workers: also write the scaling series "
+                        "as JSON (e.g. BENCH_multicore.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -670,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keys per coalesced lookup_batch call (default 8192)")
     p.add_argument("--max-wait-us", type=float, default=200.0,
                    help="coalescing window in microseconds (default 200)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="serve batches from N shared-memory worker "
+                        "processes (default 0 = in-process lookups)")
     p.add_argument("--journal", metavar="DIR",
                    help="recover startup state from this route-update "
                         "journal (fresh directory + --table seeds it)")

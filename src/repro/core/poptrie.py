@@ -352,6 +352,123 @@ class Poptrie(LookupStructure):
         trace.read(self._leaf_region, leaf_index)
         return self.leaves[leaf_index]
 
+    # -- zero-copy images ------------------------------------------------
+
+    def _image_state(self):
+        """Compacted arrays + scalars for :meth:`LookupStructure.to_image`.
+
+        Reuses the serializer's remap so images are always emitted in
+        the tight live-block order a fresh compile would produce — two
+        compiles of equal RIBs yield byte-identical images, which makes
+        ``TableImage.fingerprint()`` a table identity.
+        """
+        from repro.core.serialize import _compact_state
+
+        node_count, leaf_count, root, arrays = _compact_state(self)
+        meta = {
+            "k": self.k,
+            "s": self.s,
+            "use_leafvec": self.config.use_leafvec,
+            "leaf_bits": self.config.leaf_bits,
+            "width": self.width,
+            "node_count": node_count,
+            "leaf_count": leaf_count,
+            "root_index": root,
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_image_state(cls, meta, segments, *, copy: bool) -> "Poptrie":
+        from repro.errors import SnapshotFormatError
+
+        try:
+            config = PoptrieConfig(
+                k=int(meta["k"]),
+                s=int(meta["s"]),
+                use_leafvec=bool(meta["use_leafvec"]),
+                leaf_bits=int(meta["leaf_bits"]),
+            )
+            width = int(meta["width"])
+            node_count = int(meta["node_count"])
+            leaf_count = int(meta["leaf_count"])
+            root = int(meta["root_index"])
+            trie = cls(config, width=width)
+            vec, lvec = segments["vec"], segments["lvec"]
+            base0, base1 = segments["base0"], segments["base1"]
+            leaves, direct = segments["leaves"], segments["direct"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(
+                f"invalid poptrie image: {error}"
+            ) from error
+        if (
+            len(vec) != node_count
+            or len(lvec) != node_count
+            or len(base0) != node_count
+            or len(base1) != node_count
+            or len(leaves) != leaf_count
+            or leaves.itemsize != config.leaf_bytes
+            or len(direct) != ((1 << config.s) if config.s else 0)
+        ):
+            raise SnapshotFormatError(
+                "poptrie image segments inconsistent with header"
+            )
+
+        if copy:
+            # Materialize private, mutable arrays — the historical
+            # snapshot-load semantics.  Pre-size the allocators so the
+            # first allocation starts at offset 0 (growing a small
+            # allocator would otherwise place the block higher).
+            trie.node_alloc = BuddyAllocator(capacity=max(64, node_count))
+            trie.leaf_alloc = BuddyAllocator(capacity=max(64, leaf_count))
+            if node_count:
+                base = trie.alloc_nodes(node_count)
+                assert base == 0, "fresh trie must allocate from offset zero"
+                trie.vec[:node_count] = array("Q", vec.tobytes())
+                trie.lvec[:node_count] = array("Q", lvec.tobytes())
+                trie.base0[:node_count] = array("I", base0.tobytes())
+                trie.base1[:node_count] = array("I", base1.tobytes())
+            if leaf_count:
+                leaf_base = trie.alloc_leaves(leaf_count)
+                assert leaf_base == 0
+                leaf_code = "H" if config.leaf_bits == 16 else "I"
+                trie.leaves[:leaf_count] = array(leaf_code, leaves.tobytes())
+            if config.s:
+                trie.direct[:] = array("I", direct.tobytes())
+            else:
+                trie.root_index = root
+        else:
+            # Zero-copy attach: wrap the image's buffer in read-only
+            # views.  The trie is frozen — every mutation path hits a
+            # read-only numpy array — but lookups (scalar, traced and
+            # vectorised) work unchanged, which is what pool workers do
+            # against shared memory.
+            def frozen(arr):
+                view = np.asarray(arr).view()
+                view.flags.writeable = False
+                return view
+
+            trie.vec = frozen(vec)
+            trie.lvec = frozen(lvec)
+            trie.base0 = frozen(base0)
+            trie.base1 = frozen(base1)
+            trie.leaves = frozen(leaves)
+            trie.direct = frozen(direct)
+            trie.root_index = root
+            trie.inode_count = node_count
+            trie.leaf_count = leaf_count
+            trie.frozen = True
+            trie._node_region = trie.memmap.resize_region(
+                "poptrie.nodes", max(node_count, 1)
+            )
+            trie._leaf_region = trie.memmap.resize_region(
+                "poptrie.leaves", max(leaf_count, 1)
+            )
+
+        from repro.core.serialize import validate
+
+        validate(trie)
+        return trie
+
     # -- self-verification -------------------------------------------------
 
     def verify(self, rib=None, samples: int = 1000, seed: int = 20150817):

@@ -1,11 +1,21 @@
-"""Binary serialization of compiled Poptries.
+"""Binary serialization of compiled Poptries (legacy surface).
 
 A router restarting should not have to recompile its FIB from the RIB if
 nothing changed; routers also ship compiled FIBs from a control plane to
-line cards.  This module freezes a :class:`~repro.core.poptrie.Poptrie`
-into a compact, versioned, self-describing binary blob and thaws it back.
+line cards.
 
-Format (little-endian):
+.. deprecated::
+    The blessed persistence surface is now the zero-copy image API:
+    ``structure.to_image()`` / :func:`repro.parallel.image.save_structure`
+    / :func:`repro.parallel.image.load_structure` (see docs/PARALLEL.md).
+    This module's historical entry points — ``save``, ``load``,
+    ``dump_bytes``, ``load_bytes`` — still resolve (to the image-based
+    implementations) through a PEP 562 shim that emits a
+    ``DeprecationWarning``.  Snapshots are therefore written in the
+    ``RPIMG001`` image format; the legacy ``POPTRIE1`` format documented
+    below is still *read* transparently by ``load``/``load_bytes``.
+
+Legacy ``POPTRIE1`` format (little-endian):
 
     magic   8 bytes   b"POPTRIE1"
     header  u32 × 8   k, s, use_leafvec, leaf_bits, width,
@@ -15,22 +25,23 @@ Format (little-endian):
     direct  2^s × u32 (when s > 0)
     crc32   u32 over everything above
 
-Thawed tries are *compacted*: the node/leaf arrays are written out in
-live-block order and indices are remapped, so a trie that went through
-heavy incremental updating (buddy fragmentation) deserializes into the
-tight layout a fresh compile would produce.
+Serialized tries are *compacted* in both formats: the node/leaf arrays
+are written out in live-block order and indices are remapped
+(:func:`_compact_state`), so a trie that went through heavy incremental
+updating (buddy fragmentation) deserializes into the tight layout a
+fresh compile would produce.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 import zlib
 from array import array
-from typing import BinaryIO, Dict, Tuple, Union
+from typing import Dict, Tuple
 
 from repro.core.poptrie import DIRECT_LEAF, Poptrie, PoptrieConfig
 from repro.errors import SnapshotFormatError
-from repro.robust import faults
 
 MAGIC = b"POPTRIE1"
 _HEADER = struct.Struct("<8I")
@@ -86,22 +97,19 @@ def _remap(trie: Poptrie) -> Tuple[Dict[int, int], Dict[int, int]]:
     return node_map, leaf_map
 
 
-def dump_bytes(trie: Poptrie) -> bytes:
-    """Freeze ``trie`` to a compact binary snapshot."""
+def _compact_state(trie: Poptrie) -> Tuple[int, int, int, Dict[str, array]]:
+    """Compacted copies of a trie's live arrays, in live-block order.
+
+    Shared by the legacy ``POPTRIE1`` writer and
+    ``Poptrie._image_state``: indices are remapped so a fragmented trie
+    serializes into the tight layout a fresh compile would produce.
+    Returns ``(node_count, leaf_count, root_index, arrays)`` with
+    ``arrays`` keyed ``vec``/``lvec``/``base0``/``base1``/``leaves``/
+    ``direct``.
+    """
     node_map, leaf_map = _remap(trie)
     node_count = len(node_map)
     leaf_count = len(leaf_map)
-
-    header = _HEADER.pack(
-        trie.k,
-        trie.s,
-        1 if trie.config.use_leafvec else 0,
-        trie.config.leaf_bits,
-        trie.width,
-        node_count,
-        leaf_count,
-        node_map.get(trie.root_index, 0) if not trie.s else 0,
-    )
 
     vec = array("Q", bytes(8 * node_count))
     lvec = array("Q", bytes(8 * node_count))
@@ -130,21 +138,47 @@ def dump_bytes(trie: Poptrie) -> bytes:
         for i, entry in enumerate(trie.direct):
             direct[i] = entry if entry & DIRECT_LEAF else node_map[entry]
 
+    root = node_map.get(trie.root_index, 0) if not trie.s else 0
+    arrays = {
+        "vec": vec,
+        "lvec": lvec,
+        "base0": base0,
+        "base1": base1,
+        "leaves": leaves,
+        "direct": direct,
+    }
+    return node_count, leaf_count, root, arrays
+
+
+def _dump_bytes_v1(trie: Poptrie) -> bytes:
+    """Freeze ``trie`` to a legacy ``POPTRIE1`` snapshot (tests only —
+    the writing surface is the image API)."""
+    node_count, leaf_count, root, arrays = _compact_state(trie)
+    header = _HEADER.pack(
+        trie.k,
+        trie.s,
+        1 if trie.config.use_leafvec else 0,
+        trie.config.leaf_bits,
+        trie.width,
+        node_count,
+        leaf_count,
+        root,
+    )
     body = (
         MAGIC
         + header
-        + vec.tobytes()
-        + lvec.tobytes()
-        + base0.tobytes()
-        + base1.tobytes()
-        + leaves.tobytes()
-        + direct.tobytes()
+        + arrays["vec"].tobytes()
+        + arrays["lvec"].tobytes()
+        + arrays["base0"].tobytes()
+        + arrays["base1"].tobytes()
+        + arrays["leaves"].tobytes()
+        + arrays["direct"].tobytes()
     )
     return body + struct.pack("<I", zlib.crc32(body))
 
 
-def load_bytes(blob: bytes) -> Poptrie:
-    """Thaw a snapshot produced by :func:`dump_bytes`."""
+def _load_bytes_v1(blob: bytes) -> Poptrie:
+    """Thaw a legacy ``POPTRIE1`` snapshot."""
     if len(blob) < len(MAGIC) + _HEADER.size + 4:
         raise CorruptSnapshot("snapshot truncated")
     if blob[: len(MAGIC)] != MAGIC:
@@ -209,30 +243,37 @@ def load_bytes(blob: bytes) -> Poptrie:
     return trie
 
 
-def save(trie: Poptrie, destination: Union[str, BinaryIO]) -> int:
-    """Write a snapshot to a path or binary stream; returns byte count.
-
-    Passes the blob through the ``snapshot`` fault-injection point: an
-    armed :class:`~repro.robust.faults.FaultPlan` with
-    ``truncate_snapshot`` set models a partial write (full disk, crash
-    mid-write), which :func:`load` then rejects with
-    :class:`~repro.errors.SnapshotFormatError`.
-    """
-    blob = faults.mangle_snapshot(dump_bytes(trie))
-    if isinstance(destination, str):
-        with open(destination, "wb") as stream:
-            stream.write(blob)
-    else:
-        destination.write(blob)
-    return len(blob)
+#: Historical entry points and their image-API replacements.  They
+#: resolve through :func:`__getattr__` (PEP 562) with a
+#: ``DeprecationWarning`` to the equivalent functions of
+#: :mod:`repro.parallel.image`, which write the ``RPIMG001`` image
+#: format and read both formats.
+_MOVED = {
+    "save": "save_structure",
+    "load": "load_structure",
+    "dump_bytes": "structure_to_bytes",
+    "load_bytes": "structure_from_bytes",
+}
 
 
-def load(source: Union[str, BinaryIO]) -> Poptrie:
-    """Read a snapshot from a path or binary stream."""
-    if isinstance(source, str):
-        with open(source, "rb") as stream:
-            return load_bytes(stream.read())
-    return load_bytes(source.read())
+def __getattr__(name: str):
+    target = _MOVED.get(name)
+    if target is not None:
+        warnings.warn(
+            f"repro.core.serialize.{name} is deprecated; use "
+            f"repro.parallel.image.{target} (the to_image()/from_image() "
+            "persistence surface)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.parallel import image
+
+        return getattr(image, target)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_MOVED))
 
 
 def validate(trie: Poptrie) -> None:

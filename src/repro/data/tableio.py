@@ -1,24 +1,40 @@
 """Routing-table snapshot I/O.
 
-A plain text format, one route per line::
+Two on-disk representations of a RIB:
 
-    # repro-table v1 width=32
-    192.0.2.0/24 7
-    10.0.0.0/8 3
+- A plain text format, one route per line::
 
-The integer after the prefix is the FIB index.  Comments (``#``) and blank
-lines are ignored; the header pins the address family.  The format exists
-so experiments can be frozen to disk and reloaded (the paper works from
-RouteViews MRT archives; a full MRT parser would add nothing to the
-algorithms under study, so snapshots use this transparent format instead).
+      # repro-table v1 width=32
+      192.0.2.0/24 7
+      10.0.0.0/8 3
+
+  The integer after the prefix is the FIB index.  Comments (``#``) and
+  blank lines are ignored; the header pins the address family.  The
+  format exists so experiments can be frozen to disk and reloaded (the
+  paper works from RouteViews MRT archives; a full MRT parser would add
+  nothing to the algorithms under study, so snapshots use this
+  transparent format instead).
+
+- The binary ``RPIMG001`` image format of :mod:`repro.parallel.image`
+  (:func:`rib_to_image` / :func:`rib_from_image` /
+  :func:`save_table_image`) — the blessed persistence surface shared
+  with compiled lookup structures.  Journal checkpoints use it; it is
+  checksummed and typically an order of magnitude faster to parse.
+
+:func:`load_table` accepts either: given a path it sniffs the image
+magic and dispatches, so readers never need to know which format a
+snapshot was written in.
 """
 
 from __future__ import annotations
 
 import io
-from typing import TextIO, Union
+import warnings
+from typing import BinaryIO, TextIO, Union
 
-from repro.errors import TableFormatError
+import numpy as np
+
+from repro.errors import SnapshotFormatError, TableFormatError
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
@@ -27,6 +43,8 @@ _HEADER = "# repro-table v1 width="
 #: FIB indices must fit the widest supported leaf encoding (32-bit);
 #: index 0 is the NO_ROUTE sentinel and never appears in a table.
 _MAX_FIB_INDEX = (1 << 32) - 1
+
+_MASK64 = (1 << 64) - 1
 
 
 def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
@@ -46,80 +64,243 @@ def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
 
 
 def load_table(source: Union[str, TextIO]) -> Rib:
-    """Read a table written by :func:`save_table`.
+    """Read a table written by :func:`save_table` or :func:`save_table_image`.
 
-    Every malformed input — missing or bad header, unparseable route line,
+    Given a path, the binary ``RPIMG001`` image magic is sniffed first and
+    the snapshot dispatched to :func:`rib_from_image`; anything else is
+    parsed as the text format (stream inputs are always text).  Every
+    malformed input — missing or bad header, unparseable route line,
     out-of-range FIB index, prefix from the wrong address family — raises
-    :class:`~repro.errors.TableFormatError` carrying the 1-based line
-    number of the offending input, so a bad feed is diagnosable instead of
-    surfacing as a bare ``ValueError``/``IndexError`` from the internals.
+    :class:`~repro.errors.TableFormatError`; for text inputs it carries
+    the 1-based line number of the offending input, so a bad feed is
+    diagnosable instead of surfacing as a bare ``ValueError`` /
+    ``IndexError`` from the internals.
     """
-    owned = isinstance(source, str)
-    stream = open(source, "r") if owned else source
+    if isinstance(source, str):
+        from repro.parallel.image import MAGIC
+
+        with open(source, "rb") as probe:
+            head = probe.read(len(MAGIC))
+        if head == MAGIC:
+            return _load_table_image(source)
+        with open(source, "r") as stream:
+            try:
+                return _parse_table(stream)
+            except UnicodeDecodeError as exc:
+                raise TableFormatError(
+                    f"binary data in text snapshot: {exc}"
+                ) from exc
+    return _parse_table(source)
+
+
+def _parse_table(stream: TextIO) -> Rib:
+    first = stream.readline()
+    if not first.startswith(_HEADER):
+        raise TableFormatError(
+            "not a repro-table snapshot (missing header)", line=1
+        )
     try:
-        first = stream.readline()
-        if not first.startswith(_HEADER):
+        width = int(first[len(_HEADER):].strip())
+    except ValueError as exc:
+        raise TableFormatError(
+            f"bad width in header {first.strip()!r}", line=1
+        ) from exc
+    if width not in (32, 128):
+        raise TableFormatError(
+            f"unsupported address width {width} (expected 32 or 128)", line=1
+        )
+    rib = Rib(width=width)
+    for line_no, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 2:
             raise TableFormatError(
-                "not a repro-table snapshot (missing header)", line=1
+                f"expected 'prefix fib-index', got {line!r}", line=line_no
             )
+        prefix_text, fib_text = fields
         try:
-            width = int(first[len(_HEADER):].strip())
+            prefix = Prefix.parse(prefix_text)
         except ValueError as exc:
             raise TableFormatError(
-                f"bad width in header {first.strip()!r}", line=1
+                f"bad prefix {prefix_text!r}: {exc}", line=line_no
             ) from exc
-        if width not in (32, 128):
+        if prefix.width != width:
             raise TableFormatError(
-                f"unsupported address width {width} (expected 32 or 128)", line=1
+                f"prefix {prefix_text!r} is /{prefix.width} in a "
+                f"width={width} table",
+                line=line_no,
             )
-        rib = Rib(width=width)
-        for line_no, line in enumerate(stream, start=2):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            fields = line.split()
-            if len(fields) != 2:
-                raise TableFormatError(
-                    f"expected 'prefix fib-index', got {line!r}", line=line_no
-                )
-            prefix_text, fib_text = fields
-            try:
-                prefix = Prefix.parse(prefix_text)
-            except ValueError as exc:
-                raise TableFormatError(
-                    f"bad prefix {prefix_text!r}: {exc}", line=line_no
-                ) from exc
-            if prefix.width != width:
-                raise TableFormatError(
-                    f"prefix {prefix_text!r} is /{prefix.width} in a "
-                    f"width={width} table",
-                    line=line_no,
-                )
-            try:
-                fib_index = int(fib_text)
-            except ValueError as exc:
-                raise TableFormatError(
-                    f"bad FIB index {fib_text!r}", line=line_no
-                ) from exc
-            if not 1 <= fib_index <= _MAX_FIB_INDEX:
-                raise TableFormatError(
-                    f"FIB index {fib_index} outside 1..{_MAX_FIB_INDEX}",
-                    line=line_no,
-                )
-            rib.insert(prefix, fib_index)
-        return rib
+        try:
+            fib_index = int(fib_text)
+        except ValueError as exc:
+            raise TableFormatError(
+                f"bad FIB index {fib_text!r}", line=line_no
+            ) from exc
+        if not 1 <= fib_index <= _MAX_FIB_INDEX:
+            raise TableFormatError(
+                f"FIB index {fib_index} outside 1..{_MAX_FIB_INDEX}",
+                line=line_no,
+            )
+        rib.insert(prefix, fib_index)
+    return rib
+
+
+# ---------------------------------------------------------------------------
+# the binary image surface (RPIMG001 — shared with repro.parallel.image)
+# ---------------------------------------------------------------------------
+
+
+def rib_to_image(rib: Rib):
+    """Freeze ``rib`` as a ``kind="rib"`` :class:`~repro.parallel.image.TableImage`.
+
+    Routes are stored as four parallel segments — the prefix value split
+    into 64-bit halves (IPv6-capable), the prefix length, and the FIB
+    index — in the RIB's lexicographic iteration order, which makes the
+    image (and therefore its fingerprint) a deterministic function of the
+    table's contents.
+    """
+    from repro.parallel.image import TableImage
+
+    routes = list(rib.routes())
+    count = len(routes)
+    return TableImage.build(
+        kind="rib",
+        algorithm="rib",
+        width=rib.width,
+        meta={"routes": count},
+        segments={
+            "value_hi": np.fromiter(
+                (p.value >> 64 for p, _ in routes), np.uint64, count
+            ),
+            "value_lo": np.fromiter(
+                (p.value & _MASK64 for p, _ in routes), np.uint64, count
+            ),
+            "length": np.fromiter(
+                (p.length for p, _ in routes), np.uint8, count
+            ),
+            "fib": np.fromiter(
+                (index for _, index in routes), np.uint32, count
+            ),
+        },
+    )
+
+
+def rib_from_image(image) -> Rib:
+    """Rebuild a :class:`~repro.net.rib.Rib` from a ``kind="rib"`` image.
+
+    Malformed images — wrong kind, unsupported width, inconsistent or
+    missing segments, out-of-range routes — raise
+    :class:`~repro.errors.TableFormatError` (the table-snapshot error
+    contract), never a bare exception from the internals.
+    """
+    if image.kind != "rib":
+        raise TableFormatError(
+            f"image holds a {image.kind!r}, not a routing table"
+        )
+    width = image.width
+    if width not in (32, 128):
+        raise TableFormatError(
+            f"unsupported address width {width} (expected 32 or 128)"
+        )
+    try:
+        value_hi = image.segment("value_hi")
+        value_lo = image.segment("value_lo")
+        length = image.segment("length")
+        fib = image.segment("fib")
+    except SnapshotFormatError as exc:
+        raise TableFormatError(str(exc)) from exc
+    if not len(value_hi) == len(value_lo) == len(length) == len(fib):
+        raise TableFormatError("rib image segments have mismatched lengths")
+    rib = Rib(width=width)
+    rows = zip(
+        value_hi.tolist(), value_lo.tolist(), length.tolist(), fib.tolist()
+    )
+    for hi, lo, plen, fib_index in rows:
+        if not 1 <= fib_index <= _MAX_FIB_INDEX:
+            raise TableFormatError(
+                f"FIB index {fib_index} outside 1..{_MAX_FIB_INDEX}"
+            )
+        try:
+            rib.insert(Prefix((hi << 64) | lo, plen, width), fib_index)
+        except ValueError as exc:
+            raise TableFormatError(f"bad route in rib image: {exc}") from exc
+    return rib
+
+
+def save_table_image(rib: Rib, destination: Union[str, BinaryIO]) -> int:
+    """Write ``rib`` in the binary image format; returns bytes written.
+
+    The binary sibling of :func:`save_table` — checksummed, an order of
+    magnitude faster to reload, and readable through plain
+    :func:`load_table` (which sniffs the magic).  Journal checkpoints
+    (:meth:`repro.robust.journal.Journal.checkpoint`) are written this
+    way.
+    """
+    blob = rib_to_image(rib).to_bytes()
+    owned = isinstance(destination, str)
+    stream = open(destination, "wb") if owned else destination
+    try:
+        stream.write(blob)
     finally:
         if owned:
             stream.close()
+    return len(blob)
 
 
-def dumps_table(rib: Rib) -> str:
-    """Snapshot to a string (round-trips through :func:`loads_table`)."""
+def _load_table_image(path: str) -> Rib:
+    from repro.parallel.image import TableImage
+
+    with open(path, "rb") as stream:
+        blob = stream.read()
+    try:
+        image = TableImage.open(blob)
+    except SnapshotFormatError as exc:
+        raise TableFormatError(f"bad table image: {exc}") from exc
+    return rib_from_image(image)
+
+
+# ---------------------------------------------------------------------------
+# deprecated string helpers (PEP 562 shims)
+# ---------------------------------------------------------------------------
+
+
+def _dumps_table(rib: Rib) -> str:
     buffer = io.StringIO()
     save_table(rib, buffer)
     return buffer.getvalue()
 
 
-def loads_table(text: str) -> Rib:
-    """Load a snapshot from a string."""
+def _loads_table(text: str) -> Rib:
     return load_table(io.StringIO(text))
+
+
+#: Deprecated module attributes: name -> (implementation, migration advice).
+_DEPRECATED = {
+    "dumps_table": (
+        _dumps_table,
+        "save_table(rib, io.StringIO()) — or save_table_image for the "
+        "binary image format",
+    ),
+    "loads_table": (_loads_table, "load_table(io.StringIO(text))"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        impl, advice = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"repro.data.tableio.{name} is deprecated; use {advice}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return impl
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

@@ -14,6 +14,8 @@ one ``except ReproError`` while still matching precise categories:
 :class:`ProtocolError`         a lookup-service wire frame is malformed
 :class:`JournalCorrupt`        a route-update journal segment is corrupt
                                beyond the recoverable torn tail
+:class:`PoolError`             the shared-memory worker pool lost so many
+                               workers it can no longer answer
 :class:`ReplaceCostExceeded`   incremental replacement cost crossed the
                                configured threshold (internal control flow:
                                the transactional layer catches it and falls
@@ -50,20 +52,22 @@ class StructuralLimitError(ReproError):
 
 
 class TableFormatError(ReproError, ValueError):
-    """A text routing-table snapshot could not be parsed.
+    """A routing-table snapshot could not be parsed.
 
     Raised by :func:`repro.data.tableio.load_table` for missing/bad headers,
-    malformed route lines, out-of-range FIB indices and address-family
-    mismatches.  ``line`` carries the 1-based line number of the offending
-    input (``None`` for whole-file problems).
+    malformed route lines, out-of-range FIB indices, address-family
+    mismatches and corrupt binary rib images.  ``line`` carries the 1-based
+    line number of the offending input (``None`` for whole-file problems).
 
-    >>> from repro.data.tableio import loads_table
-    >>> loads_table("# repro-table v1 width=32\\n10.0.0.0/8 not-a-number\\n")
+    >>> import io
+    >>> from repro.data.tableio import load_table
+    >>> load_table(io.StringIO(
+    ...     "# repro-table v1 width=32\\n10.0.0.0/8 not-a-number\\n"))
     Traceback (most recent call last):
         ...
     repro.errors.TableFormatError: line 2: bad FIB index 'not-a-number'
     >>> try:
-    ...     loads_table("# repro-table v1 width=32\\n10.0.0.0/8 0\\n")
+    ...     load_table(io.StringIO("# repro-table v1 width=32\\n10.0.0.0/8 0\\n"))
     ... except TableFormatError as error:
     ...     error.line
     2
@@ -84,8 +88,8 @@ class SnapshotFormatError(ReproError, ValueError):
     :data:`repro.core.serialize.CorruptSnapshot` is an alias of this class,
     kept for callers written before the taxonomy existed.
 
-    >>> from repro.core.serialize import load_bytes
-    >>> load_bytes(b"POPTRIE1 but truncated")
+    >>> from repro.parallel.image import structure_from_bytes
+    >>> structure_from_bytes(b"POPTRIE1 but truncated")
     Traceback (most recent call last):
         ...
     repro.errors.SnapshotFormatError: snapshot truncated
@@ -200,6 +204,21 @@ class JournalCorrupt(ReproError, ValueError):
     Traceback (most recent call last):
         ...
     repro.errors.JournalCorrupt: ...
+    """
+
+
+class PoolError(ReproError, RuntimeError):
+    """The shared-memory worker pool can no longer answer lookups.
+
+    :class:`repro.parallel.WorkerPool` transparently respawns workers
+    that die (even from ``SIGKILL``) and re-dispatches their shards, so
+    a single crash never surfaces to callers.  This error is the escape
+    hatch for the pathological cases: a worker that dies repeatedly
+    faster than the restart budget allows (``PoolConfig.restart_limit``),
+    a batch that exceeds ``PoolConfig.batch_timeout`` with all workers
+    alive, or use of a pool after :meth:`~repro.parallel.WorkerPool.close`.
+    Deriving from ``RuntimeError`` keeps it catchable by generic service
+    wrappers.
     """
 
 

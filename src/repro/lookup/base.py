@@ -206,6 +206,84 @@ class LookupStructure(abc.ABC):
         whole IPv4 space; the integration tests use this hook."""
         return [key for key in keys if self.lookup(key) != rib.lookup(key)]
 
+    # -- zero-copy table images ----------------------------------------------
+
+    @classmethod
+    def supports_image(cls) -> bool:
+        """True when this structure can round-trip through a
+        :class:`~repro.parallel.image.TableImage` (it overrides the
+        :meth:`_image_state` / :meth:`_from_image_state` hooks).  The
+        registry mirrors this as ``AlgorithmEntry.supports_image``."""
+        return cls._image_state is not LookupStructure._image_state
+
+    def to_image(self):
+        """Export this structure's backing arrays as a
+        :class:`~repro.parallel.image.TableImage`.
+
+        The image is versioned, checksummed and self-describing; it is
+        the one blessed persistence surface (see docs/PARALLEL.md) and
+        the unit the shared-memory :class:`~repro.parallel.WorkerPool`
+        distributes to lookup workers.  Raises ``TypeError`` for
+        structures without image support.
+        """
+        from repro.parallel.image import TableImage
+
+        if not self.supports_image():
+            raise TypeError(
+                f"{type(self).__name__} does not support table images"
+            )
+        meta, segments = self._image_state()
+        return TableImage.build(
+            kind="structure",
+            class_path=f"{type(self).__module__}:{type(self).__qualname__}",
+            algorithm=self.name,
+            width=self.width,
+            meta=meta,
+            segments=segments,
+        )
+
+    @classmethod
+    def from_image(cls, image, *, copy: bool = True) -> "LookupStructure":
+        """Reconstruct a structure from a :class:`TableImage`.
+
+        ``copy=True`` materializes private, mutable arrays (the
+        persistence path — equivalent to the historical snapshot load);
+        ``copy=False`` wraps the image's buffer in read-only views, so
+        the structure shares memory with the image (the data-plane path
+        used by pool workers attaching to shared memory; the structure
+        must then be treated as frozen).
+        """
+        from repro.errors import SnapshotFormatError
+
+        if not cls.supports_image():
+            raise TypeError(
+                f"{cls.__name__} does not support table images"
+            )
+        if image.kind != "structure":
+            raise SnapshotFormatError(
+                f"image holds a {image.kind!r} payload, not a structure"
+            )
+        segments = {
+            name: image.segment(name) for name in image.segment_names()
+        }
+        return cls._from_image_state(image.meta, segments, copy=copy)
+
+    def _image_state(self):
+        """Subclass hook: ``(meta, segments)`` for :meth:`to_image`.
+
+        ``meta`` is a dict of JSON scalars, ``segments`` an ordered dict
+        of name → ``array.array`` / numpy array.  Only structures whose
+        state is flat typed arrays can implement this; pointer-chasing
+        structures (Radix, Patricia...) cannot, and inherit the base
+        implementation as their "unsupported" marker.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def _from_image_state(cls, meta, segments, *, copy: bool):
+        """Subclass hook: rebuild an instance from image state."""
+        raise NotImplementedError
+
     # -- observability -------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:

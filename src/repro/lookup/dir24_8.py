@@ -138,3 +138,30 @@ class Dir24_8(LookupStructure):
 
     def memory_bytes(self) -> int:
         return 2 * len(self.tbl24) + 2 * len(self.tbl_long)
+
+    # -- zero-copy images ------------------------------------------------
+
+    def _image_state(self):
+        return {}, {"tbl24": self.tbl24, "tbl_long": self.tbl_long}
+
+    @classmethod
+    def _from_image_state(cls, meta, segments, *, copy: bool) -> "Dir24_8":
+        from repro.errors import SnapshotFormatError
+
+        try:
+            tbl24, tbl_long = segments["tbl24"], segments["tbl_long"]
+        except KeyError as error:
+            raise SnapshotFormatError(
+                f"DIR-24-8 image lacks segment {error}"
+            ) from error
+        if len(tbl24) != 1 << 24 or tbl24.itemsize != 2 or tbl_long.itemsize != 2:
+            raise SnapshotFormatError("DIR-24-8 image segments malformed")
+        if copy:
+            return cls(array("H", tbl24.tobytes()), array("H", tbl_long.tobytes()))
+        return cls(_frozen_view(tbl24), _frozen_view(tbl_long))
+
+
+def _frozen_view(arr: np.ndarray) -> np.ndarray:
+    view = np.asarray(arr).view()
+    view.flags.writeable = False
+    return view

@@ -228,5 +228,71 @@ class Dxr(LookupStructure):
     def memory_bytes(self) -> int:
         return 4 * len(self.table) + self._range_bytes * len(self.starts)
 
+    # -- zero-copy images ------------------------------------------------
+
+    def _image_state(self):
+        meta = {"s": self.s, "width": self.width, "modified": self.modified}
+        chunk_base = np.fromiter(
+            (base for base, _ in self.chunk_bounds),
+            dtype=np.uint32,
+            count=len(self.chunk_bounds),
+        )
+        chunk_count = np.fromiter(
+            (count for _, count in self.chunk_bounds),
+            dtype=np.uint32,
+            count=len(self.chunk_bounds),
+        )
+        segments = {
+            "table": self.table,
+            "starts": np.array(self.starts, dtype=np.uint64),
+            "nexthops": self.nexthops,
+            "chunk_base": chunk_base,
+            "chunk_count": chunk_count,
+        }
+        return meta, segments
+
+    @classmethod
+    def _from_image_state(cls, meta, segments, *, copy: bool) -> "Dxr":
+        from repro.errors import SnapshotFormatError
+        from repro.lookup.dir24_8 import _frozen_view
+
+        try:
+            s = int(meta["s"])
+            width = int(meta["width"])
+            modified = bool(meta["modified"])
+            table = segments["table"]
+            starts = segments["starts"]
+            nexthops = segments["nexthops"]
+            chunk_base = segments["chunk_base"]
+            chunk_count = segments["chunk_count"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(f"invalid DXR image: {error}") from error
+        if (
+            len(table) != 1 << s
+            or table.itemsize != 4
+            or len(nexthops) != len(starts)
+            or nexthops.itemsize != 2
+            or len(chunk_base) != 1 << s
+            or len(chunk_count) != 1 << s
+        ):
+            raise SnapshotFormatError("DXR image segments inconsistent")
+        # ``starts`` and ``chunk_bounds`` are always materialized as
+        # Python lists — the scalar path binary-searches them with
+        # ``bisect`` — so only the two flat arrays attach zero-copy.
+        starts_list = starts.tolist()
+        chunk_bounds = list(
+            zip(chunk_base.tolist(), chunk_count.tolist())
+        )
+        if copy:
+            table_arr = array("I", table.tobytes())
+            nexthop_arr = array("H", nexthops.tobytes())
+        else:
+            table_arr = _frozen_view(table)
+            nexthop_arr = _frozen_view(nexthops)
+        return cls(
+            s, width, table_arr, starts_list, nexthop_arr, chunk_bounds,
+            modified,
+        )
+
 
 register("D16R", Dxr, s=16)

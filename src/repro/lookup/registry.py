@@ -83,6 +83,15 @@ class AlgorithmEntry:
         """
         return self.cls.from_rib(rib, **{**self.options, **overrides})
 
+    @property
+    def supports_image(self) -> bool:
+        """True when instances round-trip through the zero-copy
+        :class:`~repro.parallel.image.TableImage` API (``to_image()`` /
+        ``from_image()``) — the capability gate for snapshotting and the
+        shared-memory :class:`~repro.parallel.WorkerPool`."""
+        probe = getattr(self.cls, "supports_image", None)
+        return bool(probe()) if callable(probe) else False
+
 
 _ENTRIES: Dict[str, AlgorithmEntry] = {}
 

@@ -183,3 +183,33 @@ class Sail(LookupStructure):
 
     def memory_bytes(self) -> int:
         return 2 * (len(self.bcn16) + len(self.bcn24) + len(self.n32))
+
+    # -- zero-copy images ------------------------------------------------
+
+    def _image_state(self):
+        return {}, {"bcn16": self.bcn16, "bcn24": self.bcn24, "n32": self.n32}
+
+    @classmethod
+    def _from_image_state(cls, meta, segments, *, copy: bool) -> "Sail":
+        from repro.errors import SnapshotFormatError
+        from repro.lookup.dir24_8 import _frozen_view
+
+        try:
+            bcn16, bcn24, n32 = (
+                segments["bcn16"], segments["bcn24"], segments["n32"]
+            )
+        except KeyError as error:
+            raise SnapshotFormatError(
+                f"SAIL image lacks segment {error}"
+            ) from error
+        if len(bcn16) != 1 << 16 or any(
+            seg.itemsize != 2 for seg in (bcn16, bcn24, n32)
+        ):
+            raise SnapshotFormatError("SAIL image segments malformed")
+        if copy:
+            return cls(
+                array("H", bcn16.tobytes()),
+                array("H", bcn24.tobytes()),
+                array("H", n32.tobytes()),
+            )
+        return cls(_frozen_view(bcn16), _frozen_view(bcn24), _frozen_view(n32))

@@ -1,0 +1,597 @@
+"""Shared-memory multicore lookup: the real Figure 8 data plane.
+
+The paper scales Poptrie by running the same immutable arrays on many
+cores.  :class:`WorkerPool` does exactly that with processes (the only
+route to real parallelism under the GIL): it serializes a structure to a
+:class:`~repro.parallel.image.TableImage`, places the image in
+:mod:`multiprocessing.shared_memory`, and spawns N workers that *attach*
+to the segment — ``from_image(..., copy=False)`` wraps the shared buffer
+in read-only numpy views, so all workers execute lookups against the
+same physical pages the parent wrote once.
+
+Batches are sharded across the workers and reassembled in shard order,
+so ``pool.lookup_batch(keys)`` is bit-for-bit the array
+``structure.lookup_batch(keys)`` would return, just computed on many
+cores.
+
+**Crash safety.**  Each worker has a private duplex pipe and at most one
+outstanding request.  The parent waits on pipes *and* process sentinels;
+a worker that dies mid-batch — including ``SIGKILL`` — is respawned
+attached to the current generation and its shard is re-dispatched
+(lookups are idempotent), so callers never see a wrong or dropped
+response.  A worker that keeps dying trips ``restart_limit`` and raises
+:class:`~repro.errors.PoolError`.
+
+**Hot swap (RCU).**  :meth:`WorkerPool.publish` writes the new table
+into a fresh shared-memory segment (generation g+1) and sends a swap
+message down every pipe.  Pipes are FIFO, so each worker finishes any
+in-flight shard against the old generation before switching; once every
+worker has acknowledged — the epoch drain — the old segment is
+unlinked.  ``repro serve --workers N`` wires this into the server's
+``OP_RELOAD`` path through :class:`PoolView` and
+:class:`~repro.server.handle.TableHandle`.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import secrets
+import signal
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from multiprocessing import (
+    connection,
+    get_all_start_methods,
+    get_context,
+    shared_memory,
+)
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import PoolError
+from repro.lookup.base import normalize_batch_keys
+from repro.parallel.image import TableImage, image_to_structure
+
+#: Shard-size histogram buckets (keys per dispatched shard).
+SHARD_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Worker-pool tuning knobs.
+
+    ``start_method`` defaults to ``fork`` where available (instant
+    startup; workers re-attach to shared memory anyway) and ``spawn``
+    elsewhere.  ``min_shard`` stops tiny batches from being split across
+    workers — below it, IPC costs more than the parallelism returns.
+    ``restart_limit`` bounds respawns *per worker slot* over the pool's
+    lifetime; ``batch_timeout`` bounds one ``lookup_batch`` call.
+    """
+
+    workers: int = 2
+    start_method: Optional[str] = None
+    min_shard: int = 256
+    batch_timeout: float = 60.0
+    restart_limit: int = 8
+    #: Verify the image CRC on every worker attach.  Off by default: the
+    #: parent wrote the segment moments ago, and a full-image CRC per
+    #: attach is the one per-worker cost that grows with table size.
+    verify_attach: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.min_shard < 1:
+            raise ValueError("min_shard must be >= 1")
+
+
+def _worker_main(worker_id: int, shm_name: str, generation: int,
+                 conn, verify: bool) -> None:
+    """Worker process: attach to the image, answer batch requests.
+
+    Protocol (strict request/reply per pipe; the parent never has more
+    than one message in flight per worker):
+
+    - ``("batch", task_id, keys)`` → ``("result", task_id, results)``
+    - ``("swap", gen, name)``      → ``("swapped", id, gen)``
+    - ``("stop",)``                → exit
+
+    On startup (and after every swap) the worker sends
+    ``("ready", id, gen)``.
+    """
+    # The parent owns lifecycle; a Ctrl-C on the foreground process
+    # group must not take workers down before the pool's own shutdown.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+    def attach(name):
+        shm = shared_memory.SharedMemory(name=name)
+        structure = image_to_structure(
+            TableImage.open(shm.buf, verify=verify), copy=False
+        )
+        return shm, structure
+
+    shm, structure = attach(shm_name)
+    conn.send(("ready", worker_id, generation))
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away
+            op = message[0]
+            if op == "stop":
+                break
+            if op == "batch":
+                _, task_id, keys = message
+                results = structure.lookup_batch(keys)
+                conn.send(("result", task_id, results))
+            elif op == "swap":
+                _, generation, name = message
+                old_shm, old_structure = shm, structure
+                shm, structure = attach(name)
+                # Release every view into the old segment before closing
+                # its mapping; a stray reference raises BufferError, in
+                # which case the mapping is simply left to process exit
+                # (the parent unlinks the name regardless).
+                del old_structure
+                gc.collect()
+                try:
+                    old_shm.close()
+                except BufferError:  # pragma: no cover - defensive
+                    pass
+                conn.send(("swapped", worker_id, generation))
+    finally:
+        del structure
+        gc.collect()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        conn.close()
+
+
+class _Worker:
+    __slots__ = ("id", "process", "conn", "restarts")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.restarts = 0
+
+
+def _cleanup_segments(segments: Dict[int, shared_memory.SharedMemory]) -> None:
+    for shm in segments.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - racing exit
+            pass
+    segments.clear()
+
+
+class WorkerPool:
+    """N lookup workers attached to one shared-memory table image.
+
+    >>> from repro.net.prefix import Prefix
+    >>> from repro.net.rib import Rib
+    >>> from repro.core.poptrie import Poptrie
+    >>> rib = Rib()
+    >>> rib.insert(Prefix.parse("10.0.0.0/8"), 7)
+    0
+    >>> with WorkerPool(Poptrie.from_rib(rib), PoolConfig(workers=2)) as pool:
+    ...     list(pool.lookup_batch([Prefix.parse("10.1.2.3/32").value, 0]))
+    [7, 0]
+    """
+
+    def __init__(self, source, config: Optional[PoolConfig] = None) -> None:
+        self.config = config or PoolConfig()
+        image = source if isinstance(source, TableImage) else source.to_image()
+        self.algorithm = image.algorithm
+        self.width = image.width
+        self._ctx = get_context(
+            self.config.start_method
+            or ("fork" if "fork" in get_all_start_methods() else "spawn")
+        )
+        self._lock = threading.RLock()
+        self._closed = False
+        self._task_counter = 0
+        self._generation = 0
+        self._uid = f"{os.getpid()}-{secrets.token_hex(4)}"
+        self._segments: Dict[int, shared_memory.SharedMemory] = {}
+        self._image_nbytes = image.nbytes
+        self._write_generation(0, image)
+        self._workers: List[_Worker] = []
+        try:
+            for worker_id in range(self.config.workers):
+                self._workers.append(self._spawn(worker_id))
+        except Exception:
+            self.close()
+            raise
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, self._segments
+        )
+        self._set_gauge()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _segment_name(self, generation: int) -> str:
+        return f"repro-pool-{self._uid}-g{generation}"
+
+    def _write_generation(self, generation: int, image: TableImage) -> None:
+        shm = shared_memory.SharedMemory(
+            name=self._segment_name(generation), create=True, size=image.nbytes
+        )
+        try:
+            image.write_into(shm.buf)
+        except Exception:
+            shm.close()
+            shm.unlink()
+            raise
+        self._segments[generation] = shm
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._segment_name(self._generation),
+                self._generation,
+                child_conn,
+                self.config.verify_attach,
+            ),
+            name=f"repro-pool-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(worker_id, process, parent_conn)
+        self._expect(worker, "ready")
+        return worker
+
+    def _respawn(self, worker: _Worker) -> _Worker:
+        """Replace a dead worker in place, attached to the current
+        generation; raises :class:`PoolError` past the restart budget."""
+        restarts = worker.restarts + 1
+        if restarts > self.config.restart_limit:
+            raise PoolError(
+                f"worker {worker.id} died {restarts} times; giving up"
+            )
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        fresh = self._spawn(worker.id)
+        fresh.restarts = restarts
+        self._workers[worker.id] = fresh
+        self._count("repro_pool_worker_restarts_total",
+                    "Workers respawned after dying.", worker=str(worker.id))
+        return fresh
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared-memory generation."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in getattr(self, "_workers", []):
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for worker in getattr(self, "_workers", []):
+                worker.process.join(timeout=2)
+                if worker.process.is_alive():  # pragma: no cover - stuck
+                    worker.process.terminate()
+                    worker.process.join(timeout=2)
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            _cleanup_segments(self._segments)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the data plane --------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def image_nbytes(self) -> int:
+        """Serialized size of the currently published image."""
+        return self._image_nbytes
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Resolve a batch across the workers, results in input order.
+
+        Sharding: the batch is split into at most ``workers`` contiguous
+        shards of at least ``min_shard`` keys; shard *i* goes to worker
+        *i*.  Reassembly concatenates results in shard order, so the
+        output is exactly what one worker — or the original structure —
+        would have produced.
+        """
+        keys = normalize_batch_keys(keys, self.width)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.uint32)
+        with self._lock:
+            if self._closed:
+                raise PoolError("pool is closed")
+            shard_target = max(
+                1, -(-len(keys) // max(self.config.min_shard, 1))
+            )
+            nshards = min(len(self._workers), shard_target, len(keys))
+            shards = np.array_split(keys, nshards)
+            pending: Dict[int, int] = {}  # task_id -> shard index
+            by_worker: Dict[int, int] = {}  # worker slot -> task_id
+            results: List[Optional[np.ndarray]] = [None] * nshards
+            for index, shard in enumerate(shards):
+                worker = self._workers[index]
+                task_id = self._dispatch(worker, shard)
+                pending[task_id] = index
+                by_worker[worker.id] = task_id
+                self._observe_shard(len(shard), worker)
+            deadline = time.monotonic() + self.config.batch_timeout
+            while pending:
+                self._collect_one(
+                    pending, by_worker, results, shards, deadline
+                )
+            return np.concatenate(results)
+
+    def _dispatch(self, worker: _Worker, shard: np.ndarray) -> int:
+        self._task_counter += 1
+        task_id = self._task_counter
+        try:
+            worker.conn.send(("batch", task_id, shard))
+        except (OSError, ValueError):
+            # Died before we could even send; respawn and retry once —
+            # the fresh worker either takes the shard or PoolError out.
+            worker = self._respawn(worker)
+            worker.conn.send(("batch", task_id, shard))
+        return task_id
+
+    def _collect_one(self, pending, by_worker, results, shards,
+                     deadline) -> None:
+        """Wait for one result (or one death) and fold it in."""
+        waiting = [
+            self._workers[slot] for slot, task in by_worker.items()
+            if task in pending
+        ]
+        objects = []
+        for worker in waiting:
+            objects.append(worker.conn)
+            objects.append(worker.process.sentinel)
+        timeout = deadline - time.monotonic()
+        if timeout <= 0 or not connection.wait(objects, timeout=timeout):
+            raise PoolError(
+                f"batch timed out after {self.config.batch_timeout}s "
+                f"({len(pending)} shards outstanding)"
+            )
+        for worker in waiting:
+            task_id = by_worker.get(worker.id)
+            if task_id not in pending:
+                continue
+            message = None
+            if worker.conn.poll():
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # died mid-reply: torn pickle → redo
+            elif worker.process.is_alive():
+                continue  # sentinel of a different worker woke us
+            if message is None:
+                # The worker is dead (SIGKILL, OOM, crash).  Lookups are
+                # idempotent: respawn against the current generation and
+                # re-dispatch the lost shard.
+                index = pending.pop(task_id)
+                fresh = self._respawn(worker)
+                new_task = self._dispatch(fresh, shards[index])
+                pending[new_task] = index
+                by_worker[fresh.id] = new_task
+                continue
+            kind, got_task, payload = message
+            if kind != "result" or got_task != task_id:
+                raise PoolError(
+                    f"worker {worker.id} answered out of protocol "
+                    f"({kind!r}, task {got_task} != {task_id})"
+                )
+            results[pending.pop(got_task)] = payload
+            self._count(
+                "repro_pool_batches_total",
+                "Shards completed, per worker slot.",
+                worker=str(worker.id),
+            )
+
+    # -- RCU hot swap ----------------------------------------------------
+
+    def publish(self, source) -> int:
+        """Publish a new table to every worker; returns the generation.
+
+        Writes the image into a fresh shared-memory segment, then swaps
+        each worker over its FIFO pipe — in-flight shards finish against
+        the old generation first.  The old segment is unlinked only
+        after every worker acknowledged (the epoch drain), so no worker
+        ever reads unmapped memory.
+        """
+        image = source if isinstance(source, TableImage) else source.to_image()
+        with self._lock:
+            if self._closed:
+                raise PoolError("pool is closed")
+            generation = self._generation + 1
+            self._write_generation(generation, image)
+            name = self._segment_name(generation)
+            drained: List[_Worker] = []
+            for worker in list(self._workers):
+                try:
+                    worker.conn.send(("swap", generation, name))
+                except (OSError, ValueError):
+                    worker = None  # handled below
+                if worker is not None:
+                    drained.append(worker)
+            old_generation = self._generation
+            self._generation = generation
+            self._image_nbytes = image.nbytes
+            self.algorithm = image.algorithm
+            self.width = image.width
+            for worker in self._workers:
+                if worker in drained:
+                    try:
+                        self._expect(worker, "swapped")
+                        continue
+                    except PoolError:
+                        pass  # died mid-swap: respawn at the new gen
+                self._respawn(worker)
+            # Epoch drain complete: every live worker runs generation g;
+            # the old segment can disappear from the namespace.
+            old = self._segments.pop(old_generation, None)
+            if old is not None:
+                old.close()
+                try:
+                    old.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._count("repro_pool_swaps_total",
+                        "Hot swaps published to the pool.")
+            self._set_gauge()
+            return generation
+
+    def publish_structure(self, structure) -> "PoolView":
+        """:meth:`publish` + a fresh :class:`PoolView` — the shape the
+        server's rebuild hook wants (one call returning the new table)."""
+        self.publish(structure)
+        return self.view()
+
+    def view(self) -> "PoolView":
+        """A structure-shaped façade over this pool (see
+        :class:`PoolView`), pinned to the current generation for
+        bookkeeping (all views share the live pool)."""
+        return PoolView(self)
+
+    def _expect(self, worker: _Worker, kind: str, timeout: float = 30.0):
+        """Await one specific control message from ``worker``."""
+        ready = connection.wait(
+            [worker.conn, worker.process.sentinel], timeout=timeout
+        )
+        if worker.conn in ready and worker.conn.poll():
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError) as error:
+                raise PoolError(
+                    f"worker {worker.id} died during {kind}"
+                ) from error
+            if message[0] != kind:
+                raise PoolError(
+                    f"worker {worker.id}: expected {kind!r}, "
+                    f"got {message[0]!r}"
+                )
+            return message
+        raise PoolError(
+            f"worker {worker.id} did not answer {kind!r} "
+            f"(alive={worker.process.is_alive()})"
+        )
+
+    # -- observability ---------------------------------------------------
+
+    def _obs(self):
+        from repro import obs
+
+        return obs.registry() if obs.enabled() else None
+
+    def _count(self, name: str, help: str, **labels) -> None:
+        reg = self._obs()
+        if reg is not None:
+            reg.counter(name, help, pool=self.algorithm, **labels).inc()
+
+    def _observe_shard(self, size: int, worker: _Worker) -> None:
+        reg = self._obs()
+        if reg is not None:
+            reg.histogram(
+                "repro_pool_shard_keys",
+                "Keys per dispatched shard.",
+                buckets=SHARD_BUCKETS,
+                pool=self.algorithm,
+            ).observe(size)
+
+    def _set_gauge(self) -> None:
+        reg = self._obs()
+        if reg is not None:
+            reg.gauge(
+                "repro_pool_generation",
+                "Table generation the workers currently serve.",
+                pool=self.algorithm,
+            ).set(self._generation)
+            reg.gauge(
+                "repro_pool_workers",
+                "Worker processes in the pool.",
+                pool=self.algorithm,
+            ).set(len(getattr(self, "_workers", [])))
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "name": f"pool({self.algorithm})",
+            "type": type(self).__name__,
+            "algorithm": self.algorithm,
+            "workers": len(self._workers),
+            "generation": self._generation,
+            "width": self.width,
+            "image_nbytes": self._image_nbytes,
+            "restarts": sum(w.restarts for w in self._workers),
+            "memory_bytes": self._image_nbytes,
+        }
+
+
+class PoolView:
+    """A :class:`~repro.lookup.base.LookupStructure`-shaped façade over a
+    :class:`WorkerPool`, so the lookup server (and anything else written
+    against the structure interface) can serve from a pool unchanged.
+
+    ``offload_batches`` tells :class:`repro.server.service.LookupServer`
+    to run batches in a thread: the event loop must not block on worker
+    IPC.  Each :meth:`WorkerPool.publish_structure` returns a *new* view,
+    which is what lets :class:`~repro.server.handle.TableHandle` drive
+    its RCU generation/epoch accounting over pool swaps exactly as it
+    does over plain structures.
+    """
+
+    #: The server runs lookup_batch in a worker thread (IPC blocks).
+    offload_batches = True
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self._pool = pool
+        self.name = f"pool({pool.algorithm})×{pool.workers}"
+        self.width = pool.width
+        self.generation = pool.generation
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        return self._pool.lookup_batch(keys)
+
+    def lookup(self, key: int) -> int:
+        return int(self._pool.lookup_batch([key])[0])
+
+    def memory_bytes(self) -> int:
+        return self._pool.image_nbytes
+
+    def stats(self) -> Dict[str, object]:
+        return self._pool.stats()

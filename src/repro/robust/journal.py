@@ -17,7 +17,9 @@ journal-then-publish discipline:
 On-disk layout (all integers little-endian)::
 
     <dir>/wal-<base>.log          journal segments, append-only
-    <dir>/checkpoint-<seq>.tbl    RIB snapshots (repro-table text format)
+    <dir>/checkpoint-<seq>.tbl    RIB snapshots (binary RPIMG001 rib
+                                  images; legacy text snapshots are still
+                                  read — tableio.load_table sniffs)
 
     segment  = magic "RJOURNL1" | u64 base-seqno | record*
     record   = u32 payload-length | u32 crc32(payload) | payload
@@ -416,8 +418,8 @@ class Journal:
         seqno = self.last_seqno
         final = os.path.join(self.directory, _checkpoint_name(seqno))
         tmp = final + ".tmp"
-        with open(tmp, "w") as stream:
-            tableio.save_table(rib, stream)
+        with open(tmp, "wb") as stream:
+            tableio.save_table_image(rib, stream)
             stream.flush()
             os.fsync(stream.fileno())
         try:

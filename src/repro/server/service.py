@@ -482,37 +482,68 @@ class LookupServer:
                 batch.append(item)
                 nkeys += len(item.keys)
             if batch:
-                self._run_batch(batch, nkeys)
+                # A structure that fans work out to its own worker
+                # processes (``offload_batches``, e.g. the shared-memory
+                # WorkerPool view) blocks on IPC, not the GIL — run it in
+                # a thread so the event loop keeps accepting requests.
+                if getattr(
+                    self.handle.structure, "offload_batches", False
+                ):
+                    await self._run_batch_offloaded(batch, nkeys)
+                else:
+                    self._run_batch(batch, nkeys)
             self._gauge_inflight(len(self._pending))
 
-    def _run_batch(self, batch, nkeys: int) -> None:
-        """One coalesced lookup: a single ``lookup_batch`` on a pinned table."""
+    def _compute_batch(self, batch):
+        """One coalesced lookup: a single ``lookup_batch`` on a pinned
+        table.  Returns ``(results, generation)``; may raise."""
         with self.handle.read() as version:
             keys = (
                 batch[0].keys
                 if len(batch) == 1
                 else np.concatenate([item.keys for item in batch])
             )
-            try:
-                results = version.structure.lookup_batch(keys)
-            except Exception as error:
-                for item in batch:
-                    if not item.future.done():
-                        item.future.set_exception(error)
-                return
-            offset = 0
-            for item in batch:
-                end = offset + len(item.keys)
-                if not item.future.done():
-                    item.future.set_result(
-                        (results[offset:end], version.generation)
-                    )
-                offset = end
+            return version.structure.lookup_batch(keys), version.generation
+
+    def _fan_out(self, batch, nkeys: int, results, generation: int) -> None:
+        """Slice one coalesced result back out to the request futures."""
+        offset = 0
+        for item in batch:
+            end = offset + len(item.keys)
+            if not item.future.done():
+                item.future.set_result((results[offset:end], generation))
+            offset = end
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
         self.stats.batched_keys += nkeys
         self.stats.max_coalesced = max(self.stats.max_coalesced, len(batch))
         self._observe_batch(len(batch), nkeys)
+
+    def _fail_batch(self, batch, error: Exception) -> None:
+        for item in batch:
+            if not item.future.done():
+                item.future.set_exception(error)
+
+    def _run_batch(self, batch, nkeys: int) -> None:
+        try:
+            results, generation = self._compute_batch(batch)
+        except Exception as error:  # engine failure — fail the requests
+            self._fail_batch(batch, error)
+            return
+        self._fan_out(batch, nkeys, results, generation)
+
+    async def _run_batch_offloaded(self, batch, nkeys: int) -> None:
+        """The ``offload_batches`` path: compute in a thread, then set the
+        futures from the event-loop thread (asyncio futures are not
+        thread-safe, so the fan-out must not move off-loop)."""
+        try:
+            results, generation = await asyncio.to_thread(
+                self._compute_batch, batch
+            )
+        except Exception as error:
+            self._fail_batch(batch, error)
+            return
+        self._fan_out(batch, nkeys, results, generation)
 
     # -- observability -------------------------------------------------------
 

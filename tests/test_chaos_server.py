@@ -30,7 +30,7 @@ import time
 import pytest
 
 from repro.core.poptrie import Poptrie
-from repro.core.serialize import dump_bytes
+from repro.parallel.image import structure_to_bytes
 from repro.data.updates import generate_update_stream
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
@@ -190,14 +190,14 @@ class TestChaosSweep:
         assert route_set(result.rib) == route_set(oracle.rib)
         # Byte-identical serialized form of fresh compiles of both RIBs:
         # the strongest equality the format offers.
-        assert dump_bytes(Poptrie.from_rib(result.rib)) == dump_bytes(
+        assert structure_to_bytes(Poptrie.from_rib(result.rib)) == structure_to_bytes(
             Poptrie.from_rib(oracle.rib)
         )
 
     def test_replay_is_idempotent_after_chaos(self, sweep):
         first = recover(sweep["jdir"])
         second = recover(sweep["jdir"])
-        assert dump_bytes(Poptrie.from_rib(first.rib)) == dump_bytes(
+        assert structure_to_bytes(Poptrie.from_rib(first.rib)) == structure_to_bytes(
             Poptrie.from_rib(second.rib)
         )
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.core import serialize
+from repro.parallel import image
 from repro.data import tableio
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
@@ -49,7 +49,7 @@ class TestCompileAndLookup:
         fib = str(tmp_path / "fib2.poptrie")
         assert main(["compile", table_path, "-o", fib, "--s", "16",
                      "--no-leafvec", "--aggregate"]) == 0
-        trie = serialize.load(fib)
+        trie = image.load_structure(fib)
         assert trie.s == 16 and not trie.config.use_leafvec
 
     def test_lookup_text_table_directly(self, table_path, capsys):

@@ -1,7 +1,10 @@
 """The deprecation shims actually deprecate.
 
 PR 2 left PEP 562 ``__getattr__`` shims behind the names that moved to
-:mod:`repro.lookup.registry`.  Two properties must hold for each shim:
+:mod:`repro.lookup.registry`; the image-API redesign added shims for the
+``repro.core.serialize`` entry points (now thin wrappers over
+:mod:`repro.parallel.image`) and for ``repro.data.tableio``'s string
+helpers.  Two properties must hold for each shim:
 
 - Under ``-W error::DeprecationWarning`` the old spelling *raises*, so
   downstream code running with warnings-as-errors notices the move.
@@ -74,3 +77,67 @@ def test_unknown_attribute_still_raises(module_name):
     module = __import__(module_name, fromlist=["_"])
     with pytest.raises(AttributeError):
         module.definitely_not_a_name
+
+
+# ---------------------------------------------------------------------------
+# the image-API deprecations (repro.core.serialize, repro.data.tableio)
+# ---------------------------------------------------------------------------
+
+#: old spelling → (shimmed module, substring the warning must contain)
+IMAGE_SHIMS = {
+    "save": ("repro.core.serialize", "repro.parallel.image.save_structure"),
+    "load": ("repro.core.serialize", "repro.parallel.image.load_structure"),
+    "dump_bytes": (
+        "repro.core.serialize", "repro.parallel.image.structure_to_bytes"
+    ),
+    "load_bytes": (
+        "repro.core.serialize", "repro.parallel.image.structure_from_bytes"
+    ),
+    "dumps_table": ("repro.data.tableio", "save_table"),
+    "loads_table": ("repro.data.tableio", "load_table"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(IMAGE_SHIMS))
+def test_image_shim_raises_under_warnings_as_errors(name):
+    module, _ = IMAGE_SHIMS[name]
+    result = _run(f"import {module}; {module}.{name}")
+    assert result.returncode != 0, (
+        f"{module}.{name} did not raise under -W error::DeprecationWarning"
+    )
+    assert "DeprecationWarning" in result.stderr
+
+
+@pytest.mark.parametrize("name", sorted(IMAGE_SHIMS))
+def test_image_shim_warning_points_at_replacement(name):
+    module_name, replacement = IMAGE_SHIMS[name]
+    module = __import__(module_name, fromlist=["_"])
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = getattr(module, name)
+    assert callable(value), f"{module_name}.{name} resolved to {value!r}"
+    messages = [
+        str(w.message) for w in caught
+        if issubclass(w.category, DeprecationWarning)
+    ]
+    assert messages, f"{module_name}.{name} resolved without warning"
+    assert any(replacement in m for m in messages), messages
+
+
+def test_serialize_shims_are_the_image_functions():
+    """The old names resolve to the blessed functions, not stale copies."""
+    from repro.core import serialize
+    from repro.parallel import image
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert serialize.save is image.save_structure
+        assert serialize.load is image.load_structure
+        assert serialize.dump_bytes is image.structure_to_bytes
+        assert serialize.load_bytes is image.structure_from_bytes
+
+
+def test_serialize_plain_import_is_clean():
+    for module in ("repro.core.serialize", "repro.data.tableio"):
+        result = _run(f"import {module}")
+        assert result.returncode == 0, result.stderr

@@ -417,7 +417,7 @@ class TestRecoverCli:
 
 def test_recovered_table_compiles_identically(tmp_path):
     """Byte-identical compile: recovery loses nothing a build can see."""
-    from repro.core.serialize import dump_bytes
+    from repro.parallel.image import structure_to_bytes
 
     d = str(tmp_path)
     rib = small_rib()
@@ -427,6 +427,6 @@ def test_recovered_table_compiles_identically(tmp_path):
         oracle = TransactionalPoptrie(rib=small_rib(), journal=journal)
         oracle.apply_stream(updates, on_error="skip")
     recovered = recover(d)
-    assert dump_bytes(Poptrie.from_rib(recovered.rib)) == dump_bytes(
+    assert structure_to_bytes(Poptrie.from_rib(recovered.rib)) == structure_to_bytes(
         Poptrie.from_rib(oracle.rib)
     )

@@ -1,0 +1,322 @@
+"""The shared-memory worker pool (repro.parallel.pool).
+
+What must hold, per docs/PARALLEL.md:
+
+- **Exactness** — ``pool.lookup_batch(keys)`` is bit-for-bit the array
+  the source structure returns: sharding and ordered reassembly are
+  invisible to callers.
+- **Crash safety** — a ``SIGKILL``-ed worker is respawned and its shard
+  re-dispatched; the caller still gets the full, correct result.
+- **RCU hot swap** — :meth:`WorkerPool.publish` moves every worker to
+  the new generation, after which the old segment is unlinked; lookups
+  before/after the swap each see a complete table, never a mix.
+- **Service integration** — a :class:`PoolView` drops into
+  :class:`TableHandle`/:class:`LookupServer` unchanged, including the
+  ``OP_RELOAD`` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_random_rib
+
+from repro import obs
+from repro.core.poptrie import Poptrie, PoptrieConfig
+from repro.errors import PoolError
+from repro.net.prefix import Prefix
+from repro.parallel import PoolConfig, PoolView, WorkerPool
+from repro.server import LookupServer, TableHandle, protocol
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="worker pool tests assume POSIX"
+)
+
+RIB = make_random_rib(400, seed=77)
+TRIE = Poptrie.from_rib(RIB, PoptrieConfig(s=16))
+KEYS = np.random.default_rng(7).integers(
+    0, 1 << 32, size=3000, dtype=np.uint64
+)
+EXPECTED = TRIE.lookup_batch(KEYS)
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(TRIE, PoolConfig(workers=2, min_shard=16)) as p:
+        yield p
+
+
+class TestConfig:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            PoolConfig(workers=0)
+        with pytest.raises(ValueError):
+            PoolConfig(min_shard=0)
+
+
+class TestLookups:
+    def test_batch_matches_source_exactly(self, pool):
+        np.testing.assert_array_equal(pool.lookup_batch(KEYS), EXPECTED)
+
+    def test_batch_accepts_plain_lists(self, pool):
+        keys = [int(k) for k in KEYS[:50]]
+        np.testing.assert_array_equal(
+            pool.lookup_batch(keys), EXPECTED[:50]
+        )
+
+    def test_empty_batch(self, pool):
+        assert len(pool.lookup_batch([])) == 0
+
+    def test_tiny_batch_stays_on_one_worker(self, pool):
+        # Below min_shard the batch must not be split: IPC per shard
+        # would dominate.  Correctness is still exact.
+        np.testing.assert_array_equal(
+            pool.lookup_batch(KEYS[:3]), EXPECTED[:3]
+        )
+
+    def test_many_rounds_are_deterministic(self, pool):
+        for _ in range(5):
+            np.testing.assert_array_equal(pool.lookup_batch(KEYS), EXPECTED)
+
+    def test_closed_pool_raises(self):
+        pool = WorkerPool(TRIE, PoolConfig(workers=1))
+        pool.close()
+        with pytest.raises(PoolError, match="closed"):
+            pool.lookup_batch(KEYS[:8])
+        with pytest.raises(PoolError, match="closed"):
+            pool.publish(TRIE)
+        pool.close()  # idempotent
+
+    def test_stats_shape(self, pool):
+        stats = pool.stats()
+        assert stats["workers"] == 2
+        assert stats["generation"] == 0
+        assert stats["algorithm"] == TRIE.name
+        assert stats["image_nbytes"] > 0
+
+
+class TestCrashSafety:
+    def test_sigkilled_worker_is_respawned_and_batch_completes(self, pool):
+        victim = pool._workers[1].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        # The very next batch routes a shard at the dead slot; the pool
+        # must respawn it and still return the exact result.
+        np.testing.assert_array_equal(pool.lookup_batch(KEYS), EXPECTED)
+        assert pool.stats()["restarts"] >= 1
+        # And the pool keeps working afterwards.
+        np.testing.assert_array_equal(pool.lookup_batch(KEYS), EXPECTED)
+
+    def test_repeated_deaths_trip_the_restart_limit(self):
+        with WorkerPool(
+            TRIE, PoolConfig(workers=1, restart_limit=0)
+        ) as pool:
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            pool._workers[0].process.join(timeout=5)
+            with pytest.raises(PoolError, match="giving up"):
+                pool.lookup_batch(KEYS[:32])
+
+
+class TestHotSwap:
+    def test_publish_moves_every_worker_to_the_new_table(self, pool):
+        rib = make_random_rib(400, seed=78)
+        new_trie = Poptrie.from_rib(rib, PoptrieConfig(s=16))
+        assert pool.publish(new_trie) == 1
+        assert pool.generation == 1
+        np.testing.assert_array_equal(
+            pool.lookup_batch(KEYS), new_trie.lookup_batch(KEYS)
+        )
+
+    def test_old_segment_is_unlinked_after_the_drain(self, pool):
+        name = pool._segment_name(0)
+        assert os.path.exists(f"/dev/shm/{name}")
+        pool.publish(TRIE)
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert os.path.exists(f"/dev/shm/{pool._segment_name(1)}")
+
+    def test_swap_after_worker_death_lands_on_new_generation(self, pool):
+        os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+        pool._workers[0].process.join(timeout=5)
+        pool.publish(TRIE)
+        assert pool.generation == 1
+        np.testing.assert_array_equal(pool.lookup_batch(KEYS), EXPECTED)
+
+    def test_close_unlinks_all_segments(self):
+        pool = WorkerPool(TRIE, PoolConfig(workers=2))
+        names = [pool._segment_name(0)]
+        pool.publish(TRIE)
+        names.append(pool._segment_name(1))
+        pool.close()
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+
+class TestPoolView:
+    def test_view_is_structure_shaped(self, pool):
+        view = pool.view()
+        assert isinstance(view, PoolView)
+        assert view.offload_batches is True
+        assert view.width == 32
+        assert view.name == f"pool({TRIE.name})×2"
+        assert view.memory_bytes() == pool.image_nbytes
+        key = Prefix.parse("10.1.2.3/32").value
+        assert view.lookup(key) == TRIE.lookup(key)
+
+    def test_publish_structure_returns_fresh_view(self, pool):
+        old_view = pool.view()
+        new_view = pool.publish_structure(TRIE)
+        assert new_view.generation == 1
+        assert old_view.generation == 0  # pinned at creation
+        np.testing.assert_array_equal(new_view.lookup_batch(KEYS), EXPECTED)
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        obs.disable()
+        registry = obs.enable()
+        yield registry
+        obs.disable()
+
+    def test_pool_metrics_surface(self, _obs):
+        with WorkerPool(TRIE, PoolConfig(workers=2, min_shard=16)) as pool:
+            pool.lookup_batch(KEYS)
+            pool.publish(TRIE)
+            pool.lookup_batch(KEYS)
+        snap = _obs.snapshot()
+        label = f'pool="{TRIE.name}"'
+        # Per-worker shard counters: both slots completed work.
+        for worker in ("0", "1"):
+            key = f'repro_pool_batches_total{{{label},worker="{worker}"}}'
+            assert snap.get(key, 0) >= 1, sorted(snap)
+        # The generation gauge tracks the published table.
+        assert snap[f"repro_pool_generation{{{label}}}"] == 1
+        assert snap[f"repro_pool_workers{{{label}}}"] == 2
+        assert snap[f"repro_pool_swaps_total{{{label}}}"] == 1
+        # The shard-size histogram observed each dispatched shard.
+        families = {f.name: f for f in _obs.families()}
+        hist = families["repro_pool_shard_keys"]
+        observed = sum(
+            child.count for child in hist.children.values()
+        )
+        assert observed >= 4  # 2 batches × 2 shards
+
+    def test_restart_counter(self, _obs):
+        with WorkerPool(TRIE, PoolConfig(workers=1, min_shard=16)) as pool:
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            pool._workers[0].process.join(timeout=5)
+            pool.lookup_batch(KEYS[:64])
+        snap = _obs.snapshot()
+        key = (
+            f'repro_pool_worker_restarts_total{{pool="{TRIE.name}",'
+            f'worker="0"}}'
+        )
+        assert snap[key] == 1
+
+
+# ---------------------------------------------------------------------------
+# service integration: serve --workers N in miniature
+# ---------------------------------------------------------------------------
+
+
+async def _roundtrip(reader, writer, opcode, request_id, keys=()):
+    protocol.write_frame(
+        writer, protocol.encode_request(opcode, request_id, keys)
+    )
+    await writer.drain()
+    payload = await protocol.read_frame(reader)
+    assert payload is not None
+    return protocol.decode_response(payload)
+
+
+class TestServerIntegration:
+    def test_serve_from_pool_with_reload_mid_run(self):
+        """The miniature of the CI smoke job: a server whose handle wraps
+        a pool view answers from worker processes; OP_RELOAD publishes a
+        rebuilt table through the pool and bumps the generation; every
+        response before and after is exact for its generation."""
+        rib = make_random_rib(300, seed=99)
+        first = Poptrie.from_rib(rib, PoptrieConfig(s=16))
+        rib.insert(Prefix.parse("203.0.113.0/24"), 49)
+        second = Poptrie.from_rib(rib, PoptrieConfig(s=16))
+        probe = np.random.default_rng(3).integers(
+            0, 1 << 32, size=512, dtype=np.uint64
+        )
+
+        async def scenario():
+            with WorkerPool(first, PoolConfig(workers=2, min_shard=16)) as pool:
+                server = LookupServer(
+                    TableHandle(pool.view()),
+                    rebuild=lambda: pool.publish_structure(second),
+                )
+                host, port = await server.start()
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    response = await _roundtrip(
+                        reader, writer, protocol.OP_LOOKUP4, 1, probe.tolist()
+                    )
+                    assert response.ok and response.generation == 0
+                    assert response.results.tolist() == (
+                        first.lookup_batch(probe).tolist()
+                    )
+                    reload_response = await _roundtrip(
+                        reader, writer, protocol.OP_RELOAD, 2
+                    )
+                    assert reload_response.ok
+                    assert reload_response.generation == 1
+                    response = await _roundtrip(
+                        reader, writer, protocol.OP_LOOKUP4, 3, probe.tolist()
+                    )
+                    assert response.ok and response.generation == 1
+                    assert response.results.tolist() == (
+                        second.lookup_batch(probe).tolist()
+                    )
+                    stats = await _roundtrip(
+                        reader, writer, protocol.OP_STATS, 4
+                    )
+                    body = json.loads(stats.text)
+                    assert body["structure"].startswith("pool(")
+                    assert body["handle"]["generation"] == 1
+                    writer.close()
+                finally:
+                    await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_server_survives_sigkilled_worker(self):
+        """A worker killed between requests never surfaces to clients:
+        the pool respawns it inside the offloaded batch."""
+        probe = KEYS[:512]
+
+        async def scenario():
+            with WorkerPool(TRIE, PoolConfig(workers=2, min_shard=16)) as pool:
+                server = LookupServer(TableHandle(pool.view()))
+                host, port = await server.start()
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    response = await _roundtrip(
+                        reader, writer, protocol.OP_LOOKUP4, 1, probe.tolist()
+                    )
+                    assert response.ok
+                    os.kill(
+                        pool._workers[0].process.pid, signal.SIGKILL
+                    )
+                    pool._workers[0].process.join(timeout=5)
+                    response = await _roundtrip(
+                        reader, writer, protocol.OP_LOOKUP4, 2, probe.tolist()
+                    )
+                    assert response.ok
+                    assert response.results.tolist() == (
+                        EXPECTED[:512].tolist()
+                    )
+                    writer.close()
+                finally:
+                    await server.stop()
+
+        asyncio.run(scenario())

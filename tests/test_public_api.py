@@ -29,10 +29,12 @@ EXPECTED_TOP_LEVEL = {
     "Journal", "recover", "RecoveryResult",
     # the route-lookup service
     "LookupServer", "TableHandle", "LoadGenerator",
+    # the multicore data plane (zero-copy images + shared-memory pool)
+    "TableImage", "WorkerPool", "PoolConfig",
     # errors
     "ReproError", "StructuralLimitError", "TableFormatError",
     "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
-    "InjectedFault", "ProtocolError", "JournalCorrupt",
+    "InjectedFault", "ProtocolError", "JournalCorrupt", "PoolError",
     # network substrate
     "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
     # metadata
@@ -43,6 +45,12 @@ EXPECTED_ALGORITHMS = {
     "Radix", "Tree BitMap", "Tree BitMap (64-ary)", "SAIL", "DIR-24-8",
     "D16R", "D18R", "Multibit", "Patricia", "BSearch-Lengths", "Bloom",
     "Lulea", "Poptrie0", "Poptrie16", "Poptrie18",
+}
+
+EXPECTED_PARALLEL = {
+    "TableImage", "WorkerPool", "PoolConfig", "PoolView",
+    "image_to_structure", "load_structure", "save_structure",
+    "structure_from_bytes", "structure_to_bytes",
 }
 
 EXPECTED_SERVER = {
@@ -89,6 +97,28 @@ def test_lazy_journal_exports_resolve():
     assert repro.recover is recover
     assert repro.RecoveryResult is RecoveryResult
     assert "Journal" in dir(repro)
+
+
+def test_lazy_parallel_exports_resolve():
+    from repro.parallel import PoolConfig, TableImage, WorkerPool
+
+    assert repro.TableImage is TableImage
+    assert repro.WorkerPool is WorkerPool
+    assert repro.PoolConfig is PoolConfig
+    assert "TableImage" in dir(repro)
+
+
+def test_parallel_exports_are_frozen():
+    from repro import parallel
+
+    assert set(parallel.__all__) == EXPECTED_PARALLEL, GUIDANCE
+    for name in parallel.__all__:
+        assert hasattr(parallel, name), f"{name} exported but missing"
+
+
+def test_pool_error_taxonomy():
+    assert issubclass(repro.PoolError, repro.ReproError)
+    assert issubclass(repro.PoolError, RuntimeError)
 
 
 def test_protocol_constants_are_frozen():

@@ -15,7 +15,6 @@ import pytest
 from tests.conftest import make_random_rib
 
 from repro.core.poptrie import Poptrie, PoptrieConfig
-from repro.core import serialize
 from repro.data.updates import Update, generate_update_stream
 from repro.errors import (
     InjectedFault,
@@ -387,20 +386,24 @@ class TestApplyStream:
 
 class TestSnapshotFaults:
     def test_truncated_snapshot_rejected_on_load(self, tmp_path):
+        from repro.parallel.image import load_structure, save_structure
+
         rib = make_rib(100)
         trie = Poptrie.from_rib(rib, PoptrieConfig(s=12))
         path = str(tmp_path / "fib.poptrie")
         with FaultPlan(truncate_snapshot=64):
-            serialize.save(trie, path)
+            save_structure(trie, path)
         with pytest.raises(SnapshotFormatError):
-            serialize.load(path)
+            load_structure(path)
 
     def test_save_is_clean_when_disarmed(self, tmp_path):
+        from repro.parallel.image import load_structure, save_structure
+
         rib = make_rib(100)
         trie = Poptrie.from_rib(rib, PoptrieConfig(s=12))
         path = str(tmp_path / "fib.poptrie")
-        serialize.save(trie, path)
-        assert serialize.load(path).inode_count == trie.inode_count
+        save_structure(trie, path)
+        assert load_structure(path).inode_count == trie.inode_count
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,10 @@
-"""Tests for table snapshot I/O."""
+"""Tests for table snapshot I/O.
+
+Two formats share one loader: the human-readable ``repro-table v1`` text
+format and the binary ``RPIMG001`` rib image (``save_table_image``).
+``load_table`` sniffs the magic, so journal checkpoints written in
+either era recover through the same call.
+"""
 
 import io
 
@@ -6,10 +12,27 @@ import pytest
 
 from tests.conftest import make_random_rib
 
-from repro.data.tableio import dumps_table, load_table, loads_table, save_table
+from repro.data.tableio import (
+    load_table,
+    rib_from_image,
+    rib_to_image,
+    save_table,
+    save_table_image,
+)
 from repro.errors import TableFormatError
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
+from repro.parallel.image import MAGIC, TableImage
+
+
+def dumps_table(rib) -> str:
+    buffer = io.StringIO()
+    save_table(rib, buffer)
+    return buffer.getvalue()
+
+
+def loads_table(text: str):
+    return load_table(io.StringIO(text))
 
 
 class TestRoundTrip:
@@ -58,6 +81,75 @@ class TestFormat:
         save_table(rib, buffer)
         buffer.seek(0)
         assert len(load_table(buffer)) == 1
+
+
+class TestRibImage:
+    """The binary snapshot path: rib → RPIMG001 image → rib."""
+
+    def test_image_roundtrip(self):
+        rib = make_random_rib(300, seed=41)
+        out = rib_from_image(rib_to_image(rib))
+        assert out.width == rib.width
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_ipv6_image_roundtrip(self):
+        rib = make_random_rib(60, seed=42, width=128, lengths=[16, 64, 120])
+        out = rib_from_image(rib_to_image(rib))
+        assert out.width == 128
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_empty_rib_image(self):
+        assert len(rib_from_image(rib_to_image(Rib()))) == 0
+
+    def test_images_are_deterministic(self):
+        rib = make_random_rib(100, seed=43)
+        assert (
+            rib_to_image(rib).fingerprint() == rib_to_image(rib).fingerprint()
+        )
+
+    def test_save_table_image_loads_through_load_table(self, tmp_path):
+        rib = make_random_rib(150, seed=44)
+        path = str(tmp_path / "table.img")
+        written = save_table_image(rib, path)
+        with open(path, "rb") as stream:
+            blob = stream.read()
+        assert len(blob) == written
+        assert blob[:8] == MAGIC  # binary, magic-sniffed by load_table
+        out = load_table(path)
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_save_table_image_to_stream(self):
+        rib = make_random_rib(50, seed=45)
+        buffer = io.BytesIO()
+        save_table_image(rib, buffer)
+        out = rib_from_image(TableImage.open(buffer.getvalue()))
+        assert list(out.routes()) == list(rib.routes())
+
+    def test_wrong_kind_rejected(self):
+        from repro.core.poptrie import Poptrie
+
+        trie = Poptrie.from_rib(make_random_rib(20, seed=46))
+        with pytest.raises(TableFormatError, match="not a routing table"):
+            rib_from_image(trie.to_image())
+
+    def test_corrupt_image_file_is_typed(self, tmp_path):
+        path = str(tmp_path / "table.img")
+        rib = make_random_rib(40, seed=47)
+        save_table_image(rib, path)
+        with open(path, "rb") as stream:
+            blob = bytearray(stream.read())
+        blob[len(blob) // 2] ^= 0x10
+        with open(path, "wb") as stream:
+            stream.write(bytes(blob))
+        with pytest.raises(TableFormatError, match="bad table image"):
+            load_table(path)
+
+    def test_binary_garbage_in_text_snapshot_is_typed(self, tmp_path):
+        path = str(tmp_path / "table.bin")
+        with open(path, "wb") as stream:
+            stream.write(b"\x00\xff\xfe garbage that is not UTF-8 \x80")
+        with pytest.raises(TableFormatError):
+            load_table(path)
 
 
 class TestErrors:
