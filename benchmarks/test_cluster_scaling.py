@@ -1,0 +1,73 @@
+"""Replicated-cluster benchmark: scaling grid and failover-time curve.
+
+Stands up real in-process clusters — primary journal, checkpoint-shipped
+replicas, sharded client router — and persists ``BENCH_cluster.json``
+under ``benchmarks/results/`` so successive PRs can compare routed
+throughput, shard/replica scaling and failover latency like-for-like.
+The CI cluster-chaos job produces the same artifact cross-process via
+``repro replica`` + ``repro loadgen --shard-map``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR
+
+from repro.bench.cluster_scenario import emit_cluster_bench
+
+#: Scaled down like the other benchmarks; REPRO_CLUSTER_DURATION
+#: stretches each cell's measured window for steadier percentiles.
+DURATION = float(os.environ.get("REPRO_CLUSTER_DURATION", "1.0"))
+RATE = float(os.environ.get("REPRO_CLUSTER_RATE", "600"))
+
+
+def test_cluster_scaling_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_cluster.json"
+    result = emit_cluster_bench(
+        path=str(path),
+        routes=4_000,
+        duration=DURATION,
+        rate=RATE,
+        batch=16,
+        shard_counts=(1, 2),
+        replica_counts=(0, 1),
+        failover_replicas=(1, 2),
+        updates=200,
+        seed=7,
+    )
+    print()
+    for cell in result["grid"]:
+        print(
+            f"cluster {cell['shards']}x shards, {cell['replicas']} replicas: "
+            f"{cell['throughput_rps']:.0f} req/s "
+            f"({cell['throughput_klps']:.1f} klps), "
+            f"p50 {cell['latency_us']['p50']:.0f} us, "
+            f"p99 {cell['latency_us']['p99']:.0f} us"
+        )
+    for cell in result["failover"]:
+        print(
+            f"failover with {cell['replicas']} replicas: read blackout "
+            f"{cell['read_blackout_ms']:.1f} ms, promotion "
+            f"{cell['promotion_ms']:.1f} ms"
+        )
+
+    # The scenario's contract: sharded routing answers exactly like the
+    # global table, and a primary kill costs zero failed lookups.
+    for cell in result["grid"]:
+        assert cell["errors"] == 0
+        assert cell["mismatched"] == 0
+        assert cell["throughput_rps"] > 0
+    for cell in result["failover"]:
+        assert cell["errors"] == 0
+        assert cell["mismatched"] == 0
+        assert cell["promoted_seqno"] == cell["seqno_at_failover"]
+        assert cell["post_failover_seqno"] > cell["seqno_at_failover"]
+
+    # The artifact on disk is the same JSON the test saw.
+    persisted = json.loads(path.read_text())
+    assert persisted["scenario"] == "cluster"
+    assert len(persisted["grid"]) == 4
+    assert len(persisted["failover"]) == 2

@@ -32,8 +32,10 @@ from repro import obs
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.errors import (
+    ClusterError,
     InjectedFault,
     JournalCorrupt,
+    JournalGap,
     PoolError,
     ProtocolError,
     ReproError,
@@ -53,18 +55,25 @@ from repro.robust.txn import TransactionalPoptrie
 from repro.robust.verify import verify_poptrie
 from repro.server import LoadGenerator, LookupServer, TableHandle
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
-# The journal machinery and the multicore data plane are exposed lazily
-# (PEP 562): importing repro must not pay for — or depend on — the
-# durability or multiprocessing stacks until they are used.
+# The journal machinery, the multicore data plane and the replication
+# cluster are exposed lazily (PEP 562): importing repro must not pay for
+# — or depend on — the durability, multiprocessing or clustering stacks
+# until they are used.
 _LAZY = {
     "Journal": "repro.robust.journal",
     "recover": "repro.robust.journal",
     "RecoveryResult": "repro.robust.journal",
+    "JournalTailer": "repro.robust.journal",
     "TableImage": "repro.parallel",
     "WorkerPool": "repro.parallel",
     "PoolConfig": "repro.parallel",
+    "ClusterRouter": "repro.cluster",
+    "Replica": "repro.cluster",
+    "ReplicationPublisher": "repro.cluster",
+    "ShardMap": "repro.cluster",
+    "build_shard_map": "repro.cluster",
 }
 
 
@@ -95,6 +104,7 @@ __all__ = [
     "Journal",
     "recover",
     "RecoveryResult",
+    "JournalTailer",
     # the multicore data plane (lazy — see __getattr__)
     "TableImage",
     "WorkerPool",
@@ -103,6 +113,12 @@ __all__ = [
     "LookupServer",
     "TableHandle",
     "LoadGenerator",
+    # the replicated lookup cluster (lazy — see __getattr__)
+    "ClusterRouter",
+    "Replica",
+    "ReplicationPublisher",
+    "ShardMap",
+    "build_shard_map",
     "ReproError",
     "PoolError",
     "StructuralLimitError",
@@ -112,6 +128,8 @@ __all__ = [
     "VerificationError",
     "InjectedFault",
     "JournalCorrupt",
+    "JournalGap",
+    "ClusterError",
     "ProtocolError",
     "NO_ROUTE",
     "Fib",

@@ -496,9 +496,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "a table (positional TABLE or --table PATH) or --journal DIR "
             "is required"
         )
+    if args.repl_port is not None and not args.journal:
+        raise _UsageError("--repl-port requires --journal (the shipped WAL)")
     rebuild = None
+    txn = journal = None
     if args.journal:
-        structure, rebuild, routes = _recover_for_serve(args, path)
+        txn, journal, routes = _recover_for_serve(args, path)
+        structure = txn.trie
+        rebuild = lambda: Poptrie.from_rib(txn.rib)  # noqa: E731
     elif _is_snapshot(path):
         structure = _load_structure(path)
         routes = "snapshot"
@@ -540,6 +545,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         routes = f"{routes}, {args.workers} workers"
     else:
         handle = TableHandle(structure)
+    apply_updates = None
+    if txn is not None and pool is None:
+        if journal is not None:
+            handle.set_seqno(journal.applied_seqno)
+
+        def apply_updates(updates):
+            # Runs in a worker thread, serialised by the server's update
+            # lock.  Journal-then-apply, then flush so the batch is
+            # durable (and visible to replication tailers) before the
+            # acknowledgement goes out.
+            report = txn.apply_stream(updates, on_error="skip")
+            journal.flush()
+            if txn.trie is not handle.structure:
+                # Degraded to a full rebuild: swap the fresh object in.
+                handle.swap(txn.trie, wait=False)
+            handle.set_seqno(journal.applied_seqno)
+            return {
+                "applied": report.applied,
+                "rejected": report.rejected,
+                "seqno": journal.applied_seqno,
+            }
     server = LookupServer(
         handle,
         ServerConfig(
@@ -549,12 +575,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_wait_us=args.max_wait_us,
         ),
         rebuild=rebuild,
+        apply_updates=apply_updates,
     )
 
     async def _main() -> None:
         import signal
 
         host, port = await server.start()
+        publisher = None
+        if args.repl_port is not None:
+            from repro.cluster import ReplicationPublisher
+
+            publisher = ReplicationPublisher(
+                args.journal,
+                args.host,
+                args.repl_port,
+                watermark=lambda: journal.applied_seqno,
+            )
+            repl_host, repl_bound = await publisher.start()
+            print(
+                f"replicating {args.journal} on {repl_host}:{repl_bound}",
+                flush=True,
+            )
         print(f"serving {handle.name} ({routes}) on {host}:{port}", flush=True)
         # SIGTERM (the supervisor/CI stop signal) drains like Ctrl-C so
         # the pool's shared-memory segments are unlinked on the way out.
@@ -564,7 +606,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(signal.SIGTERM, main_task.cancel)
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass
-        await server.serve_forever()
+        try:
+            await server.serve_forever()
+        finally:
+            if publisher is not None:
+                await publisher.stop()
 
     try:
         asyncio.run(_main())
@@ -573,6 +619,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if pool is not None:
             pool.close()
+        if journal is not None:
+            # Records appended with fsync_every > 1 may still sit in the
+            # stream buffer: SIGTERM must not lose acknowledged updates.
+            journal.flush()
+            journal.close()
     if args.metrics:
         print(obs.registry().render())
         obs.disable()
@@ -588,15 +639,20 @@ def _recover_for_serve(args: argparse.Namespace, table_path: Optional[str]):
     checkpoint, so the next crash-restart cycle already has durable state
     to recover; when the journal holds state, it wins over ``--table``
     (the journal is the authority on what was durably committed).
+
+    Returns ``(txn, journal, routes_text)``: the transactional engine
+    stays attached to the *open* journal so OP_UPDATE batches journal
+    then apply, and the caller owns flushing + closing it on shutdown.
     """
     from repro.robust.journal import Journal, recover
+    from repro.robust.txn import TransactionalPoptrie
 
     journal = Journal(args.journal, fsync_every=args.fsync_every)
     fresh = journal.last_seqno == 0 and journal.checkpoint_seqno == 0
     if fresh and table_path is not None:
         rib = tableio.load_table(table_path)
         journal.checkpoint(rib)
-        trie = Poptrie.from_rib(rib)
+        txn = TransactionalPoptrie(width=rib.width, rib=rib, journal=journal)
         print(
             f"journal {args.journal}: fresh; seeded from {table_path} "
             f"({len(rib)} routes, initial checkpoint written)"
@@ -605,14 +661,17 @@ def _recover_for_serve(args: argparse.Namespace, table_path: Optional[str]):
         journal.close()
         result = recover(args.journal)
         rib = result.rib
-        trie = result.trie.trie
+        txn = result.trie
+        journal = Journal(args.journal, fsync_every=args.fsync_every)
+        txn.journal = journal  # reattach: live updates append here
         summary = result.describe()
         print(
             f"journal {args.journal}: recovered {summary['routes']} routes "
             f"(checkpoint seqno {summary['checkpoint_seqno']}, "
             f"{summary['replayed']} replayed, {summary['skipped']} skipped, "
             f"{summary['torn_bytes']} torn bytes discarded) "
-            f"in {summary['duration_s'] * 1000:.1f} ms"
+            f"in {summary['duration_s'] * 1000:.1f} ms; "
+            f"applied seqno {summary['applied_seqno']}"
         )
         if table_path is not None:
             print(
@@ -620,12 +679,11 @@ def _recover_for_serve(args: argparse.Namespace, table_path: Optional[str]):
                 "holds durable state",
                 file=sys.stderr,
             )
-    rebuild = lambda: Poptrie.from_rib(rib)  # noqa: E731 (OP_RELOAD hook)
-    return trie, rebuild, f"{len(rib)} recovered routes"
+    return txn, journal, f"{len(rib)} recovered routes"
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Drive a running lookup server with open-loop load."""
+    """Drive a running lookup server (or a sharded cluster) with load."""
     import asyncio
     import json
 
@@ -643,22 +701,52 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         deadline_us=args.deadline_us,
         max_retries=args.retries,
     )
+    router = None
+    width = 32
+    if args.shard_map:
+        from repro.cluster import ClusterRouter
+        from repro.cluster.router import RouterConfig
+        from repro.cluster.shard import ShardMap
+
+        shard_map = ShardMap.load(args.shard_map)
+        width = shard_map.width
+        router = ClusterRouter(
+            shard_map,
+            RouterConfig(
+                request_timeout=args.timeout,
+                deadline_us=args.deadline_us,
+            ),
+        )
     generator = LoadGenerator(
-        args.host, args.port, config,
+        None if router is not None else args.host,
+        None if router is not None else args.port,
+        config,
         keys=random_addresses(1 << 15, seed=args.seed),
+        width=width,
+        router=router,
     )
     reload_at = args.duration / 2 if args.swap_mid_run else None
+
+    async def _run():
+        try:
+            return await generator.run(reload_at=reload_at)
+        finally:
+            if router is not None:
+                await router.close()
+
     try:
-        report = asyncio.run(generator.run(reload_at=reload_at))
+        report = asyncio.run(_run())
     except (ConnectionError, OSError) as error:
         print(f"error: cannot reach {args.host}:{args.port} ({error})",
               file=sys.stderr)
         return 1
+    if router is not None:
+        report.retries += router.failovers
     print(report.render(batch=args.batch))
     if args.json:
         payload = {
             "scenario": "loadgen",
-            "target": f"{args.host}:{args.port}",
+            "target": args.shard_map or f"{args.host}:{args.port}",
             "config": {
                 "connections": args.connections,
                 "rate": args.rate,
@@ -729,6 +817,128 @@ def cmd_recover(args: argparse.Namespace) -> int:
         with Journal(args.journal) as journal:
             path = journal.checkpoint(result.rib)
         print(f"compacted into {path}")
+    return 0
+
+
+def cmd_replica(args: argparse.Namespace) -> int:
+    """Run one cluster node: lookup server + WAL-shipping follow loop.
+
+    Without ``--primary`` the node starts as a primary (accepting
+    OP_UPDATE writes and publishing its journal); with it, the node
+    follows that publisher and serves read-only lookups until promoted
+    (``python -m repro promote``).
+    """
+    import asyncio
+
+    from repro.cluster import Replica
+    from repro.cluster.shard import _parse_endpoint
+
+    primary = _parse_endpoint(args.primary) if args.primary else None
+    table_path = _resolve_table(args)
+    if table_path is not None:
+        from repro.robust.journal import Journal
+
+        seed_journal = Journal(args.journal)
+        if seed_journal.last_seqno == 0 and seed_journal.checkpoint_seqno == 0:
+            rib = tableio.load_table(table_path)
+            seed_journal.checkpoint(rib)
+            print(
+                f"journal {args.journal}: fresh; seeded from {table_path} "
+                f"({len(rib)} routes)"
+            )
+        seed_journal.close()
+    node = Replica(
+        args.journal,
+        primary=primary,
+        serve_host=args.host,
+        serve_port=args.port,
+        repl_host=args.host,
+        repl_port=args.repl_port,
+        fsync_every=args.fsync_every,
+        checkpoint_every=args.checkpoint_every,
+        name=args.name,
+    )
+
+    async def _main() -> None:
+        import signal
+
+        (shost, sport), (rhost, rport) = await node.start()
+        print(
+            f"{node.role} {args.name}: serving on {shost}:{sport}, "
+            f"replication on {rhost}:{rport} "
+            f"(applied seqno {node.applied_seqno})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        main_task = asyncio.current_task()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, main_task.cancel)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        await node.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_shardmap(args: argparse.Namespace) -> int:
+    """Build a skew-aware shard map from a routing table.
+
+    Cut points come from route-count quantiles, so shards carry equal
+    route populations even when prefixes bunch (CRAM-style splitting);
+    each ``--endpoints`` option assigns one shard's replica set, in
+    shard order, as a comma-separated ``host:port`` list.
+    """
+    from repro.cluster.shard import build_shard_map, shard_balance
+
+    rib = tableio.load_table(_resolve_table(args))
+    endpoint_sets = None
+    if args.endpoints:
+        if len(args.endpoints) != args.shards:
+            raise _UsageError(
+                f"got {len(args.endpoints)} --endpoints options for "
+                f"{args.shards} shards (pass one per shard, in order)"
+            )
+        endpoint_sets = [spec.split(",") for spec in args.endpoints]
+    shard_map = build_shard_map(rib, args.shards, endpoint_sets=endpoint_sets)
+    shard_map.save(args.output)
+    balance = shard_balance(rib, shard_map)
+    digits = shard_map.width // 4
+    for position, shard in enumerate(shard_map.shards):
+        endpoints = ",".join(shard.endpoints) or "(no endpoints)"
+        print(
+            f"shard {position}: {shard.low:#0{digits + 2}x}.."
+            f"{shard.high:#0{digits + 2}x}  {balance[position]} routes  "
+            f"{endpoints}"
+        )
+    print(f"wrote {len(shard_map)} shards to {args.output}")
+    return 0
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """Health-checked failover: elect + promote the best survivor.
+
+    Surveys the given replication endpoints for their applied sequence
+    numbers, promotes the most advanced reachable node (stale nodes
+    refuse), and retargets the other survivors at it.
+    """
+    import asyncio
+    import json
+
+    from repro.cluster.router import elect_and_promote
+    from repro.errors import ClusterError
+
+    try:
+        summary = asyncio.run(
+            elect_and_promote(args.replicas, timeout=args.timeout)
+        )
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2))
     return 0
 
 
@@ -835,6 +1045,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "journal (fresh directory + --table seeds it)")
     p.add_argument("--fsync-every", type=int, default=1,
                    help="journal fsync batching (default 1 = every append)")
+    p.add_argument("--repl-port", type=int, default=None, metavar="PORT",
+                   help="with --journal: also publish the WAL to replicas "
+                        "on this port (0 = ephemeral)")
     p.add_argument("--metrics", action="store_true",
                    help="dump Prometheus metrics on shutdown")
     p.set_defaults(func=cmd_serve)
@@ -865,9 +1078,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0,
                    help="retries per request after transport errors or "
                         "retryable statuses (default 0)")
+    p.add_argument("--shard-map", metavar="PATH",
+                   help="route requests through this shard map (see "
+                        "'shardmap'); --host/--port are then ignored")
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON (e.g. BENCH_server.json)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "replica",
+        help="run one cluster node (primary or read replica)",
+    )
+    _add_table_arg(p, required=False,
+                   help="seed table for a fresh primary journal")
+    _add_endpoint_args(p, default_port=9000)
+    p.add_argument("--journal", required=True, metavar="DIR",
+                   help="this node's journal directory")
+    p.add_argument("--primary", metavar="HOST:PORT",
+                   help="replication endpoint to follow "
+                        "(omit to start as primary)")
+    p.add_argument("--repl-port", type=int, default=0, metavar="PORT",
+                   help="replication channel port (default 0 = ephemeral)")
+    p.add_argument("--fsync-every", type=int, default=32,
+                   help="journal fsync batching (default 32)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="local checkpoint after this many applied records "
+                        "(default 0 = never)")
+    p.add_argument("--name", default="replica",
+                   help="node name in logs/metrics (default 'replica')")
+    p.set_defaults(func=cmd_replica)
+
+    p = sub.add_parser(
+        "shardmap",
+        help="build a skew-aware shard map from a routing table",
+    )
+    _add_table_arg(p)
+    p.add_argument("--shards", type=int, required=True,
+                   help="number of contiguous prefix-range shards")
+    p.add_argument("--endpoints", action="append", metavar="H:P,H:P,...",
+                   help="one shard's replica set (repeat once per shard, "
+                        "in shard order)")
+    p.add_argument("-o", "--output", required=True,
+                   help="shard map JSON path")
+    p.set_defaults(func=cmd_shardmap)
+
+    p = sub.add_parser(
+        "promote",
+        help="elect and promote the most advanced surviving replica",
+    )
+    p.add_argument("replicas", nargs="+", metavar="HOST:PORT",
+                   help="replication endpoints of the candidate replicas")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-endpoint survey timeout in seconds (default 5)")
+    p.set_defaults(func=cmd_promote)
 
     p = sub.add_parser(
         "recover",

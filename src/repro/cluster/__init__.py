@@ -1,0 +1,62 @@
+"""``repro.cluster`` — a replicated, sharded lookup cluster.
+
+Three layers, each usable on its own:
+
+- **WAL shipping** (:mod:`repro.cluster.replication`): a primary node
+  streams its checkpoint plus journal tail — seqno-watermarked and
+  CRC-chained — to any number of read replicas over a dedicated
+  replication channel.
+- **Replica nodes** (:mod:`repro.cluster.replica`): each replica
+  re-journals the shipped records locally, applies them through the
+  transactional update engine, and publishes through the same RCU
+  :class:`~repro.server.handle.TableHandle` the lookup server reads —
+  so every replica is promotion-ready at all times.
+- **Client-side routing** (:mod:`repro.cluster.router` +
+  :mod:`repro.cluster.shard`): a contiguous prefix-range shard map
+  (skew-aware splits at route-count quantiles) and a router that
+  partitions key batches, fails over down each shard's replica set
+  under a retry budget, and reassembles results in input order.
+
+See ``docs/CLUSTER.md`` for the replication protocol, the failover
+state machine, and the shard-map file format.
+"""
+
+from repro.cluster.replica import Replica
+from repro.cluster.replication import (
+    ReplicationPublisher,
+    query_info,
+    request_promote,
+    request_retarget,
+)
+from repro.cluster.router import (
+    ClusterRouter,
+    FailoverMonitor,
+    RouterConfig,
+    elect_and_promote,
+)
+from repro.cluster.shard import (
+    Shard,
+    ShardMap,
+    build_shard_map,
+    naive_shard_map,
+    shard_balance,
+    shard_rib,
+)
+
+__all__ = [
+    "ClusterRouter",
+    "FailoverMonitor",
+    "Replica",
+    "ReplicationPublisher",
+    "RouterConfig",
+    "Shard",
+    "ShardMap",
+    "build_shard_map",
+    "elect_and_promote",
+    "naive_shard_map",
+    "query_info",
+    "request_promote",
+    "request_retarget",
+    "shard_balance",
+    "shard_rib",
+]

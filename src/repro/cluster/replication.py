@@ -1,0 +1,467 @@
+"""The WAL-shipping replication channel: frames, publisher, client helpers.
+
+One TCP connection carries length-prefixed frames (the same 4-byte
+big-endian framing as the lookup protocol, :mod:`repro.server.protocol`);
+the first payload byte is the frame type.  A connection is either a
+**subscription** (the client's first frame is HELLO and the server then
+streams state at it) or a **control session** (QUERY / PROMOTE /
+RETARGET requests, each answered with an INFO frame).
+
+Subscription stream (all integers big-endian)::
+
+    client -> HELLO      u64 from_seqno   (SYNC_FROM_SCRATCH forces a
+                                           checkpoint first)
+    server -> CHECKPOINT u64 seqno | u32 crc32(image) | rib image bytes
+    server -> RECORD     u64 seqno | u32 chain | 24-byte update payload
+    server -> HEARTBEAT  u64 watermark    (primary's applied seqno)
+
+The subscriber names the highest sequence number it has durably applied;
+the publisher replies with either the journal tail from there (records
+``from_seqno+1, from_seqno+2, ...`` — gapless by construction of the
+journal) or, when that tail has been truncated by a checkpoint, a full
+CHECKPOINT frame followed by the records after it.
+
+Two integrity layers protect the stream beyond TCP's own checksums:
+
+- every RECORD payload is the journal's own 24-byte update encoding
+  (:func:`repro.robust.journal.encode_update`), so a replica decodes
+  with the same code path recovery uses, and
+- a **session chain CRC**: the CHECKPOINT frame seeds the chain with
+  ``crc32(image)``, and each RECORD carries
+  ``chain_n = crc32(payload_n, chain_{n-1})``.  A replica that computes
+  a different chain knows it diverged from the primary's byte stream —
+  not just that one frame was damaged — and must re-sync from a
+  checkpoint instead of applying further updates.
+
+:class:`ReplicationPublisher` is journal-directory-driven: it tails the
+primary's WAL directory with :class:`~repro.robust.journal.JournalTailer`
+per subscriber, so the primary's write path needs no replication hooks
+at all — appending to the journal *is* publishing to the cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import zlib
+from typing import Callable, Optional, Tuple
+
+from repro.data import tableio
+from repro.errors import ClusterError, JournalGap
+from repro.robust.journal import JournalTailer, _scan as _journal_scan
+from repro.server import protocol
+
+FRAME_HELLO = 1
+FRAME_CHECKPOINT = 2
+FRAME_RECORD = 3
+FRAME_HEARTBEAT = 4
+FRAME_QUERY = 5
+FRAME_INFO = 6
+FRAME_PROMOTE = 7
+FRAME_RETARGET = 8
+
+#: HELLO from_seqno sentinel: "I have nothing; start with a checkpoint."
+SYNC_FROM_SCRATCH = (1 << 64) - 1
+
+#: Replication frames may carry a full table checkpoint, so the frame
+#: bound is far larger than the lookup protocol's.
+REPL_MAX_FRAME = 1 << 28
+
+_TYPE = struct.Struct("!B")
+_U64 = struct.Struct("!Q")
+_CHECKPOINT_HEAD = struct.Struct("!BQI")     # type, seqno, crc32(image)
+_RECORD_HEAD = struct.Struct("!BQI")         # type, seqno, chain crc
+_RETARGET_HEAD = struct.Struct("!BH")        # type, port
+
+_UPDATE_BYTES = 24  # fixed payload size of the journal record format
+
+
+def chain_crc(payload: bytes, chain: int) -> int:
+    """The session chain: ``crc32`` of this payload seeded by the chain."""
+    return zlib.crc32(payload, chain)
+
+
+# -- frame encoding ------------------------------------------------------------
+
+
+def encode_hello(from_seqno: int) -> bytes:
+    return _TYPE.pack(FRAME_HELLO) + _U64.pack(from_seqno)
+
+
+def encode_checkpoint(seqno: int, image: bytes) -> bytes:
+    return _CHECKPOINT_HEAD.pack(
+        FRAME_CHECKPOINT, seqno, zlib.crc32(image)
+    ) + image
+
+
+def encode_record(seqno: int, chain: int, payload: bytes) -> bytes:
+    if len(payload) != _UPDATE_BYTES:
+        raise ClusterError(
+            f"record payload is {len(payload)} bytes, not {_UPDATE_BYTES}"
+        )
+    return _RECORD_HEAD.pack(FRAME_RECORD, seqno, chain) + payload
+
+
+def encode_heartbeat(watermark: int) -> bytes:
+    return _TYPE.pack(FRAME_HEARTBEAT) + _U64.pack(watermark)
+
+
+def encode_query() -> bytes:
+    return _TYPE.pack(FRAME_QUERY)
+
+
+def encode_info(info: dict) -> bytes:
+    return _TYPE.pack(FRAME_INFO) + json.dumps(info).encode("utf-8")
+
+
+def encode_promote(min_seqno: int) -> bytes:
+    return _TYPE.pack(FRAME_PROMOTE) + _U64.pack(min_seqno)
+
+
+def encode_retarget(host: str, port: int) -> bytes:
+    if not 0 < port < (1 << 16):
+        raise ClusterError(f"bad retarget port {port}")
+    return _RETARGET_HEAD.pack(FRAME_RETARGET, port) + host.encode("utf-8")
+
+
+def decode_frame(payload: bytes) -> Tuple[int, tuple]:
+    """``(frame_type, operands)`` of one replication frame."""
+    if not payload:
+        raise ClusterError("empty replication frame")
+    kind = payload[0]
+    body = payload[1:]
+    try:
+        if kind in (FRAME_HELLO, FRAME_HEARTBEAT, FRAME_PROMOTE):
+            (seqno,) = _U64.unpack(body)
+            return kind, (seqno,)
+        if kind == FRAME_CHECKPOINT:
+            _, seqno, crc = _CHECKPOINT_HEAD.unpack_from(payload)
+            image = payload[_CHECKPOINT_HEAD.size:]
+            if zlib.crc32(image) != crc:
+                raise ClusterError(
+                    f"checkpoint frame for seqno {seqno} fails its CRC"
+                )
+            return kind, (seqno, image)
+        if kind == FRAME_RECORD:
+            _, seqno, chain = _RECORD_HEAD.unpack_from(payload)
+            record = payload[_RECORD_HEAD.size:]
+            if len(record) != _UPDATE_BYTES:
+                raise ClusterError(
+                    f"record frame for seqno {seqno} carries "
+                    f"{len(record)} payload bytes, not {_UPDATE_BYTES}"
+                )
+            return kind, (seqno, chain, record)
+        if kind == FRAME_QUERY:
+            if body:
+                raise ClusterError("QUERY frame carries a body")
+            return kind, ()
+        if kind == FRAME_INFO:
+            return kind, (json.loads(body.decode("utf-8")),)
+        if kind == FRAME_RETARGET:
+            _, port = _RETARGET_HEAD.unpack_from(payload)
+            return kind, (payload[_RETARGET_HEAD.size:].decode("utf-8"), port)
+    except struct.error:
+        raise ClusterError(
+            f"truncated replication frame (type {kind}, {len(payload)} bytes)"
+        ) from None
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ClusterError(f"malformed replication frame: {error}") from None
+    raise ClusterError(f"unknown replication frame type {kind}")
+
+
+# -- the publisher -------------------------------------------------------------
+
+
+def _newest_checkpoint(directory: str) -> Tuple[int, Optional[str]]:
+    checkpoints, _ = _journal_scan(directory)
+    if not checkpoints:
+        return 0, None
+    return checkpoints[-1]
+
+
+def _checkpoint_image(directory: str) -> Tuple[int, bytes]:
+    """The newest checkpoint as ``(seqno, rib image bytes)``.
+
+    Re-encoded through :func:`tableio.rib_to_image` so legacy text
+    checkpoints ship in the same binary form as native ones.
+    """
+    seqno, path = _newest_checkpoint(directory)
+    if path is None:
+        raise ClusterError(f"no checkpoint to ship in {directory!r}")
+    rib = tableio.load_table(path)
+    return seqno, tableio.rib_to_image(rib).to_bytes()
+
+
+class ReplicationPublisher:
+    """Stream a journal directory's checkpoint + tail to subscribers.
+
+    Runs next to any journal writer (the primary's server process, or a
+    replica's — replicas publish too, which is what makes promotion a
+    retarget rather than a rebuild).  ``owner`` handles control frames:
+    an object with ``info()``, ``promote(min_seqno)`` and
+    ``retarget(host, port)`` methods, each returning a JSON-ready dict.
+    ``watermark`` reports the writer's applied sequence number for
+    heartbeats (defaults to the shipped position).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        owner=None,
+        watermark: Optional[Callable[[], int]] = None,
+        heartbeat_s: float = 0.2,
+        poll_s: float = 0.02,
+        batch: int = 512,
+    ) -> None:
+        self.directory = directory
+        self.host = host
+        self.port = port
+        self.owner = owner
+        self.watermark = watermark
+        self.heartbeat_s = heartbeat_s
+        self.poll_s = poll_s
+        self.batch = batch
+        self.subscribers = 0
+        self.records_shipped = 0
+        self.checkpoints_shipped = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: set = set()
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("publisher already started")
+        self._server = await asyncio.start_server(
+            self._serve, self.host, self.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.port = port
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        try:
+            payload = await protocol.read_frame(reader, REPL_MAX_FRAME)
+            if payload is None:
+                return
+            kind, operands = decode_frame(payload)
+            if kind == FRAME_HELLO:
+                self.subscribers += 1
+                try:
+                    await self._stream(writer, operands[0])
+                finally:
+                    self.subscribers -= 1
+            else:
+                await self._control(reader, writer, kind, operands)
+        except (ConnectionError, OSError, ClusterError, asyncio.CancelledError):
+            pass
+        finally:
+            self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _control(self, reader, writer, kind, operands) -> None:
+        """Answer QUERY/PROMOTE/RETARGET frames until the client hangs up."""
+        while True:
+            if kind == FRAME_QUERY:
+                info = self.owner.info() if self.owner else self.describe()
+            elif kind == FRAME_PROMOTE:
+                info = (
+                    self.owner.promote(operands[0])
+                    if self.owner
+                    else {"error": "no promotable owner"}
+                )
+            elif kind == FRAME_RETARGET:
+                info = (
+                    self.owner.retarget(*operands)
+                    if self.owner
+                    else {"error": "no retargetable owner"}
+                )
+            else:
+                raise ClusterError(
+                    f"frame type {kind} is not a control request"
+                )
+            writer.write(protocol.frame_bytes(encode_info(info)))
+            await writer.drain()
+            payload = await protocol.read_frame(reader, REPL_MAX_FRAME)
+            if payload is None:
+                return
+            kind, operands = decode_frame(payload)
+
+    async def _send_checkpoint(self, writer) -> Tuple[int, int]:
+        """Ship the newest checkpoint; returns ``(seqno, new chain)``."""
+        seqno, image = await asyncio.to_thread(
+            _checkpoint_image, self.directory
+        )
+        writer.write(protocol.frame_bytes(encode_checkpoint(seqno, image)))
+        await writer.drain()
+        self.checkpoints_shipped += 1
+        return seqno, zlib.crc32(image)
+
+    async def _stream(self, writer, from_seqno: int) -> None:
+        """One subscriber: sync, then follow the journal tail forever."""
+        from repro.robust.journal import encode_update
+
+        chain = 0
+        if from_seqno == SYNC_FROM_SCRATCH:
+            _, checkpoint_path = _newest_checkpoint(self.directory)
+            if checkpoint_path is not None:
+                position, chain = await self._send_checkpoint(writer)
+            else:
+                position = 0  # empty journal: stream from the beginning
+        else:
+            position = from_seqno
+        tailer = JournalTailer(self.directory, after_seqno=position)
+        loop = asyncio.get_running_loop()
+        last_beat = loop.time()
+        while True:
+            try:
+                records = await asyncio.to_thread(tailer.poll, self.batch)
+            except JournalGap:
+                # The tail this subscriber needs was truncated by a
+                # checkpoint: re-sync it from that checkpoint.
+                position, chain = await self._send_checkpoint(writer)
+                tailer = JournalTailer(self.directory, after_seqno=position)
+                continue
+            if records:
+                for seqno, update in records:
+                    payload = encode_update(update)
+                    chain = chain_crc(payload, chain)
+                    writer.write(
+                        protocol.frame_bytes(
+                            encode_record(seqno, chain, payload)
+                        )
+                    )
+                    position = seqno
+                await writer.drain()
+                self.records_shipped += len(records)
+            else:
+                await asyncio.sleep(self.poll_s)
+            now = loop.time()
+            if now - last_beat >= self.heartbeat_s:
+                mark = (
+                    self.watermark() if self.watermark is not None else position
+                )
+                writer.write(protocol.frame_bytes(encode_heartbeat(mark)))
+                await writer.drain()
+                last_beat = now
+
+    def describe(self) -> dict:
+        checkpoint_seqno, _ = _newest_checkpoint(self.directory)
+        return {
+            "role": "publisher",
+            "directory": self.directory,
+            "subscribers": self.subscribers,
+            "records_shipped": self.records_shipped,
+            "checkpoints_shipped": self.checkpoints_shipped,
+            "checkpoint_seqno": checkpoint_seqno,
+        }
+
+
+# -- client helpers ------------------------------------------------------------
+
+
+async def subscribe(
+    host: str, port: int, from_seqno: int
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a subscription; the caller reads frames with
+    :func:`repro.server.protocol.read_frame` (``REPL_MAX_FRAME``)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(protocol.frame_bytes(encode_hello(from_seqno)))
+    await writer.drain()
+    return reader, writer
+
+
+async def _control_request(
+    host: str, port: int, payload: bytes, timeout: float
+) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(protocol.frame_bytes(payload))
+        await writer.drain()
+        frame = await asyncio.wait_for(
+            protocol.read_frame(reader, REPL_MAX_FRAME), timeout
+        )
+        if frame is None:
+            raise ClusterError(f"{host}:{port} closed without answering")
+        kind, operands = decode_frame(frame)
+        if kind != FRAME_INFO:
+            raise ClusterError(f"expected INFO, got frame type {kind}")
+        return operands[0]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def query_info(host: str, port: int, timeout: float = 5.0) -> dict:
+    """One QUERY round-trip: the node's role/seqno/lag description."""
+    return await _control_request(host, port, encode_query(), timeout)
+
+
+async def request_promote(
+    host: str, port: int, min_seqno: int, timeout: float = 30.0
+) -> dict:
+    """Ask a replica to become primary if it has applied ``min_seqno``."""
+    return await _control_request(
+        host, port, encode_promote(min_seqno), timeout
+    )
+
+
+async def request_retarget(
+    host: str, port: int, new_host: str, new_port: int, timeout: float = 30.0
+) -> dict:
+    """Point a replica's follow loop at a different publisher."""
+    return await _control_request(
+        host, port, encode_retarget(new_host, new_port), timeout
+    )
+
+
+__all__ = [
+    "FRAME_CHECKPOINT",
+    "FRAME_HEARTBEAT",
+    "FRAME_HELLO",
+    "FRAME_INFO",
+    "FRAME_PROMOTE",
+    "FRAME_QUERY",
+    "FRAME_RECORD",
+    "FRAME_RETARGET",
+    "REPL_MAX_FRAME",
+    "SYNC_FROM_SCRATCH",
+    "ReplicationPublisher",
+    "chain_crc",
+    "decode_frame",
+    "encode_checkpoint",
+    "encode_heartbeat",
+    "encode_hello",
+    "encode_info",
+    "encode_promote",
+    "encode_query",
+    "encode_record",
+    "encode_retarget",
+    "query_info",
+    "request_promote",
+    "request_retarget",
+    "subscribe",
+]

@@ -1,0 +1,339 @@
+"""The client-side cluster router: shard, fail over, reassemble.
+
+:class:`ClusterRouter` is the piece that makes a shard map usable: it
+splits a batch of lookup keys by shard (:class:`~repro.cluster.shard.
+ShardMap`), sends each sub-batch to that shard's preferred replica over
+a pooled pipelined connection, and reassembles the answers in input
+order.  Failure handling is entirely client-side, mirroring how the
+load generator treats a single server:
+
+- a transport error or a retryable status marks the endpoint *down*
+  (with a revival deadline) and the sub-batch is retried on the next
+  endpoint of the shard's replica set;
+- attempts are bounded by ``attempts_per_shard``; only when every
+  endpoint of a shard is exhausted does the lookup raise
+  :class:`~repro.errors.ClusterError`;
+- downed endpoints revive after ``down_s`` seconds, so a recovered
+  (or newly promoted) replica rejoins rotation without a restart.
+
+The module also carries the failover coordinator used by the CLI and
+the chaos tests: :func:`elect_and_promote` queries every surviving
+replication endpoint for its ``applied_seqno``, promotes the most
+advanced one with ``min_seqno`` set to the *maximum of the others* —
+so a stale replica refuses rather than rolling history back — and
+retargets the rest at the winner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import replication
+from repro.cluster.shard import ShardMap, _parse_endpoint
+from repro.errors import ClusterError
+from repro.server import protocol
+from repro.server.loadgen import _Connection
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of one :class:`ClusterRouter`."""
+
+    #: Total send attempts per shard sub-batch (first try + failovers).
+    attempts_per_shard: int = 3
+    #: Per-attempt response timeout in seconds.
+    request_timeout: float = 5.0
+    #: Seconds a failed endpoint stays out of rotation.
+    down_s: float = 1.0
+    #: Deadline budget stamped on lookup requests (0 = none).
+    deadline_us: int = 0
+    #: Pause between failover attempts, to let a promotion land.
+    retry_pause_s: float = 0.05
+
+
+class ClusterRouter:
+    """Route lookup batches across a sharded replica cluster.
+
+    Used in-process (``await router.lookup_batch(keys)``) and by the
+    load generator's ``router=`` mode.  Connections are opened lazily
+    per endpoint and kept pipelined; the router is safe for concurrent
+    ``lookup_batch`` calls on one event loop.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        for position, shard in enumerate(shard_map.shards):
+            if not shard.endpoints:
+                raise ClusterError(f"shard #{position} has no endpoints")
+        self.shard_map = shard_map
+        self.config = config or RouterConfig()
+        self._connections: Dict[str, _Connection] = {}
+        self._down_until: Dict[str, float] = {}
+        self.failovers = 0
+        self.endpoint_errors = 0
+
+    # -- connection pool ------------------------------------------------------
+
+    async def _connect(self, endpoint: str) -> _Connection:
+        conn = self._connections.get(endpoint)
+        if conn is None:
+            conn = _Connection()
+            conn.host, conn.port = _parse_endpoint(endpoint)
+            self._connections[endpoint] = conn
+        # Always go through ensure_open: concurrent lookups racing to
+        # open the same endpoint must coordinate on its open lock, or
+        # two reader tasks end up draining one stream.
+        await conn.ensure_open()
+        return conn
+
+    def _mark_down(self, endpoint: str) -> None:
+        self.endpoint_errors += 1
+        self._down_until[endpoint] = time.monotonic() + self.config.down_s
+
+    def _is_down(self, endpoint: str) -> bool:
+        deadline = self._down_until.get(endpoint)
+        if deadline is None:
+            return False
+        if time.monotonic() >= deadline:
+            del self._down_until[endpoint]
+            return False
+        return True
+
+    def _candidates(self, endpoints: Sequence[str]) -> List[str]:
+        """Preference order with downed endpoints demoted (not dropped:
+        when everything is down, trying is still better than failing)."""
+        up = [e for e in endpoints if not self._is_down(e)]
+        down = [e for e in endpoints if e not in up]
+        return up + down
+
+    # -- lookups --------------------------------------------------------------
+
+    async def lookup_batch(self, keys: Sequence[int]) -> List[int]:
+        """Resolve ``keys`` across the cluster; results in input order."""
+        if not keys:
+            return []
+        by_shard: Dict[int, List[int]] = {}
+        positions: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            index = self.shard_map.shard_index(int(key))
+            by_shard.setdefault(index, []).append(int(key))
+            positions.setdefault(index, []).append(position)
+        results: List[Optional[int]] = [None] * len(keys)
+        shard_jobs = [
+            self._lookup_shard(index, shard_keys)
+            for index, shard_keys in by_shard.items()
+        ]
+        answers = await asyncio.gather(*shard_jobs)
+        for (index, _), answer in zip(by_shard.items(), answers):
+            for position, value in zip(positions[index], answer):
+                results[position] = value
+        return results  # type: ignore[return-value]
+
+    async def _lookup_shard(
+        self, index: int, keys: List[int]
+    ) -> List[int]:
+        shard = self.shard_map.shards[index]
+        opcode = protocol.family_opcode(self.shard_map.width)
+        config = self.config
+        failures: List[str] = []
+        attempt = 0
+        while attempt < config.attempts_per_shard:
+            for endpoint in self._candidates(shard.endpoints):
+                if attempt >= config.attempts_per_shard:
+                    break
+                attempt += 1
+                try:
+                    conn = await self._connect(endpoint)
+                    response = await conn.request(
+                        opcode,
+                        keys,
+                        deadline_us=config.deadline_us,
+                        timeout=config.request_timeout or None,
+                    )
+                except (asyncio.TimeoutError, ConnectionError, OSError) as err:
+                    self._mark_down(endpoint)
+                    failures.append(f"{endpoint}: {type(err).__name__}")
+                    continue
+                if response.ok and len(response.results) == len(keys):
+                    return [int(value) for value in response.results]
+                if response.status in protocol.RETRYABLE_STATUSES:
+                    failures.append(f"{endpoint}: status {response.status}")
+                    if response.status == protocol.STATUS_SHUTTING_DOWN:
+                        self._mark_down(endpoint)
+                    continue
+                failures.append(f"{endpoint}: status {response.status}")
+                self._mark_down(endpoint)
+            if attempt < config.attempts_per_shard:
+                self.failovers += 1
+                await asyncio.sleep(config.retry_pause_s)
+        raise ClusterError(
+            f"shard #{index} unreachable after {attempt} attempts "
+            f"({'; '.join(failures[-4:])})"
+        )
+
+    # -- health ---------------------------------------------------------------
+
+    async def probe(self) -> Dict[str, Optional[int]]:
+        """PING every distinct endpooint; table generation or ``None``."""
+        endpoints = sorted(
+            {e for shard in self.shard_map.shards for e in shard.endpoints}
+        )
+        out: Dict[str, Optional[int]] = {}
+        for endpoint in endpoints:
+            try:
+                conn = await self._connect(endpoint)
+                response = await conn.request(
+                    protocol.OP_PING,
+                    timeout=self.config.request_timeout or None,
+                )
+                out[endpoint] = (
+                    response.generation if response.ok else None
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                out[endpoint] = None
+                self._mark_down(endpoint)
+        return out
+
+    async def close(self) -> None:
+        await asyncio.gather(
+            *(conn.close() for conn in self._connections.values()),
+            return_exceptions=True,
+        )
+        self._connections.clear()
+
+    def describe(self) -> dict:
+        return {
+            "shards": len(self.shard_map),
+            "width": self.shard_map.width,
+            "failovers": self.failovers,
+            "endpoint_errors": self.endpoint_errors,
+            "down": sorted(
+                e for e in self._down_until if self._is_down(e)
+            ),
+        }
+
+
+# -- failover coordination -----------------------------------------------------
+
+
+async def elect_and_promote(
+    repl_endpoints: Sequence[str],
+    timeout: float = 5.0,
+) -> dict:
+    """Health-checked failover: elect and promote the best survivor.
+
+    ``repl_endpoints`` are the *replication* channel endpoints of the
+    candidate replicas (not their lookup ports).  Queries each for its
+    ``applied_seqno``; unreachable nodes simply drop out.  The most
+    advanced survivor is promoted with ``min_seqno`` equal to the
+    highest watermark seen on the *other* survivors, so a replica that
+    somehow lost records refuses promotion instead of rolling the
+    cluster's history back.  The remaining survivors are retargeted at
+    the winner.  Returns a JSON-ready summary.
+    """
+    surveys: List[Tuple[str, dict]] = []
+    for endpoint in repl_endpoints:
+        host, port = _parse_endpoint(endpoint)
+        try:
+            info = await replication.query_info(host, port, timeout=timeout)
+        except (ClusterError, ConnectionError, OSError, asyncio.TimeoutError):
+            continue
+        surveys.append((endpoint, info))
+    if not surveys:
+        raise ClusterError(
+            f"no replica answered out of {len(list(repl_endpoints))}"
+        )
+    surveys.sort(key=lambda item: item[1].get("applied_seqno", 0))
+    winner_endpoint, winner_info = surveys[-1]
+    others = surveys[:-1]
+    min_seqno = max(
+        (info.get("applied_seqno", 0) for _, info in others), default=0
+    )
+    host, port = _parse_endpoint(winner_endpoint)
+    promotion = await replication.request_promote(
+        host, port, min_seqno, timeout=timeout
+    )
+    if not promotion.get("promoted"):
+        raise ClusterError(
+            f"{winner_endpoint} refused promotion: "
+            f"{promotion.get('reason', 'unknown')}"
+        )
+    retargets = {}
+    for endpoint, _ in others:
+        other_host, other_port = _parse_endpoint(endpoint)
+        try:
+            retargets[endpoint] = await replication.request_retarget(
+                other_host, other_port, host, port, timeout=timeout
+            )
+        except (ClusterError, ConnectionError, OSError, asyncio.TimeoutError):
+            retargets[endpoint] = {"retargeted": False, "reason": "unreachable"}
+    return {
+        "promoted": winner_endpoint,
+        "promoted_seqno": winner_info.get("applied_seqno", 0),
+        "min_seqno": min_seqno,
+        "surveyed": len(surveys),
+        "retargets": retargets,
+    }
+
+
+class FailoverMonitor:
+    """Poll the primary's replication channel; promote on sustained loss.
+
+    The monitor embodies the cluster's failover state machine
+    (docs/CLUSTER.md): HEALTHY while the primary answers QUERY probes,
+    SUSPECT after a miss, and after ``misses_to_fail`` consecutive
+    misses it runs :func:`elect_and_promote` over the replicas.
+    """
+
+    def __init__(
+        self,
+        primary: str,
+        replicas: Sequence[str],
+        *,
+        probe_timeout: float = 1.0,
+        misses_to_fail: int = 3,
+    ) -> None:
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.probe_timeout = probe_timeout
+        self.misses_to_fail = misses_to_fail
+        self.misses = 0
+        self.state = "healthy"
+        self.promotion: Optional[dict] = None
+
+    async def check_once(self) -> str:
+        """One probe tick; returns the state after it."""
+        if self.state == "failed_over":
+            return self.state
+        host, port = _parse_endpoint(self.primary)
+        try:
+            await replication.query_info(
+                host, port, timeout=self.probe_timeout
+            )
+        except (ClusterError, ConnectionError, OSError, asyncio.TimeoutError):
+            self.misses += 1
+            self.state = (
+                "suspect" if self.misses < self.misses_to_fail else "down"
+            )
+        else:
+            self.misses = 0
+            self.state = "healthy"
+            return self.state
+        if self.state == "down":
+            self.promotion = await elect_and_promote(self.replicas)
+            self.state = "failed_over"
+        return self.state
+
+
+__all__ = [
+    "ClusterRouter",
+    "FailoverMonitor",
+    "RouterConfig",
+    "elect_and_promote",
+]

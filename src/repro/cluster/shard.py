@@ -1,0 +1,317 @@
+"""Prefix-space shard maps: who answers which addresses.
+
+A cluster splits the lookup key space into **contiguous address ranges**
+(shards), each served by an ordered set of replica endpoints.  Contiguity
+is what makes client-side routing trivial — one binary search over the
+range bounds — and what the CRAM lens line of work ("Scaling IP Lookup to
+Large Databases using the CRAM Lens", see PAPERS.md) showed is compatible
+with good balance *if* the cut points respect the skew of real tables:
+routing tables concentrate wildly in small slices of the address space,
+so equal-width cuts (``naive_shard_map``) leave some shards nearly empty
+while one holds most of the table.
+
+:func:`build_shard_map` therefore cuts at route-count quantiles: routes
+are walked in address order and boundaries are placed so each shard holds
+roughly the same number of routes.
+
+Correctness under partitioning — the covering-route rule
+--------------------------------------------------------
+A shard must answer longest-prefix-match queries for its range *exactly*
+as the global table would.  A short prefix (say ``0.0.0.0/0``) covers
+addresses in many shards, so :func:`shard_rib` includes every route whose
+address span **intersects** the shard's range, not only routes whose
+network address falls inside it.  Duplicating covering routes this way
+guarantees per-shard LPM equals global LPM for every key in the shard.
+
+The on-disk format (``repro-shardmap-v1``) is JSON with integer bounds,
+so IPv6's 128-bit values survive round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+
+FORMAT = "repro-shardmap-v1"
+
+
+def _parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; IPv6 hosts use ``[::1]:port``."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ClusterError(f"bad endpoint {text!r}: expected host:port")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    if not host:
+        raise ClusterError(f"bad endpoint {text!r}: empty host")
+    return host, int(port)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous key range and the replicas that serve it.
+
+    ``endpoints`` is ordered by preference: the router tries them in
+    order, failing over down the list.
+    """
+
+    low: int
+    high: int
+    endpoints: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ClusterError(f"bad shard range [{self.low}, {self.high}]")
+        for endpoint in self.endpoints:
+            _parse_endpoint(endpoint)  # validate eagerly
+
+    def contains(self, key: int) -> bool:
+        return self.low <= key <= self.high
+
+    def addresses(self) -> Iterable[Tuple[str, int]]:
+        return [_parse_endpoint(endpoint) for endpoint in self.endpoints]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """An ordered, gapless partition of the ``width``-bit key space.
+
+    >>> shard_map = ShardMap(32, (
+    ...     Shard(0, (1 << 31) - 1, ("127.0.0.1:4000",)),
+    ...     Shard(1 << 31, (1 << 32) - 1, ("127.0.0.1:4001",)),
+    ... ))
+    >>> shard_map.shard_index(0x0A000001)
+    0
+    >>> shard_map.shard_for(0xC0000001).endpoints
+    ('127.0.0.1:4001',)
+    """
+
+    width: int
+    shards: Tuple[Shard, ...]
+    _lows: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.width not in (32, 128):
+            raise ClusterError(f"bad shard map width {self.width}")
+        if not self.shards:
+            raise ClusterError("shard map has no shards")
+        top = (1 << self.width) - 1
+        expected = 0
+        for position, shard in enumerate(self.shards):
+            if shard.low != expected:
+                raise ClusterError(
+                    f"shard #{position} starts at {shard.low}, expected "
+                    f"{expected}: shards must tile the key space gaplessly"
+                )
+            expected = shard.high + 1
+        if expected != top + 1:
+            raise ClusterError(
+                f"shards cover only up to {expected - 1}, not {top}"
+            )
+        object.__setattr__(
+            self, "_lows", tuple(shard.low for shard in self.shards)
+        )
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, key: int) -> int:
+        if not 0 <= key < (1 << self.width):
+            raise ClusterError(f"key {key} outside the {self.width}-bit space")
+        return bisect.bisect_right(self._lows, key) - 1
+
+    def shard_for(self, key: int) -> Shard:
+        return self.shards[self.shard_index(key)]
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "format": FORMAT,
+            "width": self.width,
+            "shards": [
+                {
+                    "low": shard.low,
+                    "high": shard.high,
+                    "endpoints": list(shard.endpoints),
+                }
+                for shard in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "ShardMap":
+        if not isinstance(blob, dict) or blob.get("format") != FORMAT:
+            raise ClusterError(
+                f"not a {FORMAT} document (format={blob.get('format')!r})"
+                if isinstance(blob, dict)
+                else "shard map document is not a JSON object"
+            )
+        try:
+            shards = tuple(
+                Shard(
+                    int(entry["low"]),
+                    int(entry["high"]),
+                    tuple(entry.get("endpoints", ())),
+                )
+                for entry in blob["shards"]
+            )
+            return cls(int(blob["width"]), shards)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ClusterError(f"malformed shard map: {error}") from None
+
+    def save(self, path: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as stream:
+            json.dump(self.to_json(), stream, indent=2)
+            stream.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ShardMap":
+        with open(path) as stream:
+            try:
+                blob = json.load(stream)
+            except json.JSONDecodeError as error:
+                raise ClusterError(f"{path}: not JSON: {error}") from None
+        return cls.from_json(blob)
+
+    def with_endpoints(
+        self, endpoint_sets: Sequence[Sequence[str]]
+    ) -> "ShardMap":
+        """The same ranges with each shard's replica set replaced."""
+        if len(endpoint_sets) != len(self.shards):
+            raise ClusterError(
+                f"{len(endpoint_sets)} endpoint sets for "
+                f"{len(self.shards)} shards"
+            )
+        return ShardMap(
+            self.width,
+            tuple(
+                Shard(shard.low, shard.high, tuple(endpoints))
+                for shard, endpoints in zip(self.shards, endpoint_sets)
+            ),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "width": self.width,
+            "shards": len(self.shards),
+            "endpoints": sorted(
+                {e for shard in self.shards for e in shard.endpoints}
+            ),
+        }
+
+
+# -- building shard maps -------------------------------------------------------
+
+
+def naive_shard_map(width: int, shards: int) -> ShardMap:
+    """Equal-width cuts — the strawman the skew-aware splitter beats."""
+    if shards < 1:
+        raise ClusterError("need at least one shard")
+    top = 1 << width
+    if shards > top:
+        raise ClusterError(f"{shards} shards exceed the {width}-bit space")
+    step, remainder = divmod(top, shards)
+    cuts = []
+    low = 0
+    for index in range(shards):
+        high = low + step - 1 + (1 if index < remainder else 0)
+        cuts.append(Shard(low, high))
+        low = high + 1
+    return ShardMap(width, tuple(cuts))
+
+
+def build_shard_map(
+    rib: Rib,
+    shards: int,
+    endpoint_sets: Optional[Sequence[Sequence[str]]] = None,
+) -> ShardMap:
+    """Cut the key space at route-count quantiles of ``rib``.
+
+    Walks the routes in address order and places each boundary at the
+    network address of the route closest to the next count quantile, so
+    every shard holds roughly ``len(rib) / shards`` routes.  Degenerate
+    tables (fewer distinct network addresses than shards) fall back to
+    fewer, still-balanced cuts; an empty table degrades to the naive
+    equal-width map.
+    """
+    if shards < 1:
+        raise ClusterError("need at least one shard")
+    # rib.routes() yields lexicographic bit order, so network addresses
+    # arrive nondecreasing — a single pass computes count quantiles.
+    values = [prefix.value for prefix, _ in rib.routes()]
+    if shards == 1 or not values:
+        shard_map = naive_shard_map(rib.width, shards)
+    else:
+        per_shard = len(values) / shards
+        cuts: List[int] = []
+        threshold = per_shard
+        for seen, value in enumerate(values, start=1):
+            if len(cuts) >= shards - 1:
+                break
+            if seen >= threshold and value != 0 and (
+                not cuts or value > cuts[-1]
+            ):
+                # This route's network address starts the next shard.
+                cuts.append(value)
+                threshold = (len(cuts) + 1) * per_shard
+        if not cuts:
+            shard_map = naive_shard_map(rib.width, shards)
+            if endpoint_sets is not None:
+                shard_map = shard_map.with_endpoints(endpoint_sets)
+            return shard_map
+        bounds = [0] + cuts + [1 << rib.width]
+        shard_map = ShardMap(
+            rib.width,
+            tuple(
+                Shard(bounds[i], bounds[i + 1] - 1)
+                for i in range(len(bounds) - 1)
+            ),
+        )
+    if endpoint_sets is not None:
+        shard_map = shard_map.with_endpoints(endpoint_sets)
+    return shard_map
+
+
+def shard_rib(rib: Rib, shard: Shard) -> Rib:
+    """The sub-table a shard's replicas serve: every route whose address
+    span intersects the shard's range (covering routes included), so
+    per-shard LPM answers equal the global table's for all keys in range.
+    """
+    out = Rib(width=rib.width)
+    for prefix, fib_index in rib.routes():
+        span = 1 << (rib.width - prefix.length)
+        first = prefix.value
+        last = first + span - 1
+        if first <= shard.high and last >= shard.low:
+            out.insert(prefix, fib_index)
+    return out
+
+
+def shard_balance(rib: Rib, shard_map: ShardMap) -> List[int]:
+    """Routes whose network address lands in each shard (balance metric;
+    covering-route duplicates are deliberately not counted)."""
+    counts = [0] * len(shard_map)
+    for prefix, _ in rib.routes():
+        counts[shard_map.shard_index(prefix.value)] += 1
+    return counts
+
+
+__all__ = [
+    "FORMAT",
+    "Shard",
+    "ShardMap",
+    "build_shard_map",
+    "naive_shard_map",
+    "shard_balance",
+    "shard_rib",
+]

@@ -207,6 +207,38 @@ class JournalCorrupt(ReproError, ValueError):
     """
 
 
+class JournalGap(ReproError):
+    """A journal tail reader fell behind the checkpoint truncation horizon.
+
+    Raised by :class:`repro.robust.journal.JournalTailer` when the records
+    after its watermark are no longer on disk — the writer checkpointed and
+    truncated the segments the reader had not consumed yet.  This is *not*
+    corruption: the journal is healthy, the reader is just too far behind
+    to be served incrementally and must re-synchronise from the checkpoint
+    (``resync_seqno`` names the checkpoint sequence number to restart
+    from).  The replication publisher answers it by shipping a fresh
+    checkpoint frame instead of a record stream.
+    """
+
+    def __init__(self, message: str, resync_seqno: int = 0) -> None:
+        super().__init__(message)
+        #: Sequence number of the checkpoint to re-synchronise from.
+        self.resync_seqno = resync_seqno
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A cluster operation could not be completed.
+
+    Raised by the replication/failover plane (:mod:`repro.cluster`) for
+    conditions the retry machinery cannot paper over: every endpoint of a
+    shard is unreachable after the retry budget, a promotion was refused
+    because the replica's applied sequence number is stale, a replication
+    frame stream is malformed, or a shard map does not cover the address
+    space.  Deriving from ``RuntimeError`` keeps it catchable by generic
+    service wrappers, like :class:`PoolError`.
+    """
+
+
 class PoolError(ReproError, RuntimeError):
     """The shared-memory worker pool can no longer answer lookups.
 

@@ -69,7 +69,7 @@ from typing import List, Optional, Tuple
 
 from repro.data import tableio
 from repro.data.updates import Update
-from repro.errors import JournalCorrupt
+from repro.errors import JournalCorrupt, JournalGap
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 from repro.robust import faults
@@ -456,13 +456,61 @@ class Journal:
         finally:
             os.close(fd)
 
+    def install_checkpoint(self, rib: Rib, seqno: int) -> str:
+        """Adopt an externally supplied snapshot as the journal's new base.
+
+        Unlike :meth:`checkpoint` — which freezes *this* journal's state
+        at its own :attr:`last_seqno` — this installs a snapshot produced
+        elsewhere (a replication primary) together with the sequence
+        number it covers, discarding every local segment and older
+        checkpoint.  The journal's sequence resumes at ``seqno``; a
+        replica that re-synchronises this way can itself be promoted and
+        keep appending with globally consistent sequence numbers.
+        """
+        if seqno < 0:
+            raise ValueError("checkpoint seqno must be >= 0")
+        self.close()
+        final = os.path.join(self.directory, _checkpoint_name(seqno))
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as stream:
+            tableio.save_table_image(rib, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, final)
+        self._fsync_directory()
+        checkpoints, segments = _scan(self.directory)
+        for _, path in segments:
+            os.unlink(path)
+        for number, path in checkpoints:
+            if number != seqno:
+                os.unlink(path)
+        self._segment_path = None
+        self.checkpoint_seqno = seqno
+        self.last_seqno = seqno
+        self.stats.checkpoints += 1
+        self._count("repro_journal_checkpoints_total")
+        return final
+
     # -- lifecycle / introspection ------------------------------------------
 
+    @property
+    def applied_seqno(self) -> int:
+        """The durable tail position: highest sequence number on disk.
+
+        Stable watermark for replication and tests — replicas compare
+        theirs against the primary's to measure lag, and promotion elects
+        the highest.  Identical to :attr:`last_seqno` today; exposed under
+        the watermark name so callers don't depend on the write-side
+        attribute staying the tail position forever.
+        """
+        return self.last_seqno
+
     def close(self) -> None:
-        if self._stream is not None:
+        stream = self._stream
+        if stream is not None:
             self.flush()
-            self._stream.close()
             self._stream = None
+            stream.close()
 
     def __enter__(self) -> "Journal":
         return self
@@ -475,6 +523,7 @@ class Journal:
         return {
             "directory": self.directory,
             "last_seqno": self.last_seqno,
+            "applied_seqno": self.applied_seqno,
             "checkpoint_seqno": self.checkpoint_seqno,
             "tail_records": self.last_seqno - self.checkpoint_seqno,
             "fsync_every": self.fsync_every,
@@ -528,12 +577,19 @@ class RecoveryResult:
     def rib(self) -> Rib:
         return self.trie.rib
 
+    @property
+    def applied_seqno(self) -> int:
+        """Watermark of the recovered state: every update with sequence
+        number ``<= applied_seqno`` is folded into :attr:`rib`."""
+        return self.last_seqno
+
     def describe(self) -> dict:
         return {
             "checkpoint_seqno": self.checkpoint_seqno,
             "checkpoint": self.checkpoint_path,
             "checkpoints_skipped": self.checkpoints_skipped,
             "last_seqno": self.last_seqno,
+            "applied_seqno": self.applied_seqno,
             "replayed": self.replayed,
             "skipped": self.skipped,
             "torn_bytes": self.torn_bytes,
@@ -640,6 +696,162 @@ def recover(
     result.duration_s = time.perf_counter() - started
     _gauge_recovery(directory, result.duration_s)
     return result
+
+
+# -- tail shipping -------------------------------------------------------------
+
+
+class JournalTailer:
+    """Incremental reader of a *live* journal directory: the shipping side
+    of WAL replication.
+
+    A tailer remembers the highest sequence number it has delivered
+    (:attr:`position`) and, on every :meth:`poll`, parses only the bytes
+    appended since its last visit — following segment rotation, tolerating
+    a partially written final record (delivered once complete), and
+    skipping nothing:
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> journal = Journal(d, segment_bytes=64)     # rotate every ~2 records
+    >>> tailer = JournalTailer(d)
+    >>> for i in range(5):
+    ...     _ = journal.append(Update("A", Prefix(i << 24, 8), i + 1))
+    >>> journal.flush()
+    >>> [seqno for seqno, _ in tailer.poll()]
+    [1, 2, 3, 4, 5]
+    >>> tailer.poll()                              # nothing new
+    []
+
+    When the writer checkpoints, it deletes every segment — a tailer that
+    had not finished them can no longer be served incrementally and
+    :meth:`poll` raises :class:`~repro.errors.JournalGap` carrying the
+    checkpoint sequence number to re-synchronise from.  Real damage (CRC
+    mismatch on a complete record, bad headers) still raises
+    :class:`~repro.errors.JournalCorrupt`.
+    """
+
+    def __init__(self, directory: str, after_seqno: int = 0) -> None:
+        if after_seqno < 0:
+            raise ValueError("after_seqno must be >= 0")
+        self.directory = directory
+        #: Highest sequence number already delivered; poll() continues
+        #: strictly after it.
+        self.position = after_seqno
+        self._path: Optional[str] = None
+        self._offset = 0          # byte offset of the next unparsed record
+        self._next = 0            # seqno of the record expected at _offset
+
+    # -- attaching to the right segment -------------------------------------
+
+    def _attach(self) -> bool:
+        """Point at the segment holding ``position + 1``.
+
+        Returns ``False`` when that record simply does not exist yet;
+        raises :class:`JournalGap` when it can never appear (checkpoint
+        truncation already folded it away).
+        """
+        need = self.position + 1
+        checkpoints, segments = _scan(self.directory)
+        checkpoint_seqno = checkpoints[-1][0] if checkpoints else 0
+        if need <= checkpoint_seqno:
+            raise JournalGap(
+                f"records after seqno {self.position} were truncated by "
+                f"checkpoint {checkpoint_seqno}; re-sync from the checkpoint",
+                resync_seqno=checkpoint_seqno,
+            )
+        candidate: Optional[Tuple[int, str]] = None
+        for base, path in segments:
+            if base <= need:
+                candidate = (base, path)
+            elif candidate is None:
+                raise JournalGap(
+                    f"oldest segment starts at seqno {base} but the tail "
+                    f"position is {self.position}; re-sync from the "
+                    f"checkpoint",
+                    resync_seqno=checkpoint_seqno,
+                )
+        if candidate is None:
+            return False
+        base, path = candidate
+        self._path = path
+        self._offset = _HEADER_BYTES
+        self._next = base
+        return True
+
+    def _drain(self, out: List[Tuple[int, Update]],
+               limit: Optional[int]) -> int:
+        """Parse complete records appended to the current segment."""
+        try:
+            with open(self._path, "rb") as stream:
+                stream.seek(self._offset)
+                blob = stream.read()
+        except FileNotFoundError:
+            # Checkpoint truncation raced us; re-attach decides whether
+            # the remaining records are gone (JournalGap) or elsewhere.
+            self._path = None
+            return 0
+        emitted = 0
+        offset = 0
+        total = len(blob)
+        name = os.path.basename(self._path)
+        while total - offset >= _RECORD.size:
+            if limit is not None and len(out) >= limit:
+                break
+            length, crc = _RECORD.unpack_from(blob, offset)
+            if not 1 <= length <= MAX_PAYLOAD_BYTES:
+                raise JournalCorrupt(
+                    f"{name}: impossible record length {length} at byte "
+                    f"{self._offset + offset}"
+                )
+            if total - offset - _RECORD.size < length:
+                break  # incomplete tail: the writer is mid-append
+            payload = blob[offset + _RECORD.size:offset + _RECORD.size + length]
+            if zlib.crc32(payload) != crc:
+                raise JournalCorrupt(
+                    f"{name}: CRC mismatch at seqno {self._next}"
+                )
+            update = decode_update(payload)
+            if self._next > self.position:
+                out.append((self._next, update))
+                self.position = self._next
+                emitted += 1
+            self._next += 1
+            offset += _RECORD.size + length
+        self._offset += offset
+        return emitted
+
+    def _rotate(self) -> bool:
+        """Switch to the successor segment, if the writer opened one."""
+        _, segments = _scan(self.directory)
+        for base, path in segments:
+            if base == self.position + 1 and path != self._path:
+                self._path = path
+                self._offset = _HEADER_BYTES
+                self._next = base
+                return True
+        if self._path is None or not os.path.exists(self._path):
+            # The segment vanished (checkpoint truncation): re-attach,
+            # which either finds the data's new home or raises JournalGap.
+            self._path = None
+            return True
+        return False
+
+    # -- the read path -------------------------------------------------------
+
+    def poll(self, limit: Optional[int] = None) -> List[Tuple[int, Update]]:
+        """All complete ``(seqno, update)`` records appended since the
+        last poll, oldest first (at most ``limit`` of them)."""
+        out: List[Tuple[int, Update]] = []
+        while limit is None or len(out) < limit:
+            if self._path is None and not self._attach():
+                break
+            self._drain(out, limit)
+            if limit is not None and len(out) >= limit:
+                break
+            if not self._rotate():
+                break
+        return out
 
 
 def _gauge_recovery(directory: str, duration_s: float) -> None:

@@ -81,6 +81,7 @@ class TableHandle:
         self._current = TableVersion(structure, generation)
         self.name = name or getattr(structure, "name", "table")
         self.swaps = 0
+        self._seqno: Optional[int] = None
 
     # -- reader side --------------------------------------------------------
 
@@ -169,6 +170,22 @@ class TableHandle:
 
     # -- introspection ------------------------------------------------------
 
+    def set_seqno(self, seqno: int) -> None:
+        """Record the journal watermark the served table reflects.
+
+        Purely informational: the replication plane stamps the applied
+        sequence number here after each apply/swap so ``stats()`` (and
+        the OP_STATS wire body built from it) reports how far the served
+        table has caught up.  Handles outside a cluster never set it and
+        never report it.
+        """
+        self._seqno = seqno
+
+    @property
+    def seqno(self) -> Optional[int]:
+        """The stamped journal watermark, or ``None`` (never stamped)."""
+        return self._seqno
+
     def readers(self) -> int:
         """Readers currently pinning the current version."""
         with self._lock:
@@ -177,12 +194,15 @@ class TableHandle:
     def stats(self) -> dict:
         """A snapshot of the handle's state (generation, swaps, readers)."""
         with self._lock:
-            return {
+            out = {
                 "table": self.name,
                 "generation": self._current.generation,
                 "swaps": self.swaps,
                 "readers": self._current.readers,
             }
+            if self._seqno is not None:
+                out["applied_seqno"] = self._seqno
+            return out
 
     def _publish_obs(self) -> None:
         """Mirror a completed swap into the metrics registry (no-op when

@@ -255,13 +255,14 @@ class _Connection:
         *,
         deadline_us: int = 0,
         timeout: Optional[float] = None,
+        updates: Sequence = (),
     ) -> protocol.Response:
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF
         request_id = self._next_id
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         payload = protocol.encode_request(
-            opcode, request_id, keys, deadline_us=deadline_us
+            opcode, request_id, keys, deadline_us=deadline_us, updates=updates
         )
         async with self._write_lock:
             protocol.write_frame(self.writer, payload)
@@ -300,19 +301,31 @@ class LoadGenerator:
     lookup opcode (32 or 128).  ``oracle``, when given, is a callable
     mapping a key to its expected FIB index — every response is
     cross-checked and disagreements counted in ``LoadReport.mismatched``.
+
+    ``router`` switches the generator from a single server to a
+    cluster: each scheduled request goes through
+    :meth:`repro.cluster.router.ClusterRouter.lookup_batch`, which
+    shards the batch and fails over inside each shard's replica set.
+    Per-request retries then belong to the router (its attempt budget),
+    not to the generator's retry bucket; a batch the router cannot
+    place anywhere counts as one ``status_error``.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str],
+        port: Optional[int],
         config: Optional[LoadGenConfig] = None,
         keys=None,
         width: int = 32,
         oracle=None,
+        router=None,
     ) -> None:
+        if router is None and (host is None or port is None):
+            raise ValueError("either host/port or router is required")
         self.host = host
         self.port = port
+        self.router = router
         self.config = config or LoadGenConfig()
         if keys is None:
             from repro.data.traffic import random_addresses
@@ -352,10 +365,14 @@ class LoadGenerator:
         config = self.config
         opcode = protocol.family_opcode(self.width)
         report = LoadReport(target_rate=config.rate)
-        connections = [_Connection() for _ in range(config.connections)]
-        await asyncio.gather(
-            *(conn.open(self.host, self.port) for conn in connections)
-        )
+        connections: List[_Connection] = []
+        if self.router is None:
+            connections = [_Connection() for _ in range(config.connections)]
+            await asyncio.gather(
+                *(conn.open(self.host, self.port) for conn in connections)
+            )
+        elif reload_at is not None:
+            raise ValueError("reload_at is not supported in router mode")
         loop = asyncio.get_running_loop()
         tasks: List[asyncio.Task] = []
         pool, pool_size = self.keys, len(self.keys)
@@ -378,14 +395,21 @@ class LoadGenerator:
                     pool[(cursor + i) % pool_size] for i in range(config.batch)
                 ]
                 cursor = (cursor + config.batch) % pool_size
-                conn = connections[turn % len(connections)]
-                turn += 1
                 report.sent += 1
-                tasks.append(
-                    asyncio.create_task(
-                        self._one_request(conn, opcode, keys, report)
+                if self.router is not None:
+                    tasks.append(
+                        asyncio.create_task(
+                            self._one_routed_request(keys, report)
+                        )
                     )
-                )
+                else:
+                    conn = connections[turn % len(connections)]
+                    turn += 1
+                    tasks.append(
+                        asyncio.create_task(
+                            self._one_request(conn, opcode, keys, report)
+                        )
+                    )
                 t += next(gaps)
             if tasks:
                 done, pending = await asyncio.wait(
@@ -480,6 +504,35 @@ class LoadGenerator:
             else:
                 report.status_errors += 1
             return
+
+    async def _one_routed_request(self, keys, report: LoadReport) -> None:
+        """One logical request in router mode.
+
+        Failover/retry live inside the router; here a batch either comes
+        back complete (in input order) or fails once.  The router's
+        failover counter is folded into ``report.retries`` by the caller
+        that owns the router, not per request.
+        """
+        start = time.perf_counter()
+        try:
+            results = await self.router.lookup_batch(keys)
+        except asyncio.TimeoutError:
+            report.timeouts += 1
+            report.transport_errors += 1
+            return
+        except ConnectionError:
+            report.transport_errors += 1
+            return
+        except Exception:
+            # ClusterError: every endpoint of some shard was exhausted.
+            report.status_errors += 1
+            return
+        report.completed += 1
+        report.latencies_us.append((time.perf_counter() - start) * 1e6)
+        if self.oracle is not None:
+            for key, result in zip(keys, results):
+                if self.oracle(key) != int(result):
+                    report.mismatched += 1
 
     def _backoff_delay(self, attempt: int) -> float:
         delay = min(

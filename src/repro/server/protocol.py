@@ -16,6 +16,9 @@ Request payload layout (big-endian throughout)::
     u32 deadline_us  (version >= 2 only; 0 = no deadline)
     keys:  OP_LOOKUP4 -> count * u32 addresses
            OP_LOOKUP6 -> count * (u64 hi, u64 lo) address halves
+           OP_UPDATE  -> count * 24-byte route-update payloads (the
+                         journal record payload format of
+                         :func:`repro.robust.journal.encode_update`)
 
 Response payload layout (identical in versions 1 and 2)::
 
@@ -77,9 +80,10 @@ OP_LOOKUP6 = 2   #: batch of IPv6 keys -> batch of FIB indices
 OP_PING = 3      #: liveness probe; echoes the current table generation
 OP_STATS = 4     #: server stats snapshot as a JSON text body
 OP_RELOAD = 5    #: recompile from the server's RIB and hot-swap it in
+OP_UPDATE = 6    #: batch of route updates -> journal, apply, hot-swap
 
 OPCODES = frozenset(
-    {OP_LOOKUP4, OP_LOOKUP6, OP_PING, OP_STATS, OP_RELOAD}
+    {OP_LOOKUP4, OP_LOOKUP6, OP_PING, OP_STATS, OP_RELOAD, OP_UPDATE}
 )
 
 STATUS_OK = 0
@@ -120,6 +124,8 @@ class Request:
     deadline_us: int = 0
     #: The protocol version the client spoke; responses echo it.
     version: int = PROTOCOL_VERSION
+    #: Decoded route updates (OP_UPDATE only; empty otherwise).
+    updates: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -144,12 +150,15 @@ def encode_request(
     *,
     deadline_us: int = 0,
     version: int = PROTOCOL_VERSION,
+    updates: Sequence = (),
 ) -> bytes:
     """Encode one request payload (without the length prefix).
 
     ``version=1`` emits the legacy header without the deadline field (and
     therefore rejects a nonzero ``deadline_us``) — used by the
     backward-compatibility tests to impersonate an old client.
+    ``updates`` (``OP_UPDATE`` only) is a sequence of
+    :class:`repro.data.updates.Update`.
     """
     if opcode not in OPCODES:
         raise ProtocolError(f"unknown opcode {opcode}")
@@ -159,7 +168,9 @@ def encode_request(
         raise ProtocolError(f"deadline {deadline_us}us outside the u32 field")
     if version < 2 and deadline_us:
         raise ProtocolError("version-1 requests cannot carry a deadline")
-    count = len(keys)
+    if updates and opcode != OP_UPDATE:
+        raise ProtocolError(f"opcode {opcode} takes no updates")
+    count = len(updates) if opcode == OP_UPDATE else len(keys)
     if count > 0xFFFF:
         raise ProtocolError(f"{count} keys exceed the u16 count field")
     header = _REQ_HEADER.pack(version, opcode, count, request_id & 0xFFFFFFFF)
@@ -172,6 +183,15 @@ def encode_request(
             _V6_KEY.pack((int(k) >> 64) & _U64_MASK, int(k) & _U64_MASK)
             for k in keys
         )
+    elif opcode == OP_UPDATE:
+        from repro.robust.journal import encode_update
+
+        if len(keys):
+            raise ProtocolError("OP_UPDATE takes updates, not keys")
+        try:
+            body = b"".join(encode_update(update) for update in updates)
+        except (AttributeError, ValueError) as error:
+            raise ProtocolError(f"unencodable update: {error}") from None
     else:
         if count:
             raise ProtocolError(f"opcode {opcode} takes no keys")
@@ -213,6 +233,30 @@ def decode_request(payload: bytes) -> Request:
         for i in range(count):
             hi, lo = _V6_KEY.unpack_from(body, 16 * i)
             keys[i] = (hi << 64) | lo
+    elif opcode == OP_UPDATE:
+        from repro.errors import JournalCorrupt
+        from repro.robust.journal import decode_update
+
+        size = 24  # fixed payload size of the journal record format
+        expected = size * count
+        if len(body) != expected:
+            raise ProtocolError(
+                f"update block is {len(body)} bytes, expected {expected}"
+            )
+        try:
+            updates = tuple(
+                decode_update(body[offset:offset + size])
+                for offset in range(0, expected, size)
+            )
+        except JournalCorrupt as error:
+            raise ProtocolError(f"bad update payload: {error}") from None
+        return Request(
+            opcode=opcode,
+            request_id=request_id,
+            deadline_us=deadline_us,
+            version=version,
+            updates=updates,
+        )
     else:
         if body or count:
             raise ProtocolError(f"opcode {opcode} takes no keys")

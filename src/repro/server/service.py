@@ -97,6 +97,11 @@ class ServerStats:
     #: OP_RELOAD requests whose rebuild or swap raised; the previous
     #: table generation kept serving.
     reload_failures: int = 0
+    #: Route updates applied through OP_UPDATE requests.
+    updates_applied: int = 0
+    #: OP_UPDATE updates the update engine rejected (bad withdrawals,
+    #: out-of-range next hops); the rest of the batch still applied.
+    updates_rejected: int = 0
     #: Requests refused at admission (queue full).
     shed_overload: int = 0
     #: Requests shed because their deadline expired while queued.
@@ -133,7 +138,14 @@ class LookupServer:
     an optional zero-argument callable returning a fresh structure (used
     by the OP_RELOAD opcode to recompile from the server's RIB and swap
     it in — the CLI wires it to the registry entry of the served
-    algorithm).
+    algorithm).  ``apply_updates`` is an optional callable taking a
+    sequence of :class:`repro.data.updates.Update` and returning a
+    JSON-ready dict (at least ``applied``/``rejected``); the OP_UPDATE
+    opcode runs it in a worker thread, one batch at a time, and swaps
+    the handle afterwards if the callable changed the served structure.
+    The CLI's ``serve --journal`` mode wires it to the journaled
+    transactional trie, turning the primary into the cluster's single
+    write point.
     """
 
     def __init__(
@@ -141,10 +153,13 @@ class LookupServer:
         handle: TableHandle,
         config: Optional[ServerConfig] = None,
         rebuild=None,
+        apply_updates=None,
     ) -> None:
         self.handle = handle
         self.config = config or ServerConfig()
         self.rebuild = rebuild
+        self.apply_updates = apply_updates
+        self._update_lock: Optional[asyncio.Lock] = None
         self.stats = ServerStats()
         self._pending: deque = deque()
         self._pending_keys = 0
@@ -244,6 +259,13 @@ class LookupServer:
                 sub.add_done_callback(request_tasks.discard)
         except (ConnectionError, ProtocolError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # stop() cancels connection handlers while clients may still
+            # be attached.  Finishing normally matters: asyncio's stream
+            # machinery calls task.exception() on this task from a plain
+            # loop callback, which re-raises CancelledError and logs a
+            # spurious "Exception in callback" at every shutdown.
+            pass
         finally:
             if request_tasks:
                 await asyncio.gather(*request_tasks, return_exceptions=True)
@@ -294,6 +316,8 @@ class LookupServer:
             )
         if opcode == protocol.OP_RELOAD:
             return await self._execute_reload(request)
+        if opcode == protocol.OP_UPDATE:
+            return await self._execute_update(request)
         raise ProtocolError(f"unknown opcode {opcode}")  # pragma: no cover
 
     async def _execute_lookup(self, request: protocol.Request) -> bytes:
@@ -401,6 +425,43 @@ class LookupServer:
         self.stats.reloads += 1
         return protocol.encode_response(
             request.request_id, generation=generation, version=request.version
+        )
+
+    async def _execute_update(self, request: protocol.Request) -> bytes:
+        if self.apply_updates is None:
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_UNSUPPORTED,
+                generation=self.handle.generation,
+                text="server has no writable update engine "
+                     "(start with --journal to accept updates)",
+                version=request.version,
+            )
+        if self._stopping:
+            return protocol.encode_response(
+                request.request_id,
+                protocol.STATUS_SHUTTING_DOWN,
+                generation=self.handle.generation,
+                text="server shutting down",
+                version=request.version,
+            )
+        if self._update_lock is None:
+            self._update_lock = asyncio.Lock()
+        # One update batch at a time: the journal and the update engine
+        # are single-writer; lookups keep flowing concurrently because
+        # the apply runs in a thread and publishes via the RCU handle.
+        async with self._update_lock:
+            report = await asyncio.to_thread(
+                self.apply_updates, request.updates
+            )
+        self.stats.updates_applied += int(report.get("applied", 0))
+        self.stats.updates_rejected += int(report.get("rejected", 0))
+        self._count("repro_server_updates_total", kind="applied")
+        return protocol.encode_response(
+            request.request_id,
+            generation=self.handle.generation,
+            text=json.dumps(report),
+            version=request.version,
         )
 
     async def _respond(
@@ -575,6 +636,8 @@ class LookupServer:
             "connections": self.stats.connections,
             "reloads": self.stats.reloads,
             "reload_failures": self.stats.reload_failures,
+            "updates_applied": self.stats.updates_applied,
+            "updates_rejected": self.stats.updates_rejected,
             "shed_overload": self.stats.shed_overload,
             "shed_deadline": self.stats.shed_deadline,
         }

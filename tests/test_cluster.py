@@ -1,0 +1,772 @@
+"""The replicated lookup cluster: shard maps, WAL shipping, failover, chaos.
+
+Four layers of coverage:
+
+1. **Shard maps** — skew-aware splitting, the covering-route rule
+   (per-shard LPM must equal global LPM), persistence, validation.
+2. **Replication in-process** — checkpoint sync, live tail shipping
+   through real sockets, chained replicas, stale-refusal, promotion,
+   retargeting, watermark-divergence re-sync, and the router's
+   endpoint failover.
+3. **Shutdown durability** — the ``serve --journal`` SIGTERM regression:
+   acknowledged updates buffered by ``--fsync-every`` batching must
+   reach disk before exit.
+4. **Cluster chaos** (subprocess sweep) — one primary and two replica
+   processes under a 2000-update stream; a replica is SIGKILLed and
+   restarted mid-stream, then the *primary* is SIGKILLed, a survivor is
+   elected and promoted, and the stream finishes against it.  Every
+   surviving node must converge to the exact in-process oracle state
+   (zero misroutes over the wire, byte-identical recovered compiles)
+   within a bounded catch-up window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    Replica,
+    build_shard_map,
+    naive_shard_map,
+    replication,
+    shard_balance,
+    shard_rib,
+)
+from repro.cluster.router import FailoverMonitor, RouterConfig, elect_and_promote
+from repro.cluster.shard import Shard, ShardMap
+from repro.core.poptrie import Poptrie
+from repro.data.updates import generate_update_stream
+from repro.errors import ClusterError
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.parallel.image import structure_to_bytes
+from repro.robust.journal import Journal, encode_update, recover
+from repro.robust.txn import TransactionalPoptrie
+from repro.server import protocol
+from repro.server.loadgen import _Connection
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_DIR = os.path.dirname(TESTS_DIR)
+
+SERVING_RE = re.compile(
+    r"serving on ([\d.]+):(\d+), replication on ([\d.]+):(\d+)"
+)
+
+
+def base_rib(n_routes: int = 260, seed: int = 1234) -> Rib:
+    """A deterministic starting table; called twice for independent copies."""
+    rng = random.Random(seed)
+    rib = Rib()
+    rib.insert(Prefix.parse("0.0.0.0/0"), 9)
+    seen = {(0, 0)}
+    while len(rib) < n_routes:
+        length = rng.randint(8, 28)
+        value = rng.getrandbits(32) & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+        if (value, length) in seen:
+            continue
+        seen.add((value, length))
+        rib.insert(Prefix(value, length), rng.randint(1, 63))
+    return rib
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_DIR, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def route_set(rib: Rib):
+    return {(p.value, p.length, p.width, hop) for p, hop in rib.routes()}
+
+
+def seed_journal(directory: str, rib: Rib) -> None:
+    os.makedirs(directory, exist_ok=True)
+    with Journal(directory) as journal:
+        journal.checkpoint(rib)
+
+
+async def wait_for(predicate, timeout: float = 10.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        await asyncio.sleep(0.02)
+
+
+async def wire_request(host, port, opcode, keys=(), updates=(), timeout=30.0):
+    """One request over a fresh pipelined client connection."""
+    conn = _Connection()
+    conn.host, conn.port = host, int(port)
+    await conn.ensure_open()
+    try:
+        return await conn.request(
+            opcode, keys, updates=updates, timeout=timeout
+        )
+    finally:
+        await conn.close()
+
+
+def free_port() -> int:
+    """A port that was just free — connecting to it refuses immediately."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# ---------------------------------------------------------------------------
+# shard maps
+# ---------------------------------------------------------------------------
+
+
+class TestShardMap:
+    def test_naive_map_tiles_gaplessly(self):
+        shard_map = naive_shard_map(32, 7)
+        assert len(shard_map) == 7
+        assert shard_map.shards[0].low == 0
+        assert shard_map.shards[-1].high == (1 << 32) - 1
+        for left, right in zip(shard_map.shards, shard_map.shards[1:]):
+            assert right.low == left.high + 1
+        assert shard_map.shard_index(0) == 0
+        assert shard_map.shard_index((1 << 32) - 1) == 6
+
+    def test_skew_aware_cuts_balance_routes(self):
+        # A heavily skewed table: most routes bunched in 10.0.0.0/8.
+        rng = random.Random(3)
+        rib = Rib()
+        seen = set()
+        while len(rib) < 300:
+            if rng.random() < 0.8:
+                value = (10 << 24) | rng.getrandbits(16) << 8
+                length = 24
+            else:
+                length = rng.randint(8, 24)
+                value = rng.getrandbits(32) & (
+                    (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+                )
+            if (value, length) in seen:
+                continue
+            seen.add((value, length))
+            rib.insert(Prefix(value, length), 1)
+        skewed = shard_balance(rib, build_shard_map(rib, 4))
+        naive = shard_balance(rib, naive_shard_map(32, 4))
+        assert max(skewed) - min(skewed) < max(naive) - min(naive)
+        assert max(skewed) <= len(rib) / 4 * 1.5
+
+    def test_per_shard_lpm_equals_global_lpm(self):
+        """The covering-route rule: shard_rib duplicates covering routes
+        so a shard answers exactly like the global table."""
+        rib = base_rib(200, seed=5)
+        shard_map = build_shard_map(rib, 4)
+        global_trie = Poptrie.from_rib(rib)
+        shard_tries = [
+            Poptrie.from_rib(shard_rib(rib, shard))
+            for shard in shard_map.shards
+        ]
+        rng = random.Random(17)
+        keys = [rng.getrandbits(32) for _ in range(3000)]
+        keys += [p.value for p, _ in rib.routes()]
+        for key in keys:
+            index = shard_map.shard_index(key)
+            assert shard_tries[index].lookup(key) == global_trie.lookup(key)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        shard_map = build_shard_map(
+            base_rib(120, seed=8),
+            3,
+            endpoint_sets=[
+                ["127.0.0.1:4000", "127.0.0.1:4001"],
+                ["127.0.0.1:4001"],
+                ["127.0.0.1:4002", "127.0.0.1:4000"],
+            ],
+        )
+        path = str(tmp_path / "map.json")
+        shard_map.save(path)
+        loaded = ShardMap.load(path)
+        assert loaded == shard_map
+        assert loaded.shards[0].endpoints == (
+            "127.0.0.1:4000", "127.0.0.1:4001",
+        )
+
+    def test_validation_refuses_bad_maps(self, tmp_path):
+        with pytest.raises(ClusterError, match="gaplessly"):
+            ShardMap(32, (Shard(0, 10), Shard(12, (1 << 32) - 1)))
+        with pytest.raises(ClusterError, match="cover"):
+            ShardMap(32, (Shard(0, 10),))
+        with pytest.raises(ClusterError, match="width"):
+            ShardMap(16, (Shard(0, (1 << 16) - 1),))
+        with pytest.raises(ClusterError, match="no shards"):
+            ShardMap(32, ())
+        with pytest.raises(ClusterError, match="endpoint"):
+            Shard(0, 5, ("nonsense",))
+        with pytest.raises(ClusterError, match="endpoint sets"):
+            naive_shard_map(32, 2).with_endpoints([["127.0.0.1:1"]])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else"}')
+        with pytest.raises(ClusterError, match="not a repro-shardmap-v1"):
+            ShardMap.load(str(bad))
+
+    def test_router_requires_endpoints(self):
+        with pytest.raises(ClusterError, match="no endpoints"):
+            ClusterRouter(naive_shard_map(32, 2))
+
+
+# ---------------------------------------------------------------------------
+# replication, promotion and routing (in-process, real sockets)
+# ---------------------------------------------------------------------------
+
+
+async def start_node(directory, *, rib=None, primary=None, name="node", **kw):
+    if rib is not None:
+        seed_journal(directory, rib)
+    node = Replica(directory, primary=primary, name=name, **kw)
+    serve, repl = await node.start()
+    return node, serve, repl
+
+
+class TestReplication:
+    def test_checkpoint_sync_update_stream_and_fingerprint(self, tmp_path):
+        async def scenario():
+            rib = base_rib(150, seed=2)
+            primary, serve, repl = await start_node(
+                str(tmp_path / "p"), rib=rib, name="p"
+            )
+            replica, rserve, _ = await start_node(
+                str(tmp_path / "r"), primary=repl, name="r"
+            )
+            await wait_for(
+                lambda: replica.txn is not None
+                and len(replica.txn.rib) == len(rib),
+                what="checkpoint sync",
+            )
+            # Live tail shipping: write through the primary's wire API.
+            updates = generate_update_stream(base_rib(150, seed=2), 60, seed=4)
+            response = await wire_request(
+                *serve, protocol.OP_UPDATE, updates=updates
+            )
+            report = json.loads(response.text)
+            assert report["seqno"] == primary.applied_seqno
+            await wait_for(
+                lambda: replica.applied_seqno == primary.applied_seqno,
+                what="tail catch-up",
+            )
+            assert replica.resyncs == 0
+            assert route_set(replica.txn.rib) == route_set(primary.txn.rib)
+            assert structure_to_bytes(
+                Poptrie.from_rib(replica.txn.rib)
+            ) == structure_to_bytes(Poptrie.from_rib(primary.txn.rib))
+            # The replica's lookup server answers from the shipped state.
+            probe = [p.value for p, _ in primary.txn.rib.routes()][:16]
+            answer = await wire_request(*rserve, protocol.OP_LOOKUP4, probe)
+            oracle = Poptrie.from_rib(primary.txn.rib)
+            assert list(answer.results) == [oracle.lookup(k) for k in probe]
+            # Replicas refuse writes.
+            refused = await wire_request(
+                *rserve, protocol.OP_UPDATE, updates=updates[:1]
+            )
+            assert refused.status != protocol.STATUS_OK
+            await replica.stop()
+            await primary.stop()
+
+        asyncio.run(scenario())
+
+    def test_chained_replica_follows_a_replica(self, tmp_path):
+        async def scenario():
+            rib = base_rib(100, seed=6)
+            primary, serve, repl = await start_node(
+                str(tmp_path / "p"), rib=rib, name="p"
+            )
+            middle, _, mid_repl = await start_node(
+                str(tmp_path / "m"), primary=repl, name="m"
+            )
+            await wait_for(
+                lambda: middle.txn is not None
+                and len(middle.txn.rib) == len(rib),
+                what="middle checkpoint sync",
+            )
+            leaf, _, _ = await start_node(
+                str(tmp_path / "l"), primary=mid_repl, name="l"
+            )
+            updates = generate_update_stream(base_rib(100, seed=6), 40, seed=9)
+            await wire_request(*serve, protocol.OP_UPDATE, updates=updates)
+            target = primary.applied_seqno
+            await wait_for(
+                lambda: leaf.applied_seqno == target,
+                what="chained catch-up",
+            )
+            assert route_set(leaf.txn.rib) == route_set(primary.txn.rib)
+            assert leaf.resyncs == 0
+            for node in (leaf, middle, primary):
+                await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_stale_refusal_election_and_retarget(self, tmp_path):
+        async def scenario():
+            rib = base_rib(80, seed=11)
+            updates = generate_update_stream(base_rib(80, seed=11), 20, seed=3)
+            # Two standalone nodes whose journals diverge in depth:
+            # ahead has applied 20, behind only 12.  Both are replicas
+            # of a dead primary — pure election candidates.
+            for name, depth in (("ahead", 20), ("behind", 12)):
+                d = str(tmp_path / name)
+                seed_journal(d, rib)
+                with Journal(d) as journal:
+                    for update in updates[:depth]:
+                        journal.append(update)
+            dead = ("127.0.0.1", free_port())
+            ahead, _, ahead_repl = await start_node(
+                str(tmp_path / "ahead"), primary=dead, name="ahead"
+            )
+            behind, _, behind_repl = await start_node(
+                str(tmp_path / "behind"), primary=dead, name="behind"
+            )
+            # A stale candidate refuses promotion outright.
+            refusal = await replication.request_promote(
+                *behind_repl, min_seqno=ahead.applied_seqno
+            )
+            assert refusal["promoted"] is False
+            assert "stale" in refusal["reason"]
+            assert behind.role == "replica"
+            # The election picks the deepest journal and retargets the rest.
+            outcome = await elect_and_promote([
+                f"{behind_repl[0]}:{behind_repl[1]}",
+                f"{ahead_repl[0]}:{ahead_repl[1]}",
+            ])
+            assert outcome["promoted"] == f"{ahead_repl[0]}:{ahead_repl[1]}"
+            assert outcome["promoted_seqno"] == 20
+            assert outcome["min_seqno"] == 12
+            assert ahead.role == "primary"
+            assert behind.primary == ahead_repl
+            # The retargeted node catches up from the new primary.
+            await wait_for(
+                lambda: behind.applied_seqno == 20, what="retarget catch-up"
+            )
+            assert route_set(behind.txn.rib) == route_set(ahead.txn.rib)
+            await behind.stop()
+            await ahead.stop()
+
+        asyncio.run(scenario())
+
+    def test_primary_behind_replica_forces_resync(self, tmp_path):
+        async def scenario():
+            # The replica has durable history to seqno 15; its new
+            # primary starts from a different, empty timeline (seqno 0).
+            # The heartbeat watermark exposes the divergence and the
+            # replica must re-sync to the primary's state, not serve a
+            # mix of both histories.
+            old_rib = base_rib(60, seed=21)
+            rdir = str(tmp_path / "r")
+            seed_journal(rdir, old_rib)
+            with Journal(rdir) as journal:
+                for update in generate_update_stream(
+                    base_rib(60, seed=21), 15, seed=2
+                ):
+                    journal.append(update)
+            new_rib = base_rib(90, seed=22)
+            primary, _, repl = await start_node(
+                str(tmp_path / "p"), rib=new_rib, name="p"
+            )
+            replica, _, _ = await start_node(rdir, primary=repl, name="r")
+            assert replica.applied_seqno == 15
+            await wait_for(
+                lambda: replica.resyncs > 0
+                and route_set(replica.txn.rib) == route_set(new_rib),
+                what="divergence re-sync",
+            )
+            assert replica.applied_seqno == primary.applied_seqno == 0
+            await replica.stop()
+            await primary.stop()
+
+        asyncio.run(scenario())
+
+    def test_router_fails_over_and_reports_down(self, tmp_path):
+        async def scenario():
+            rib = base_rib(100, seed=31)
+            node, serve, _ = await start_node(
+                str(tmp_path / "p"), rib=rib, name="p"
+            )
+            dead = f"127.0.0.1:{free_port()}"
+            live = f"{serve[0]}:{serve[1]}"
+            shard_map = build_shard_map(
+                rib, 2, endpoint_sets=[[dead, live], [live, dead]]
+            )
+            router = ClusterRouter(
+                shard_map,
+                RouterConfig(request_timeout=5.0, retry_pause_s=0.01),
+            )
+            oracle = Poptrie.from_rib(rib)
+            rng = random.Random(12)
+            keys = [rng.getrandbits(32) for _ in range(64)]
+            results = await router.lookup_batch(keys)
+            assert results == [oracle.lookup(k) for k in keys]
+            # The dead endpoint was tried (it leads shard #0) and marked.
+            assert router.endpoint_errors > 0
+            assert dead in router.describe()["down"]
+            probes = await router.probe()
+            assert probes[dead] is None
+            assert probes[live] is not None
+            await router.close()
+            await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_router_raises_when_shard_exhausted(self):
+        async def scenario():
+            dead = f"127.0.0.1:{free_port()}"
+            shard_map = naive_shard_map(32, 1).with_endpoints([[dead]])
+            router = ClusterRouter(
+                shard_map,
+                RouterConfig(
+                    attempts_per_shard=2,
+                    request_timeout=0.5,
+                    retry_pause_s=0.01,
+                ),
+            )
+            with pytest.raises(ClusterError, match="unreachable"):
+                await router.lookup_batch([1, 2, 3])
+            await router.close()
+
+        asyncio.run(scenario())
+
+    def test_failover_monitor_state_machine(self, tmp_path):
+        async def scenario():
+            rib = base_rib(70, seed=41)
+            primary, _, repl = await start_node(
+                str(tmp_path / "p"), rib=rib, name="p"
+            )
+            replica, _, replica_repl = await start_node(
+                str(tmp_path / "r"), primary=repl, name="r"
+            )
+            await wait_for(
+                lambda: len(replica.txn.rib) == len(rib), what="sync"
+            )
+            monitor = FailoverMonitor(
+                f"{repl[0]}:{repl[1]}",
+                [f"{replica_repl[0]}:{replica_repl[1]}"],
+                probe_timeout=1.0,
+                misses_to_fail=2,
+            )
+            assert await monitor.check_once() == "healthy"
+            await primary.stop()
+            assert await monitor.check_once() == "suspect"
+            assert await monitor.check_once() == "failed_over"
+            assert monitor.promotion is not None
+            assert replica.role == "primary"
+            # Once failed over, the monitor stays put.
+            assert await monitor.check_once() == "failed_over"
+            await replica.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# serve --journal shutdown durability (the SIGTERM flush regression)
+# ---------------------------------------------------------------------------
+
+
+class TestServeShutdownFlush:
+    def test_sigterm_flushes_buffered_journal_records(self, tmp_path):
+        """Acknowledged OP_UPDATEs sitting in the journal's write buffer
+        (``--fsync-every 64`` batching) must survive a SIGTERM."""
+        jdir = str(tmp_path / "wal")
+        seed_journal(jdir, base_rib(120, seed=51))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--journal", jdir, "--fsync-every", "64",
+                "--host", "127.0.0.1", "--port", "0",
+            ],
+            cwd=REPO_DIR, env=subprocess_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            port = None
+            for _ in range(50):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("serving"):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port, proc.stderr.read()
+            updates = generate_update_stream(
+                base_rib(120, seed=51), 10, seed=1
+            )
+            response = asyncio.run(
+                wire_request("127.0.0.1", port, protocol.OP_UPDATE,
+                             updates=updates)
+            )
+            assert response.status == protocol.STATUS_OK
+            acked = json.loads(response.text)["seqno"]
+            assert acked == 10
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            proc.kill()
+            proc.wait()
+            proc.stdout.close()
+            proc.stderr.close()
+        result = recover(jdir)
+        assert result.applied_seqno == 10
+        assert result.torn_bytes == 0  # close() finished the final record
+
+
+# ---------------------------------------------------------------------------
+# the cluster chaos sweep (subprocess kill/promote/catch-up)
+# ---------------------------------------------------------------------------
+
+STREAM_LEN = 2000
+FEED_BATCH = 25
+CATCHUP_TIMEOUT_S = 30.0
+
+
+def spawn_node(jdir, name, primary=None, extra=()):
+    argv = [
+        sys.executable, "-m", "repro", "replica",
+        "--journal", jdir, "--host", "127.0.0.1",
+        "--port", "0", "--repl-port", "0",
+        "--name", name, "--fsync-every", "8", *extra,
+    ]
+    if primary is not None:
+        argv += ["--primary", f"{primary[0]}:{primary[1]}"]
+    proc = subprocess.Popen(
+        argv, cwd=REPO_DIR, env=subprocess_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    serve = repl = None
+    for _ in range(80):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = SERVING_RE.search(line)
+        if match:
+            serve = (match.group(1), int(match.group(2)))
+            repl = (match.group(3), int(match.group(4)))
+            break
+    if serve is None:
+        proc.kill()
+        raise AssertionError(
+            f"{name} never announced endpoints: {proc.stderr.read()}"
+        )
+    return {"proc": proc, "dir": jdir, "name": name,
+            "serve": serve, "repl": repl}
+
+
+def feed_updates(serve, updates, start, end):
+    """Apply ``updates[start:end]`` through the wire in acked batches;
+    returns the last acknowledged sequence number."""
+    async def go():
+        conn = _Connection()
+        conn.host, conn.port = serve
+        await conn.ensure_open()
+        acked = None
+        try:
+            for i in range(start, end, FEED_BATCH):
+                response = await conn.request(
+                    protocol.OP_UPDATE,
+                    updates=updates[i:i + FEED_BATCH],
+                    timeout=30,
+                )
+                assert response.status == protocol.STATUS_OK, response.text
+                acked = json.loads(response.text)["seqno"]
+        finally:
+            await conn.close()
+        return acked
+
+    return asyncio.run(go())
+
+
+def node_info(repl):
+    return asyncio.run(replication.query_info(*repl, timeout=5.0))
+
+
+def wait_applied(repl, seqno, timeout=CATCHUP_TIMEOUT_S):
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            info = node_info(repl)
+            if info["applied_seqno"] >= seqno:
+                return info
+        except (ClusterError, ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"node at {repl} did not reach seqno {seqno} "
+                f"within {timeout}s"
+            )
+        time.sleep(0.1)
+
+
+@pytest.fixture(scope="module")
+def cluster_sweep(tmp_path_factory):
+    """SIGKILL a replica and then the primary mid-stream; the tests below
+    assert the cluster converged to the oracle anyway."""
+    root = tmp_path_factory.mktemp("cluster-chaos")
+    updates = generate_update_stream(base_rib(), count=STREAM_LEN, seed=77)
+    oracle = TransactionalPoptrie(rib=base_rib())
+    report = oracle.apply_stream(updates)
+    assert report.rejected == 0 and report.applied == STREAM_LEN
+
+    nodes = {}
+    try:
+        pdir = str(root / "p")
+        seed_journal(pdir, base_rib())
+        # The primary checkpoints mid-stream so the killed replica's
+        # rejoin exercises the JournalGap -> checkpoint re-sync path too.
+        primary = spawn_node(
+            pdir, "p", extra=("--checkpoint-every", "400")
+        )
+        nodes["p"] = primary
+        for name in ("r0", "r1"):
+            nodes[name] = spawn_node(
+                str(root / name), name, primary=primary["repl"]
+            )
+
+        # Phase 1: a third of the stream, then SIGKILL replica r0.
+        feed_updates(primary["serve"], updates, 0, 700)
+        nodes["r0"]["proc"].kill()
+        nodes["r0"]["proc"].wait()
+
+        # Phase 2: keep streaming with r0 dead, then restart it from its
+        # own journal (recover + re-subscribe + catch up).
+        feed_updates(primary["serve"], updates, 700, 1300)
+        r0_restart = spawn_node(
+            nodes["r0"]["dir"], "r0", primary=primary["repl"]
+        )
+        nodes["r0"]["proc"].stderr.close()
+        nodes["r0"]["proc"].stdout.close()
+        nodes["r0"] = r0_restart
+
+        # Phase 3: SIGKILL the primary, elect and promote a survivor.
+        acked = 1300
+        primary["proc"].kill()
+        primary["proc"].wait()
+        survivors = [nodes["r0"], nodes["r1"]]
+        promotion = asyncio.run(elect_and_promote([
+            f"{node['repl'][0]}:{node['repl'][1]}" for node in survivors
+        ]))
+        promoted = next(
+            node for node in survivors
+            if f"{node['repl'][0]}:{node['repl'][1]}" == promotion["promoted"]
+        )
+        # Records acked by the dead primary but not yet shipped are not
+        # on the survivors; the stream resumes from the promoted node's
+        # own watermark (never past what was acked).
+        resume_from = promotion["promoted_seqno"]
+        assert resume_from <= acked
+
+        # Phase 4: finish the stream against the new primary; everyone
+        # must converge within the catch-up budget.
+        final = feed_updates(promoted["serve"], updates, resume_from,
+                             STREAM_LEN)
+        assert final == STREAM_LEN
+        catchup_started = time.monotonic()
+        infos = {
+            node["name"]: wait_applied(node["repl"], STREAM_LEN)
+            for node in survivors
+        }
+        catchup_s = time.monotonic() - catchup_started
+
+        yield {
+            "nodes": nodes,
+            "survivors": survivors,
+            "promoted": promoted,
+            "promotion": promotion,
+            "oracle": oracle,
+            "updates": updates,
+            "infos": infos,
+            "catchup_s": catchup_s,
+            "acked_at_kill": acked,
+        }
+
+        # Graceful stop so buffered journal bytes hit disk, then verify
+        # the recovered state below (in the tests) from a cold start.
+        for node in survivors:
+            node["proc"].send_signal(signal.SIGTERM)
+        for node in survivors:
+            assert node["proc"].wait(timeout=30) == 0
+    finally:
+        for node in nodes.values():
+            if node["proc"].poll() is None:
+                node["proc"].kill()
+                node["proc"].wait()
+            node["proc"].stdout.close()
+            node["proc"].stderr.close()
+
+
+class TestClusterChaos:
+    def test_promotion_elected_a_survivor(self, cluster_sweep):
+        promotion = cluster_sweep["promotion"]
+        assert promotion["surveyed"] == 2
+        assert promotion["promoted_seqno"] >= promotion["min_seqno"]
+        retargets = promotion["retargets"]
+        assert all(r.get("retargeted") for r in retargets.values())
+
+    def test_bounded_catch_up(self, cluster_sweep):
+        assert cluster_sweep["catchup_s"] < CATCHUP_TIMEOUT_S
+        for info in cluster_sweep["infos"].values():
+            assert info["applied_seqno"] == STREAM_LEN
+
+    def test_zero_misroutes_over_the_wire(self, cluster_sweep):
+        """Every surviving node, queried through the sharded router,
+        answers exactly like the crash-free in-process oracle."""
+        oracle = cluster_sweep["oracle"]
+        endpoints = [
+            f"{node['serve'][0]}:{node['serve'][1]}"
+            for node in cluster_sweep["survivors"]
+        ]
+        shard_map = build_shard_map(
+            oracle.rib, 2,
+            endpoint_sets=[endpoints, list(reversed(endpoints))],
+        )
+        rng = random.Random(4242)
+        keys = [p.value for p, _ in oracle.rib.routes()][:64]
+        keys += [rng.getrandbits(32) for _ in range(64)]
+        expected = [oracle.lookup(key) for key in keys]
+
+        async def routed():
+            router = ClusterRouter(shard_map)
+            try:
+                return await router.lookup_batch(keys)
+            finally:
+                await router.close()
+
+        assert asyncio.run(routed()) == expected
+        # And each node individually — no replica serves stale routes.
+        for node in cluster_sweep["survivors"]:
+            response = asyncio.run(
+                wire_request(*node["serve"], protocol.OP_LOOKUP4, keys)
+            )
+            assert list(response.results) == expected, node["name"]
+
+    def test_recovered_journals_match_oracle(self, cluster_sweep):
+        # Runs after the module teardown has not yet happened, so stop
+        # the survivors here to read their journals cold.
+        for node in cluster_sweep["survivors"]:
+            if node["proc"].poll() is None:
+                node["proc"].send_signal(signal.SIGTERM)
+                assert node["proc"].wait(timeout=30) == 0
+        oracle = cluster_sweep["oracle"]
+        want = structure_to_bytes(Poptrie.from_rib(oracle.rib))
+        for node in cluster_sweep["survivors"]:
+            result = recover(node["dir"])
+            assert result.applied_seqno == STREAM_LEN, node["name"]
+            assert route_set(result.rib) == route_set(oracle.rib), node["name"]
+            assert structure_to_bytes(
+                Poptrie.from_rib(result.rib)
+            ) == want, node["name"]

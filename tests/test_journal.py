@@ -18,12 +18,13 @@ import pytest
 from repro.core.poptrie import Poptrie
 from repro.data import tableio
 from repro.data.updates import Update, generate_update_stream
-from repro.errors import InjectedFault, JournalCorrupt
+from repro.errors import InjectedFault, JournalCorrupt, JournalGap
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 from repro.robust.faults import FaultPlan
 from repro.robust.journal import (
     Journal,
+    JournalTailer,
     decode_update,
     encode_update,
     read_segment,
@@ -413,6 +414,197 @@ class TestRecoverCli:
             ).value > 0
         finally:
             obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# the applied_seqno watermark
+# ---------------------------------------------------------------------------
+
+
+class TestAppliedSeqno:
+    def test_tracks_appends_and_survives_reopen(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        assert journal.applied_seqno == 0
+        for update in some_updates(5):
+            journal.append(update)
+        assert journal.applied_seqno == 5
+        assert journal.describe()["applied_seqno"] == 5
+        journal.close()
+        assert Journal(d).applied_seqno == 5
+
+    def test_recovery_result_exposes_the_watermark(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            journal.checkpoint(small_rib())
+            for update in some_updates(7):
+                journal.append(update)
+        result = recover(d)
+        assert result.applied_seqno == result.last_seqno == 7
+        assert result.describe()["applied_seqno"] == 7
+
+    def test_install_checkpoint_adopts_external_snapshot(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        for update in some_updates(5):
+            journal.append(update)
+        # A replication peer ships a snapshot covering seqno 40: local
+        # history is discarded and the sequence resumes from there.
+        rib = small_rib()
+        path = journal.install_checkpoint(rib, 40)
+        assert os.path.exists(path)
+        assert segment_paths(d) == []
+        assert journal.checkpoint_seqno == 40
+        assert journal.applied_seqno == 40
+        assert journal.append(some_updates(1)[0]) == 41
+        journal.close()
+        result = recover(d)
+        assert result.checkpoint_seqno == 40
+        assert result.applied_seqno == 41
+
+    def test_install_checkpoint_rejects_negative_seqno(self, tmp_path):
+        journal = Journal(str(tmp_path))
+        with pytest.raises(ValueError):
+            journal.install_checkpoint(small_rib(), -1)
+        journal.close()
+
+
+# ---------------------------------------------------------------------------
+# tail shipping (JournalTailer)
+# ---------------------------------------------------------------------------
+
+
+class TestJournalTailer:
+    def test_poll_delivers_appends_in_order(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        tailer = JournalTailer(d)
+        assert tailer.poll() == []  # nothing written yet
+        updates = some_updates(6)
+        for update in updates:
+            journal.append(update)
+        journal.flush()
+        polled = tailer.poll()
+        assert [seqno for seqno, _ in polled] == [1, 2, 3, 4, 5, 6]
+        assert [u.prefix for _, u in polled] == [u.prefix for u in updates]
+        assert tailer.poll() == []
+        journal.close()
+
+    def test_only_flushed_bytes_are_visible(self, tmp_path):
+        """The durability contract replication relies on: records still in
+        the writer's buffer (fsync_every batching) must not ship."""
+        d = str(tmp_path)
+        journal = Journal(d, fsync_every=8)
+        tailer = JournalTailer(d)
+        for update in some_updates(5):
+            journal.append(update)
+        assert tailer.poll() == []
+        journal.flush()
+        assert [seqno for seqno, _ in tailer.poll()] == [1, 2, 3, 4, 5]
+        journal.close()
+
+    def test_limit_paces_delivery(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(9):
+                journal.append(update)
+        tailer = JournalTailer(d)
+        assert [s for s, _ in tailer.poll(limit=4)] == [1, 2, 3, 4]
+        assert tailer.position == 4
+        assert [s for s, _ in tailer.poll(limit=4)] == [5, 6, 7, 8]
+        assert [s for s, _ in tailer.poll(limit=4)] == [9]
+
+    def test_follows_segment_rotation_incrementally(self, tmp_path):
+        """A poll between every append must cross rotation boundaries
+        without skipping or repeating records."""
+        d = str(tmp_path)
+        journal = Journal(d, segment_bytes=64)  # ~2 records per segment
+        tailer = JournalTailer(d)
+        seen = []
+        for update in some_updates(12):
+            journal.append(update)
+            journal.flush()
+            seen.extend(seqno for seqno, _ in tailer.poll())
+        assert seen == list(range(1, 13))
+        assert len(segment_paths(d)) > 1
+        journal.close()
+
+    def test_single_poll_spans_many_segments(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d, segment_bytes=64) as journal:
+            for update in some_updates(12):
+                journal.append(update)
+        assert len(segment_paths(d)) > 1
+        tailer = JournalTailer(d)
+        assert [s for s, _ in tailer.poll()] == list(range(1, 13))
+
+    def test_late_tailer_starts_mid_stream(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d, segment_bytes=64) as journal:
+            for update in some_updates(10):
+                journal.append(update)
+        tailer = JournalTailer(d, after_seqno=7)
+        assert [s for s, _ in tailer.poll()] == [8, 9, 10]
+
+    def test_torn_tail_held_back_until_complete(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        for update in some_updates(3):
+            journal.append(update)
+        journal.close()
+        path = segment_paths(d)[-1]
+        with open(path, "ab") as stream:
+            stream.write(b"\x18\x00\x00")  # half a record header
+        tailer = JournalTailer(d)
+        assert [s for s, _ in tailer.poll()] == [1, 2, 3]
+        assert tailer.poll() == []  # the torn record never ships
+        # The writer reopens (truncating the torn bytes) and appends:
+        # the tailer picks up exactly the new record.
+        journal = Journal(d)
+        journal.append(some_updates(1)[0])
+        journal.flush()
+        assert [s for s, _ in tailer.poll()] == [4]
+        journal.close()
+
+    def test_checkpoint_truncation_raises_gap(self, tmp_path):
+        d = str(tmp_path)
+        journal = Journal(d)
+        for update in some_updates(10):
+            journal.append(update)
+        journal.flush()
+        tailer = JournalTailer(d)
+        assert len(tailer.poll(limit=4)) == 4
+        journal.checkpoint(recover(d).rib)  # deletes every segment
+        with pytest.raises(JournalGap) as excinfo:
+            tailer.poll()
+        assert excinfo.value.resync_seqno == 10
+        journal.close()
+
+    def test_fresh_tailer_behind_checkpoint_raises_gap(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(5):
+                journal.append(update)
+            journal.checkpoint(recover(d).rib)
+        with pytest.raises(JournalGap) as excinfo:
+            JournalTailer(d).poll()
+        assert excinfo.value.resync_seqno == 5
+
+    def test_crc_damage_is_corruption_not_gap(self, tmp_path):
+        d = str(tmp_path)
+        with Journal(d) as journal:
+            for update in some_updates(4):
+                journal.append(update)
+        path = segment_paths(d)[-1]
+        with open(path, "rb+") as stream:
+            stream.seek(16 + 8 + 2)  # first record's payload
+            stream.write(b"\xff\xff")
+        with pytest.raises(JournalCorrupt, match="CRC mismatch"):
+            JournalTailer(d).poll()
+
+    def test_rejects_negative_start(self, tmp_path):
+        with pytest.raises(ValueError):
+            JournalTailer(str(tmp_path), after_seqno=-1)
 
 
 def test_recovered_table_compiles_identically(tmp_path):

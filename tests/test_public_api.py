@@ -25,16 +25,20 @@ EXPECTED_TOP_LEVEL = {
     "obs",
     # robustness toolkit
     "FaultPlan", "verify_poptrie",
-    # durability (journal + crash recovery)
-    "Journal", "recover", "RecoveryResult",
+    # durability (journal + crash recovery + tail shipping)
+    "Journal", "recover", "RecoveryResult", "JournalTailer",
     # the route-lookup service
     "LookupServer", "TableHandle", "LoadGenerator",
     # the multicore data plane (zero-copy images + shared-memory pool)
     "TableImage", "WorkerPool", "PoolConfig",
+    # the replicated lookup cluster
+    "ClusterRouter", "Replica", "ReplicationPublisher",
+    "ShardMap", "build_shard_map",
     # errors
     "ReproError", "StructuralLimitError", "TableFormatError",
     "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
-    "InjectedFault", "ProtocolError", "JournalCorrupt", "PoolError",
+    "InjectedFault", "ProtocolError", "JournalCorrupt", "JournalGap",
+    "PoolError", "ClusterError",
     # network substrate
     "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
     # metadata
@@ -57,6 +61,17 @@ EXPECTED_SERVER = {
     "LookupServer", "ServerConfig", "ServerStats", "TableHandle",
     "TableVersion", "LoadGenerator", "LoadGenConfig", "LoadReport",
     "protocol",
+}
+
+EXPECTED_CLUSTER = {
+    # one node, the shipping channel, and its client helpers
+    "Replica", "ReplicationPublisher",
+    "query_info", "request_promote", "request_retarget",
+    # client-side routing and failover coordination
+    "ClusterRouter", "FailoverMonitor", "RouterConfig", "elect_and_promote",
+    # prefix-space shard maps
+    "Shard", "ShardMap", "build_shard_map", "naive_shard_map",
+    "shard_balance", "shard_rib",
 }
 
 EXPECTED_OBS = {
@@ -138,6 +153,43 @@ def test_protocol_constants_are_frozen():
 def test_journal_corrupt_taxonomy():
     assert issubclass(repro.JournalCorrupt, repro.ReproError)
     assert issubclass(repro.JournalCorrupt, ValueError)
+
+
+def test_cluster_exports_are_frozen():
+    from repro import cluster
+
+    assert set(cluster.__all__) == EXPECTED_CLUSTER, GUIDANCE
+    for name in cluster.__all__:
+        assert hasattr(cluster, name), f"{name} exported but missing"
+
+
+def test_lazy_cluster_exports_resolve():
+    from repro.cluster import (
+        ClusterRouter,
+        Replica,
+        ReplicationPublisher,
+        ShardMap,
+        build_shard_map,
+    )
+    from repro.robust.journal import JournalTailer
+
+    assert repro.ClusterRouter is ClusterRouter
+    assert repro.Replica is Replica
+    assert repro.ReplicationPublisher is ReplicationPublisher
+    assert repro.ShardMap is ShardMap
+    assert repro.build_shard_map is build_shard_map
+    assert repro.JournalTailer is JournalTailer
+    assert "ClusterRouter" in dir(repro)
+
+
+def test_cluster_error_taxonomy():
+    assert issubclass(repro.ClusterError, repro.ReproError)
+    assert issubclass(repro.ClusterError, RuntimeError)
+    # JournalGap is a shipping-channel signal (re-sync from checkpoint),
+    # deliberately NOT a JournalCorrupt: nothing on disk is damaged.
+    assert issubclass(repro.JournalGap, repro.ReproError)
+    assert not issubclass(repro.JournalGap, repro.JournalCorrupt)
+    assert repro.JournalGap("x", resync_seqno=7).resync_seqno == 7
 
 
 def test_registry_names_are_frozen():
