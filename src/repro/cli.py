@@ -276,14 +276,21 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro import obs
     from repro.bench.harness import measure_rate_batch
     from repro.bench.report import Table
     from repro.data.traffic import random_addresses
+    from repro.lookup import kernels
     from repro.lookup.registry import standard_roster
 
+    if args.kernel and args.no_kernel:
+        raise _UsageError("--kernel and --no-kernel are mutually exclusive")
     if args.workers:
         return _bench_multicore(args)
+    if args.kernel:
+        return _bench_kernels(args)
     if args.metrics:
         obs.enable()
     rib = tableio.load_table(_resolve_table(args))
@@ -297,23 +304,100 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except KeyError as error:
         raise _UsageError(error.args[0]) from None
     keys = random_addresses(args.queries, seed=args.seed)
-    table = Table(["Structure", "KiB", "batch Mlps"],
-                  title=f"random-pattern batch rates ({args.queries} queries)")
-    for name, structure in roster.items():
-        if structure is None:
-            table.add_row([name, None, None])
-            continue
-        if args.metrics:
-            structure.enable_obs()
-        result = measure_rate_batch(structure, keys, repeats=args.repeats)
-        table.add_row([name, structure.memory_bytes() / 1024, result.mlps])
-        if args.metrics:
-            structure.stats()  # refresh the per-structure gauges
+    title = f"random-pattern batch rates ({args.queries} queries)"
+    if args.no_kernel:
+        title += ", kernels disabled"
+    table = Table(["Structure", "KiB", "batch Mlps", "engine"], title=title)
+    disable = (
+        kernels.kernels_disabled() if args.no_kernel
+        else contextlib.nullcontext()
+    )
+    with disable:
+        for name, structure in roster.items():
+            if structure is None:
+                table.add_row([name, None, None, None])
+                continue
+            if args.metrics:
+                structure.enable_obs()
+            result = measure_rate_batch(structure, keys, repeats=args.repeats)
+            table.add_row([
+                name, structure.memory_bytes() / 1024, result.mlps,
+                structure.batch_engine(),
+            ])
+            if args.metrics:
+                structure.stats()  # refresh the per-structure gauges
     print(table.render())
     if args.metrics:
         print()
         print(obs.registry().render())
         obs.disable()
+    return 0
+
+
+def _bench_kernels(args: argparse.Namespace) -> int:
+    """``bench --kernel``: scalar vs generic template vs per-engine
+    vectorized path vs branchless kernel, all measured in one process
+    (interleaved min-of-N — see :mod:`repro.bench.kernels`).  ``--json``
+    writes the rows as ``BENCH_kernels.json`` (the CI artifact)."""
+    import json
+
+    from repro.bench.kernels import kernel_comparison
+    from repro.bench.report import Table
+    from repro.data.traffic import random_addresses
+    from repro.lookup.registry import available, get, standard_roster
+
+    if args.algorithm:
+        names = tuple(args.algorithm)
+    else:
+        names = tuple(n for n in available() if get(n).supports_kernel)
+    try:
+        roster = standard_roster(rib := tableio.load_table(
+            _resolve_table(args)), names=names)
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+    keys = random_addresses(args.queries, seed=args.seed)
+    table = Table(
+        ["Structure", "KiB", "scalar", "template", "engine", "kernel",
+         "×template", "×engine", "oracle"],
+        title=(
+            f"batch engines over {len(rib)} routes "
+            f"({args.queries} queries, Mlps, min of {args.repeats})"
+        ),
+    )
+    rows = []
+    for name, structure in roster.items():
+        if structure is None:
+            table.add_row([name] + [None] * 8)
+            continue
+        row = kernel_comparison(structure, keys, repeats=args.repeats)
+        rows.append(row)
+        table.add_row([
+            name, row["memory_bytes"] / 1024, row["scalar_mlps"],
+            row["generic_template_mlps"], row["engine_mlps"],
+            row["kernel_mlps"], row["speedup_vs_template"],
+            row["speedup_vs_engine"],
+            {True: "ok", False: "MISMATCH", None: "-"}[row["oracle_match"]],
+        ])
+    print(table.render())
+    if any(row["oracle_match"] is False for row in rows):
+        print("error: kernel results diverge from the scalar oracle",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        import numpy
+
+        payload = {
+            "scenario": "kernels",
+            "routes": len(rib),
+            "queries": args.queries,
+            "repeats": args.repeats,
+            "numpy": numpy.__version__,
+            "results": rows,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -1005,9 +1089,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measure shared-memory pool scaling at 1..N "
                         "workers instead of the roster comparison "
                         "(the real Figure 8)")
+    p.add_argument("--kernel", action="store_true",
+                   help="measure scalar vs numpy-template vs branchless-"
+                        "kernel rates per algorithm, in one process")
+    p.add_argument("--no-kernel", action="store_true",
+                   help="disable kernel dispatch: measure the legacy "
+                        "per-engine numpy templates")
     p.add_argument("--json", metavar="PATH",
-                   help="with --workers: also write the scaling series "
-                        "as JSON (e.g. BENCH_multicore.json)")
+                   help="with --workers or --kernel: also write the "
+                        "results as JSON (BENCH_multicore.json / "
+                        "BENCH_kernels.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

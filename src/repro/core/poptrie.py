@@ -301,8 +301,20 @@ class Poptrie(LookupStructure):
         return self.leaves[self.base0[index] + bc - 1]
 
     def _lookup_batch(self, keys) -> np.ndarray:
-        """Vectorised batch lookup for IPv4 (uint64 array) and IPv6
-        (object array of 128-bit ints); see :mod:`repro.core.vectorized`."""
+        """Batch lookup: the branchless kernel for any width ≤ 64 (see
+        :mod:`repro.lookup.kernels`), the legacy per-engine template
+        (:mod:`repro.core.vectorized`) when kernel dispatch is disabled,
+        and the chunk-matrix path for IPv6 (object array of 128-bit
+        ints).  The state is rebuilt per call because updates may
+        reallocate the live arrays."""
+        from repro.lookup import kernels
+
+        if self.width <= 64 and kernels.dispatch_enabled():
+            kernel = kernels.kernel_for_class(type(self))
+            if kernel is not None:
+                return kernel.lookup_batch(
+                    kernel.state_from_structure(self), keys
+                )
         if self.width == 32:
             from repro.core.vectorized import poptrie_lookup_batch
 

@@ -29,11 +29,16 @@ Plus the rest of Section 2's lineage, for completeness and ablation:
 All of the above (plus Poptrie itself) self-register with
 :mod:`repro.lookup.registry`, the single place that knows how to build the
 paper's comparison roster — ``registry.get(name).from_rib(rib)``.
+
+:mod:`repro.lookup.kernels` holds the stateless branchless batch kernels
+that serve the flat-array structures (Poptrie, DIR-24-8, SAIL, DXR)
+straight off zero-copy ``TableImage`` segment views — the data plane's
+hot path (docs/KERNELS.md).
 """
 
 import warnings
 
-from repro.lookup import registry
+from repro.lookup import kernels, registry
 from repro.lookup.base import (
     LookupStructure,
     NoOptions,
@@ -56,6 +61,7 @@ __all__ = [
     "StructureConfig",
     "NoOptions",
     "normalize_batch_keys",
+    "kernels",
     "registry",
     "RadixLookup",
     "TreeBitmap",

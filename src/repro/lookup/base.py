@@ -195,6 +195,27 @@ class LookupStructure(abc.ABC):
         """True when :meth:`lookup_batch` is a real vectorised engine."""
         return type(self)._lookup_batch is not LookupStructure._lookup_batch
 
+    @classmethod
+    def supports_kernel(cls) -> bool:
+        """True when a stateless branchless kernel is registered for this
+        structure class (see :mod:`repro.lookup.kernels`).  The registry
+        mirrors this as ``AlgorithmEntry.supports_kernel``."""
+        from repro.lookup import kernels
+
+        return kernels.kernel_for_class(cls) is not None
+
+    def batch_engine(self) -> str:
+        """Which engine a :meth:`lookup_batch` call would use right now:
+        ``"kernel:<name>"``, ``"template"`` (the pre-kernel per-engine
+        numpy path), or ``"scalar"`` (the per-key fallback loop)."""
+        from repro.lookup import kernels
+
+        if kernels.dispatch_enabled():
+            kernel = kernels.kernel_for_class(type(self))
+            if kernel is not None and kernel.supports_width(self.width):
+                return f"kernel:{kernel.name}"
+        return "template" if self.supports_batch() else "scalar"
+
     def memory_mib(self) -> float:
         return self.memory_bytes() / (1 << 20)
 
@@ -290,8 +311,8 @@ class LookupStructure(abc.ABC):
         """A stable snapshot of this structure's state and counters.
 
         The base schema — ``name``, ``type``, ``memory_bytes``,
-        ``memory_mib``, ``observed``, ``lookups``, ``batch_keys`` — is
-        identical for every structure (the lookup counters are 0 unless
+        ``memory_mib``, ``observed``, ``lookups``, ``batch_keys``,
+        ``batch_engine`` — is identical for every structure (the lookup counters are 0 unless
         :meth:`enable_obs` is active); subclasses extend it via
         :meth:`_extra_stats`.  When observability is enabled this also
         refreshes the structure's gauges in the active registry, so a
@@ -324,6 +345,7 @@ class LookupStructure(abc.ABC):
             "observed": observed,
             "lookups": lookups,
             "batch_keys": batch_keys,
+            "batch_engine": self.batch_engine(),
         }
         data.update(self._extra_stats())
         return data

@@ -124,6 +124,19 @@ class Dir24_8(LookupStructure):
         return entry
 
     def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        from repro.lookup import kernels
+
+        if kernels.dispatch_enabled():
+            kernel = kernels.kernel_for_class(type(self))
+            if kernel is not None:
+                return kernel.lookup_batch(
+                    kernel.state_from_structure(self), keys
+                )
+        return self._lookup_batch_template(keys)
+
+    def _lookup_batch_template(self, keys: np.ndarray) -> np.ndarray:
+        """Pre-kernel numpy template, kept as the ``--no-kernel``
+        baseline and the kernels' in-repo reference implementation."""
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         tbl24 = np.frombuffer(self.tbl24, dtype=np.uint16)
         entries = tbl24[(keys >> np.uint64(8)).astype(np.int64)]

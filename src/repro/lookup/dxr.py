@@ -212,6 +212,19 @@ class Dxr(LookupStructure):
     def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
         if self.width != 32:
             return super()._lookup_batch(keys)
+        from repro.lookup import kernels
+
+        if kernels.dispatch_enabled():
+            kernel = kernels.kernel_for_class(type(self))
+            if kernel is not None:
+                return kernel.lookup_batch(
+                    kernel.state_from_structure(self), keys
+                )
+        return self._lookup_batch_template(keys)
+
+    def _lookup_batch_template(self, keys: np.ndarray) -> np.ndarray:
+        """Pre-kernel numpy template, kept as the ``--no-kernel``
+        baseline and the kernels' in-repo reference implementation."""
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         table = np.frombuffer(self.table, dtype=np.uint32)
         chunk = keys >> np.uint64(self.offset_bits)

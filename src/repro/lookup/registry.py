@@ -92,6 +92,21 @@ class AlgorithmEntry:
         probe = getattr(self.cls, "supports_image", None)
         return bool(probe()) if callable(probe) else False
 
+    @property
+    def supports_kernel(self) -> bool:
+        """True when a stateless branchless batch kernel is registered
+        for this structure class (see :mod:`repro.lookup.kernels`) — the
+        capability gate for serving straight off image views."""
+        return self.kernel is not None
+
+    @property
+    def kernel(self):
+        """The :class:`~repro.lookup.kernels.LookupKernel` registered for
+        this structure class, or ``None``."""
+        from repro.lookup import kernels
+
+        return kernels.kernel_for_class(self.cls)
+
 
 _ENTRIES: Dict[str, AlgorithmEntry] = {}
 

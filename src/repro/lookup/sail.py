@@ -161,6 +161,19 @@ class Sail(LookupStructure):
         return self.n32[index]
 
     def _lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        from repro.lookup import kernels
+
+        if kernels.dispatch_enabled():
+            kernel = kernels.kernel_for_class(type(self))
+            if kernel is not None:
+                return kernel.lookup_batch(
+                    kernel.state_from_structure(self), keys
+                )
+        return self._lookup_batch_template(keys)
+
+    def _lookup_batch_template(self, keys: np.ndarray) -> np.ndarray:
+        """Pre-kernel numpy template, kept as the ``--no-kernel``
+        baseline and the kernels' in-repo reference implementation."""
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         bcn16 = np.frombuffer(self.bcn16, dtype=np.uint16)
         entries = bcn16[(keys >> np.uint64(16)).astype(np.int64)]

@@ -5,9 +5,14 @@ cores.  :class:`WorkerPool` does exactly that with processes (the only
 route to real parallelism under the GIL): it serializes a structure to a
 :class:`~repro.parallel.image.TableImage`, places the image in
 :mod:`multiprocessing.shared_memory`, and spawns N workers that *attach*
-to the segment — ``from_image(..., copy=False)`` wraps the shared buffer
-in read-only numpy views, so all workers execute lookups against the
-same physical pages the parent wrote once.
+to the segment.  A worker attaches a stateless branchless kernel
+directly to the image's segment views when one is registered
+(:func:`repro.lookup.kernels.attach` — no structure is materialized at
+all), and falls back to ``from_image(..., copy=False)`` read-only numpy
+views otherwise; either way all workers execute lookups against the
+same physical pages the parent wrote once.  Which engine each worker
+runs is reported in its ``ready`` message, :meth:`WorkerPool.stats` and
+the ``repro_pool_engine_batches_total{pool,engine}`` counter.
 
 Batches are sharded across the workers and reassembled in shard order,
 so ``pool.lookup_batch(keys)`` is bit-for-bit the array
@@ -99,11 +104,13 @@ def _worker_main(worker_id: int, shm_name: str, generation: int,
     than one message in flight per worker):
 
     - ``("batch", task_id, keys)`` → ``("result", task_id, results)``
-    - ``("swap", gen, name)``      → ``("swapped", id, gen)``
+    - ``("swap", gen, name)``      → ``("swapped", id, gen, engine)``
     - ``("stop",)``                → exit
 
-    On startup (and after every swap) the worker sends
-    ``("ready", id, gen)``.
+    On startup the worker sends ``("ready", id, gen, engine)`` where
+    ``engine`` describes what serves its batches: ``"kernel:<name>"``
+    when a stateless kernel attached straight to the shm segment views,
+    else ``"structure:<Type>"`` for the zero-copy structure fallback.
     """
     # The parent owns lifecycle; a Ctrl-C on the foreground process
     # group must not take workers down before the pool's own shutdown.
@@ -112,15 +119,20 @@ def _worker_main(worker_id: int, shm_name: str, generation: int,
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
 
+    from repro.lookup import kernels
+
     def attach(name):
         shm = shared_memory.SharedMemory(name=name)
-        structure = image_to_structure(
-            TableImage.open(shm.buf, verify=verify), copy=False
-        )
-        return shm, structure
+        image = TableImage.open(shm.buf, verify=verify)
+        try:
+            bound = kernels.attach(image)
+        except TypeError:
+            structure = image_to_structure(image, copy=False)
+            return shm, structure, f"structure:{type(structure).__name__}"
+        return shm, bound, f"kernel:{bound.kernel_name}"
 
-    shm, structure = attach(shm_name)
-    conn.send(("ready", worker_id, generation))
+    shm, structure, engine = attach(shm_name)
+    conn.send(("ready", worker_id, generation, engine))
     try:
         while True:
             try:
@@ -137,7 +149,7 @@ def _worker_main(worker_id: int, shm_name: str, generation: int,
             elif op == "swap":
                 _, generation, name = message
                 old_shm, old_structure = shm, structure
-                shm, structure = attach(name)
+                shm, structure, engine = attach(name)
                 # Release every view into the old segment before closing
                 # its mapping; a stray reference raises BufferError, in
                 # which case the mapping is simply left to process exit
@@ -148,7 +160,7 @@ def _worker_main(worker_id: int, shm_name: str, generation: int,
                     old_shm.close()
                 except BufferError:  # pragma: no cover - defensive
                     pass
-                conn.send(("swapped", worker_id, generation))
+                conn.send(("swapped", worker_id, generation, engine))
     finally:
         del structure
         gc.collect()
@@ -160,13 +172,14 @@ def _worker_main(worker_id: int, shm_name: str, generation: int,
 
 
 class _Worker:
-    __slots__ = ("id", "process", "conn", "restarts")
+    __slots__ = ("id", "process", "conn", "restarts", "engine")
 
     def __init__(self, worker_id: int, process, conn) -> None:
         self.id = worker_id
         self.process = process
         self.conn = conn
         self.restarts = 0
+        self.engine = "unknown"
 
 
 def _cleanup_segments(segments: Dict[int, shared_memory.SharedMemory]) -> None:
@@ -256,7 +269,9 @@ class WorkerPool:
         process.start()
         child_conn.close()
         worker = _Worker(worker_id, process, parent_conn)
-        self._expect(worker, "ready")
+        message = self._expect(worker, "ready")
+        if len(message) > 3:
+            worker.engine = message[3]
         return worker
 
     def _respawn(self, worker: _Worker) -> _Worker:
@@ -423,6 +438,11 @@ class WorkerPool:
                 "Shards completed, per worker slot.",
                 worker=str(worker.id),
             )
+            self._count(
+                "repro_pool_engine_batches_total",
+                "Shards completed, by the engine that served them.",
+                engine=worker.engine,
+            )
 
     # -- RCU hot swap ----------------------------------------------------
 
@@ -458,7 +478,9 @@ class WorkerPool:
             for worker in self._workers:
                 if worker in drained:
                     try:
-                        self._expect(worker, "swapped")
+                        message = self._expect(worker, "swapped")
+                        if len(message) > 3:
+                            worker.engine = message[3]
                         continue
                     except PoolError:
                         pass  # died mid-swap: respawn at the new gen
@@ -559,6 +581,7 @@ class WorkerPool:
             "image_nbytes": self._image_nbytes,
             "restarts": sum(w.restarts for w in self._workers),
             "memory_bytes": self._image_nbytes,
+            "engines": {str(w.id): w.engine for w in self._workers},
         }
 
 

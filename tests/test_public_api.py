@@ -74,6 +74,20 @@ EXPECTED_CLUSTER = {
     "shard_balance", "shard_rib",
 }
 
+EXPECTED_KERNELS = {
+    # the stateless kernel contract and its bound form
+    "LookupKernel", "BoundKernel",
+    # the per-engine kernels
+    "PoptrieKernel", "Dir24_8Kernel", "SailKernel", "DxrKernel",
+    # resolution + binding
+    "attach", "kernel_for", "kernel_for_class",
+    "register_kernel", "available_kernels",
+    # dispatch control (bench --no-kernel, template-agreement tests)
+    "dispatch_enabled", "kernels_disabled",
+    # the popcount primitive
+    "popcount64",
+}
+
 EXPECTED_OBS = {
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "NULL_REGISTRY", "ProfileResult", "SpanRecord", "clear_spans",
@@ -209,6 +223,25 @@ def test_server_exports_are_frozen():
     assert set(server.__all__) == EXPECTED_SERVER, GUIDANCE
     for name in server.__all__:
         assert hasattr(server, name), f"{name} exported but missing"
+
+
+def test_kernels_exports_are_frozen():
+    from repro.lookup import kernels
+
+    assert set(kernels.__all__) == EXPECTED_KERNELS, GUIDANCE
+    for name in kernels.__all__:
+        assert hasattr(kernels, name), f"{name} exported but missing"
+
+
+def test_kernels_registry_round_trip():
+    """The registry's capability gates agree with the kernel module."""
+    from repro.lookup import kernels
+
+    for name in registry.available():
+        entry = registry.get(name)
+        assert entry.supports_kernel == (
+            kernels.kernel_for_class(entry.cls) is not None
+        )
 
 
 def test_lookup_package_exports():
