@@ -1,0 +1,59 @@
+"""The GeoIP value-plane scenario (docs/VALUES.md): BENCH_geoip.json.
+
+Not a figure from the paper — this benchmarks the generalized value
+plane: a country-code table built raw, with the paper's exact
+aggregation, and with same-value subtree pruning at Poptrie's stride,
+checking that (a) aggregation exploits the workload's low value entropy
+(fewer routes and internal nodes), and (b) value ids flow through the
+branchless kernels unchanged (scalar/kernel fingerprint agreement — the
+acceptance gate for the value-plane redesign).
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, SCALE, emit
+
+from repro.bench.geoip_scenario import geoip_scenario
+from repro.bench.report import Table
+
+N_PREFIXES = max(2000, int(1_000_000 * SCALE))
+N_QUERIES = max(5000, int(2_500_000 * SCALE))
+
+
+def test_geoip_value_plane_scenario():
+    payload = geoip_scenario(
+        n_prefixes=N_PREFIXES, queries=N_QUERIES, seed=1, spans=(6,)
+    )
+
+    table = Table(
+        ["Aggregation", "routes", "inodes", "leaves", "KiB", "mean depth",
+         "oracle"],
+        title=(
+            f"GeoIP value plane: {payload['algorithm']} over "
+            f"{payload['prefixes']} routes, {payload['countries']} "
+            f"countries (scale={SCALE})"
+        ),
+    )
+    for row in payload["builds"]:
+        table.add_row([
+            row["aggregation"], row["routes"], row["inodes"], row["leaves"],
+            row["memory_bytes"] / 1024, row["mean_depth"],
+            {True: "ok", False: "MISMATCH", None: "-"}[row["oracle_match"]],
+        ])
+    emit(table, "geoip_scenario")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_geoip.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    raw, simple, uniform = payload["builds"][:3]
+    # The acceptance criteria: aggregation reduces node counts...
+    assert simple["routes"] < raw["routes"]
+    assert simple["inodes"] < raw["inodes"]
+    assert uniform["inodes"] < raw["inodes"]
+    # ...and the kernels agree with the scalar oracle on valued tables.
+    assert payload["oracle_agreement"] is True
+    for row in payload["builds"]:
+        assert row["values"] == {
+            "kind": "cc", "count": payload["countries"]
+        }

@@ -47,7 +47,7 @@ from repro.errors import (
 )
 from repro.lookup import registry
 from repro.lookup.base import LookupStructure
-from repro.net.fib import NO_ROUTE, Fib, NextHop
+from repro.net.values import NO_ROUTE, NO_VALUE, Fib, NextHop, ValueTable
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 from repro.robust.faults import FaultPlan
@@ -132,8 +132,10 @@ __all__ = [
     "ClusterError",
     "ProtocolError",
     "NO_ROUTE",
+    "NO_VALUE",
     "Fib",
     "NextHop",
+    "ValueTable",
     "Prefix",
     "Rib",
     "__version__",

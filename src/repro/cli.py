@@ -65,7 +65,11 @@ def _load_structure(path: str):
         from repro.parallel.image import load_structure
 
         return load_structure(path)
-    return Poptrie.from_rib(tableio.load_table(path))
+    rib = tableio.load_table(path)
+    trie = Poptrie.from_rib(rib)
+    if rib.values is not None:
+        trie.attach_values(rib.values)
+    return trie
 
 
 def _is_snapshot(path: str) -> bool:
@@ -129,6 +133,16 @@ def _resolve_table(args: argparse.Namespace) -> Optional[str]:
             )
         return None
     return given[0]
+
+
+def _require_table(args: argparse.Namespace) -> str:
+    """Like :func:`_resolve_table` but a table must have been given."""
+    path = _resolve_table(args)
+    if path is None:
+        raise _UsageError(
+            "a table is required (positional TABLE or --table PATH)"
+        )
+    return path
 
 
 def _add_algorithm_arg(
@@ -201,7 +215,37 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_lookup(args: argparse.Namespace) -> int:
-    structure = _load_structure(_resolve_table(args))
+    if args.geoip:
+        # With --geoip there is no table, so whatever landed in the
+        # optional positional slot is really the first address.
+        if getattr(args, "table_pos", None):
+            args.addresses.insert(0, args.table_pos)
+            args.table_pos = None
+        if _resolve_table(args):
+            raise _UsageError("--geoip synthesises its table; drop --table")
+        # The value-plane demo: synthesise a GeoIP RIB (country-code
+        # values) and serve lookups from it.
+        from repro.data.geoip import generate_geoip_table
+
+        rib, values = generate_geoip_table(
+            args.geoip_routes, seed=args.seed
+        )
+        structure = Poptrie.from_rib(rib)
+        structure.attach_values(values)
+        print(
+            f"geoip demo: {len(rib)} synthetic routes over "
+            f"{len(values)} countries (seed {args.seed})",
+            file=sys.stderr,
+        )
+    else:
+        path = _resolve_table(args)
+        if path is None:
+            raise _UsageError(
+                "a table is required (positional TABLE or --table PATH), "
+                "or pass --geoip for the synthetic demo"
+            )
+        structure = _load_structure(path)
+    values = structure.values
     status = 0
     for text in args.addresses:
         try:
@@ -216,10 +260,15 @@ def cmd_lookup(args: argparse.Namespace) -> int:
             status = 2
             continue
         index = structure.lookup(value)
-        if index:
-            print(f"{text} -> FIB[{index}]")
-        else:
+        if not index:
             print(f"{text} -> no route")
+        elif values is not None:
+            # Edge resolution: the structure returned an id; the value
+            # table says what it means (docs/VALUES.md).
+            payload = values.codec.format(values[index])
+            print(f"{text} -> {payload} (id {index})")
+        else:
+            print(f"{text} -> FIB[{index}]")
     return status
 
 
@@ -287,13 +336,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.kernel and args.no_kernel:
         raise _UsageError("--kernel and --no-kernel are mutually exclusive")
+    if args.geoip and (args.kernel or args.workers):
+        raise _UsageError(
+            "--geoip is its own scenario; drop --kernel/--workers"
+        )
+    if args.geoip:
+        return _bench_geoip(args)
     if args.workers:
         return _bench_multicore(args)
     if args.kernel:
         return _bench_kernels(args)
     if args.metrics:
         obs.enable()
-    rib = tableio.load_table(_resolve_table(args))
+    rib = tableio.load_table(_require_table(args))
     names = tuple(args.algorithm) if args.algorithm else None
     try:
         roster = (
@@ -334,6 +389,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_geoip(args: argparse.Namespace) -> int:
+    """``bench --geoip``: the value-plane aggregation scenario.
+
+    Builds one synthetic GeoIP table (country-code values) raw, with the
+    paper's aggregation, and with the swoiow same-value subtree pruning,
+    comparing node counts, depth distributions and scalar-vs-kernel
+    oracle fingerprints.  ``--json`` writes ``BENCH_geoip.json`` (the CI
+    artifact); a kernel/oracle mismatch exits 1.
+    """
+    import json
+
+    from repro.bench.geoip_scenario import geoip_scenario
+    from repro.bench.report import Table
+
+    if _resolve_table(args):
+        raise _UsageError("--geoip synthesises its table; drop TABLE")
+    names = args.algorithm or ["Poptrie18"]
+    if len(names) > 1:
+        raise _UsageError(
+            "--geoip benches one algorithm; pass --algorithm at most once"
+        )
+    try:
+        payload = geoip_scenario(
+            n_prefixes=args.geoip_routes,
+            queries=args.queries,
+            seed=args.seed,
+            algorithm=names[0],
+        )
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+    table = Table(
+        ["Aggregation", "routes", "inodes", "leaves", "KiB",
+         "mean depth", "oracle"],
+        title=(
+            f"{payload['algorithm']}: GeoIP value plane over "
+            f"{payload['prefixes']} routes, {payload['countries']} "
+            f"countries ({payload['queries']} queries)"
+        ),
+    )
+    for row in payload["builds"]:
+        table.add_row([
+            row["aggregation"], row["routes"], row["inodes"],
+            row["leaves"], row["memory_bytes"] / 1024, row["mean_depth"],
+            {True: "ok", False: "MISMATCH", None: "-"}[row["oracle_match"]],
+        ])
+    print(table.render())
+    if not payload["oracle_agreement"]:
+        print("error: kernel results diverge from the scalar oracle",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _bench_kernels(args: argparse.Namespace) -> int:
     """``bench --kernel``: scalar vs generic template vs per-engine
     vectorized path vs branchless kernel, all measured in one process
@@ -352,7 +465,7 @@ def _bench_kernels(args: argparse.Namespace) -> int:
         names = tuple(n for n in available() if get(n).supports_kernel)
     try:
         roster = standard_roster(rib := tableio.load_table(
-            _resolve_table(args)), names=names)
+            _require_table(args)), names=names)
     except KeyError as error:
         raise _UsageError(error.args[0]) from None
     keys = random_addresses(args.queries, seed=args.seed)
@@ -431,7 +544,7 @@ def _bench_multicore(args: argparse.Namespace) -> int:
         raise _UsageError(
             f"--workers: {names[0]} does not support zero-copy table images"
         )
-    rib = tableio.load_table(_resolve_table(args))
+    rib = tableio.load_table(_require_table(args))
     structure = entry.from_rib(rib)
     keys = random_addresses(args.queries, seed=args.seed)
     single = measure_rate_batch(structure, keys, repeats=args.repeats)
@@ -1056,8 +1169,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("lookup", help="look addresses up in a table/snapshot")
-    _add_table_arg(p)
+    _add_table_arg(p, required=False)
     p.add_argument("addresses", nargs="+")
+    p.add_argument("--geoip", action="store_true",
+                   help="no table: look up against a synthetic GeoIP "
+                        "country-code table (the value-plane demo)")
+    p.add_argument("--geoip-routes", type=int, default=20_000,
+                   help="synthetic GeoIP table size (default 20000)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="synthetic GeoIP table seed (default 1)")
     p.set_defaults(func=cmd_lookup)
 
     p = sub.add_parser(
@@ -1076,7 +1196,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("bench", help="quick batch-rate comparison")
-    _add_table_arg(p)
+    _add_table_arg(p, required=False)
     p.add_argument("--algorithm", action="append", metavar="NAME",
                    help="limit the roster to NAME (repeatable; default: "
                         "the paper's Figure 9 roster)")
@@ -1095,10 +1215,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-kernel", action="store_true",
                    help="disable kernel dispatch: measure the legacy "
                         "per-engine numpy templates")
+    p.add_argument("--geoip", action="store_true",
+                   help="run the GeoIP value-plane scenario (synthetic "
+                        "country-code table; raw vs aggregated builds)")
+    p.add_argument("--geoip-routes", type=int, default=20_000,
+                   help="with --geoip: synthetic table size (default 20000)")
     p.add_argument("--json", metavar="PATH",
-                   help="with --workers or --kernel: also write the "
-                        "results as JSON (BENCH_multicore.json / "
-                        "BENCH_kernels.json)")
+                   help="with --workers, --kernel or --geoip: also write "
+                        "the results as JSON (BENCH_multicore.json / "
+                        "BENCH_kernels.json / BENCH_geoip.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

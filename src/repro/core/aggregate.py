@@ -6,11 +6,23 @@ gap, into the single prefix representing the whole subtree", and notes the
 optimisation is applicable to any lookup structure.  Unless stated
 otherwise the paper's Poptrie numbers include it (Table 2's bottom block).
 
-Two algorithms are provided:
+Aggregation operates on the route *ids* in the RIB's nodes and never
+inspects payloads, so it applies unchanged to any value plane (next-hop
+indices, GeoIP country ids, ACL classes — see docs/VALUES.md): what it
+exploits is purely the entropy of the value column (Rétvári et al.,
+arXiv:1402.1194).
+
+Three algorithms are provided:
 
 - :func:`aggregate_simple` — the paper's aggregation: bottom-up subtree
   merging plus removal of routes made redundant by their covering route.
   Exact (lookup results are unchanged for every address).
+- :func:`aggregate_uniform` — the swoiow poptrie's same-value subtree
+  pruning, as a route-list transform: a uniform subtree may only
+  collapse into a shorter prefix at multiple-of-``span`` depths, i.e.
+  exactly when a multibit node's ``2^span`` children are identical
+  leaves.  ``span=1`` degenerates to :func:`aggregate_simple`; also
+  exact.
 - :func:`aggregate_ortc` — the classic Optimal Route Table Construction
   algorithm (Draves et al.) as an ablation extension: produces the minimal
   equivalent table, at higher construction cost.  Note ORTC minimises the
@@ -73,11 +85,15 @@ def _combine(left: Tuple[int, bool], right: Tuple[int, bool]) -> Tuple[int, bool
     return lv, has_gap
 
 
-def aggregate_simple(rib: Rib) -> List[Tuple[Prefix, int]]:
-    """The paper's route aggregation.  Returns the reduced route list.
+def _emit_routes(rib: Rib, span: int) -> List[Tuple[Prefix, int]]:
+    """Shared emitter behind the exact aggregations.
 
-    Exactness: for every address, looking up the returned table gives the
-    same FIB index as the input table (including NO_ROUTE misses).
+    ``span`` gates where a merged subtree may surface as one route: a
+    uniform subtree collapses only at depths that are multiples of
+    ``span`` (or at a leaf, where "collapsing" just re-emits the route
+    where it already is).  Elsewhere the walk descends, which is always
+    an exact representation, so every span produces an equivalent table;
+    larger spans trade route count for stride alignment.
     """
     summaries: Dict[int, Tuple[int, bool]] = {}
     _summarise(rib.root, summaries)
@@ -97,7 +113,7 @@ def aggregate_simple(rib: Rib) -> List[Tuple[Prefix, int]]:
             collapsed = summary_value
         elif summary_value != _MIXED and has_gap and summary_value == effective:
             collapsed = summary_value
-        if collapsed is not None:
+        if collapsed is not None and (length % span == 0 or node.is_leaf()):
             if collapsed != inherited and collapsed != NO_ROUTE:
                 routes.append((Prefix(value, length, rib.width), collapsed))
             return
@@ -112,10 +128,42 @@ def aggregate_simple(rib: Rib) -> List[Tuple[Prefix, int]]:
     return routes
 
 
-def aggregated_rib(rib: Rib) -> Rib:
-    """Convenience: a new RIB holding the :func:`aggregate_simple` output."""
-    out = Rib(width=rib.width)
-    for prefix, fib_index in aggregate_simple(rib):
+def aggregate_simple(rib: Rib) -> List[Tuple[Prefix, int]]:
+    """The paper's route aggregation.  Returns the reduced route list.
+
+    Exactness: for every address, looking up the returned table gives the
+    same FIB index as the input table (including NO_ROUTE misses).
+    """
+    return _emit_routes(rib, span=1)
+
+
+def aggregate_uniform(rib: Rib, span: int = 8) -> List[Tuple[Prefix, int]]:
+    """Same-value subtree pruning at ``span``-bit stride boundaries.
+
+    The swoiow poptrie's aggregation rule (SNIPPETS.md): in a multibit
+    trie with ``span``-bit strides, a node all of whose ``2^span``
+    children are identical leaves is pruned to a single leaf one level
+    up.  As a route-list transform that means a uniform subtree may only
+    be replaced by a shorter prefix when that prefix length is a
+    multiple of ``span`` — merged prefixes then land exactly on chunk
+    boundaries of a ``k=span`` multibit structure, which is where the
+    node-count savings come from.  Exact, like
+    :func:`aggregate_simple` (to which it degenerates at ``span=1``).
+    """
+    if span < 1:
+        raise ValueError(f"span must be >= 1, got {span}")
+    return _emit_routes(rib, span=span)
+
+
+def aggregated_rib(rib: Rib, span: int = 1) -> Rib:
+    """Convenience: a new RIB holding the exact-aggregation output.
+
+    ``span=1`` is :func:`aggregate_simple`; larger spans apply
+    :func:`aggregate_uniform`.  The input's attached value table (if
+    any) carries over — aggregation renumbers nothing.
+    """
+    out = Rib(width=rib.width, values=rib.values)
+    for prefix, fib_index in _emit_routes(rib, span=span):
         out.insert(prefix, fib_index)
     return out
 

@@ -17,10 +17,13 @@ substitution table in DESIGN.md:
 - :mod:`repro.data.traffic` — random / sequential / repeated / real-trace
   query streams (Section 4.2).
 - :mod:`repro.data.updates` — BGP update-stream synthesis (Section 4.9).
+- :mod:`repro.data.geoip` — country-code RIBs over a ``"cc"`` value
+  table (the generalized-value-plane workload, docs/VALUES.md).
 - :mod:`repro.data.tableio` — snapshot save/load in a plain text format.
 """
 
 from repro.data.datasets import DATASETS, Dataset, load_dataset
+from repro.data.geoip import COUNTRY_WEIGHTS, generate_geoip_table
 from repro.data.synth import generate_table, generate_table_v6
 from repro.data.traffic import (
     random_addresses,
@@ -34,6 +37,8 @@ __all__ = [
     "DATASETS",
     "Dataset",
     "load_dataset",
+    "COUNTRY_WEIGHTS",
+    "generate_geoip_table",
     "generate_table",
     "generate_table_v6",
     "random_addresses",

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.data import expand, synth
-from repro.net.fib import Fib, synthetic_fib
+from repro.net.values import Fib, synthetic_fib
 from repro.net.rib import Rib
 
 

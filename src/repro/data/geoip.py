@@ -1,0 +1,118 @@
+"""GeoIP workload synthesis: a country-code RIB over a ``"cc"`` value table.
+
+The first non-next-hop workload for the generalized value plane
+(docs/VALUES.md): prefixes map to ISO 3166 alpha-2 country codes, as in
+the swoiow poptrie's GeoIP table (SNIPPETS.md).  What makes GeoIP
+structurally different from a BGP FIB is its value entropy: address
+space is delegated to registries in large contiguous allocations, so
+huge runs of neighbouring prefixes share one value — exactly the regime
+where same-value subtree aggregation
+(:func:`repro.core.aggregate.aggregate_uniform`) collapses the table.
+
+The generator models that delegation process directly:
+
+- *allocation blocks*: short covering prefixes (/8–/12), each assigned
+  to a country drawn from a skewed real-world weight table;
+- *announcements*: more-specific prefixes (typically /16–/24) inside a
+  block.  With probability ``locality`` an announcement keeps its
+  block's country (geo-locality — redundant routes that aggregation
+  removes); otherwise it is an exception (a foreign assignment that
+  correctly survives aggregation).
+
+Seeded and deterministic, like every generator in :mod:`repro.data`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+from repro.net.rib import Rib
+from repro.net.values import NO_ROUTE, ValueTable
+
+#: Rough relative shares of allocated IPv4 space per country (top
+#: holders; the long tail is truncated).  Only the *skew* matters: a few
+#: countries own most blocks, so most same-value merges are large.
+COUNTRY_WEIGHTS: Tuple[Tuple[str, int], ...] = (
+    ("US", 300), ("CN", 140), ("JP", 90), ("DE", 55), ("GB", 50),
+    ("KR", 50), ("FR", 42), ("BR", 40), ("CA", 35), ("IT", 30),
+    ("AU", 25), ("RU", 25), ("IN", 24), ("NL", 22), ("ES", 18),
+    ("MX", 16), ("SE", 14), ("TW", 14), ("CH", 10), ("PL", 10),
+    ("TR", 9), ("ID", 9), ("AR", 8), ("ZA", 7), ("CO", 6),
+    ("VN", 6), ("TH", 5), ("EG", 5), ("SA", 5), ("NO", 4),
+    ("FI", 4), ("DK", 4), ("BE", 4), ("AT", 4), ("CZ", 4),
+    ("PT", 3), ("GR", 3), ("RO", 3), ("HU", 3), ("CL", 3),
+    ("NZ", 3), ("IE", 3), ("IL", 3), ("MY", 3), ("PH", 2),
+    ("PK", 2), ("NG", 2), ("KE", 2),
+)
+
+#: Announcement prefix-length mix inside an allocation block, relative
+#: to the block length (BGP-flavoured: /24-ish announcements dominate).
+_EXTRA_BITS_WEIGHTS: Tuple[Tuple[int, int], ...] = (
+    (4, 10), (6, 15), (8, 30), (10, 15), (12, 25), (14, 8), (16, 4),
+)
+
+
+def generate_geoip_table(
+    n_prefixes: int = 10_000,
+    n_countries: Optional[int] = None,
+    seed: int = 1,
+    locality: float = 0.85,
+    block_fraction: float = 0.15,
+    width: int = 32,
+) -> Tuple[Rib, ValueTable]:
+    """Synthesise a GeoIP routing table; returns ``(rib, values)``.
+
+    ``rib.values`` is already attached, so registry builds
+    (``entry.from_rib(rib)``) carry the table into the structure and
+    images automatically.  ``n_countries`` truncates the weight table
+    (default: all of :data:`COUNTRY_WEIGHTS`); ``locality`` is the
+    probability that a more-specific announcement keeps its allocation
+    block's country; ``block_fraction`` is the share of routes that are
+    fresh allocation blocks rather than announcements inside one.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    pool = (
+        COUNTRY_WEIGHTS if n_countries is None
+        else COUNTRY_WEIGHTS[:n_countries]
+    )
+    if not pool:
+        raise ValueError("n_countries must leave at least one country")
+    codes = [code for code, _ in pool]
+    weights = [weight for _, weight in pool]
+    rng = random.Random(seed)
+    values = ValueTable("cc")
+    rib = Rib(width=width, values=values)
+    blocks: List[Tuple[int, int, str]] = []
+
+    def pick_country() -> str:
+        return rng.choices(codes, weights)[0]
+
+    while len(rib) < n_prefixes:
+        if not blocks or rng.random() < block_fraction:
+            length = rng.randint(8, 12)
+            value = rng.getrandbits(length) << (width - length)
+            country = pick_country()
+            prefix = Prefix(value, length, width)
+            if rib.get(prefix) != NO_ROUTE:
+                continue
+            rib.insert(prefix, values.intern(country))
+            blocks.append((value, length, country))
+        else:
+            base_value, base_length, country = rng.choice(blocks)
+            extra = rng.choices(
+                [bits for bits, _ in _EXTRA_BITS_WEIGHTS],
+                [weight for _, weight in _EXTRA_BITS_WEIGHTS],
+            )[0]
+            length = min(base_length + extra, width - 4)
+            suffix = rng.getrandbits(length - base_length)
+            value = base_value | (suffix << (width - length))
+            prefix = Prefix(value, length, width)
+            if rib.get(prefix) != NO_ROUTE:
+                continue
+            if rng.random() >= locality:
+                country = pick_country()
+            rib.insert(prefix, values.intern(country))
+    return rib, values

@@ -38,7 +38,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.fib import Fib, synthetic_fib
+from repro.net.values import Fib, synthetic_fib
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 

@@ -15,6 +15,18 @@ Two on-disk representations of a RIB:
   nothing to the algorithms under study, so snapshots use this
   transparent format instead).
 
+  A RIB with an attached :class:`~repro.net.values.ValueTable` writes it
+  as comment directives right after the header::
+
+      # repro-values kind=cc count=2
+      # v 1 CN
+      # v 2 US
+
+  Deliberately comment-shaped: pre-value-plane parsers skip ``#`` lines,
+  so valued snapshots stay loadable everywhere (the values are simply
+  dropped there), while this parser rebuilds the table and attaches it
+  to the returned RIB.
+
 - The binary ``RPIMG001`` image format of :mod:`repro.parallel.image`
   (:func:`rib_to_image` / :func:`rib_from_image` /
   :func:`save_table_image`) — the blessed persistence surface shared
@@ -39,6 +51,8 @@ from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
 _HEADER = "# repro-table v1 width="
+_VALUES_HEADER = "# repro-values "
+_VALUE_LINE = "# v "
 
 #: FIB indices must fit the widest supported leaf encoding (32-bit);
 #: index 0 is the NO_ROUTE sentinel and never appears in a table.
@@ -53,6 +67,14 @@ def save_table(rib: Rib, destination: Union[str, TextIO]) -> int:
     stream = open(destination, "w") if owned else destination
     try:
         stream.write(f"{_HEADER}{rib.width}\n")
+        if rib.values is not None:
+            values = rib.values
+            codec = values.codec
+            stream.write(
+                f"{_VALUES_HEADER}kind={values.kind} count={len(values)}\n"
+            )
+            for index, value in enumerate(values, start=1):
+                stream.write(f"{_VALUE_LINE}{index} {codec.format(value)}\n")
         count = 0
         for prefix, fib_index in rib.routes():
             stream.write(f"{prefix.text} {fib_index}\n")
@@ -112,6 +134,9 @@ def _parse_table(stream: TextIO) -> Rib:
     rib = Rib(width=width)
     for line_no, line in enumerate(stream, start=2):
         line = line.strip()
+        if line.startswith(_VALUES_HEADER) or line.startswith(_VALUE_LINE):
+            _parse_value_line(rib, line, line_no)
+            continue
         if not line or line.startswith("#"):
             continue
         fields = line.split()
@@ -147,6 +172,51 @@ def _parse_table(stream: TextIO) -> Rib:
     return rib
 
 
+def _parse_value_line(rib: Rib, line: str, line_no: int) -> None:
+    """One ``# repro-values`` / ``# v`` directive (see the module doc)."""
+    from repro.net.values import ValueTable
+
+    if line.startswith(_VALUES_HEADER):
+        if rib.values is not None:
+            raise TableFormatError(
+                "duplicate repro-values directive", line=line_no
+            )
+        fields = dict(
+            part.split("=", 1)
+            for part in line[len(_VALUES_HEADER):].split()
+            if "=" in part
+        )
+        try:
+            rib.values = ValueTable(kind=fields["kind"])
+        except (KeyError, ValueError) as exc:
+            raise TableFormatError(
+                f"bad repro-values directive {line!r}: {exc}", line=line_no
+            ) from exc
+        return
+    if rib.values is None:
+        raise TableFormatError(
+            "value line before the repro-values directive", line=line_no
+        )
+    fields = line[len(_VALUE_LINE):].split(maxsplit=1)
+    if len(fields) != 2:
+        raise TableFormatError(
+            f"expected '# v <id> <value>', got {line!r}", line=line_no
+        )
+    try:
+        declared = int(fields[0])
+        assigned = rib.values.intern(rib.values.codec.parse(fields[1]))
+    except (ValueError, TypeError, OverflowError) as exc:
+        raise TableFormatError(
+            f"bad value line {line!r}: {exc}", line=line_no
+        ) from exc
+    if assigned != declared:
+        raise TableFormatError(
+            f"value id {declared} does not match interning order "
+            f"(got {assigned}); ids must be dense and ascending from 1",
+            line=line_no,
+        )
+
+
 # ---------------------------------------------------------------------------
 # the binary image surface (RPIMG001 — shared with repro.parallel.image)
 # ---------------------------------------------------------------------------
@@ -165,25 +235,36 @@ def rib_to_image(rib: Rib):
 
     routes = list(rib.routes())
     count = len(routes)
+    meta = {"routes": count}
+    segments = {
+        "value_hi": np.fromiter(
+            (p.value >> 64 for p, _ in routes), np.uint64, count
+        ),
+        "value_lo": np.fromiter(
+            (p.value & _MASK64 for p, _ in routes), np.uint64, count
+        ),
+        "length": np.fromiter(
+            (p.length for p, _ in routes), np.uint8, count
+        ),
+        "fib": np.fromiter(
+            (index for _, index in routes), np.uint32, count
+        ),
+    }
+    if rib.values is not None:
+        # Same convention as structure images (repro.lookup.base): the
+        # side-table travels under the "values/" segment prefix plus one
+        # meta key; pre-value-plane readers select segments by name and
+        # never see it.
+        vmeta, vsegs = rib.values.to_segments()
+        meta["values"] = vmeta
+        for name, arr in vsegs.items():
+            segments[f"values/{name}"] = arr
     return TableImage.build(
         kind="rib",
         algorithm="rib",
         width=rib.width,
-        meta={"routes": count},
-        segments={
-            "value_hi": np.fromiter(
-                (p.value >> 64 for p, _ in routes), np.uint64, count
-            ),
-            "value_lo": np.fromiter(
-                (p.value & _MASK64 for p, _ in routes), np.uint64, count
-            ),
-            "length": np.fromiter(
-                (p.length for p, _ in routes), np.uint8, count
-            ),
-            "fib": np.fromiter(
-                (index for _, index in routes), np.uint32, count
-            ),
-        },
+        meta=meta,
+        segments=segments,
     )
 
 
@@ -213,7 +294,21 @@ def rib_from_image(image) -> Rib:
         raise TableFormatError(str(exc)) from exc
     if not len(value_hi) == len(value_lo) == len(length) == len(fib):
         raise TableFormatError("rib image segments have mismatched lengths")
-    rib = Rib(width=width)
+    values = None
+    vmeta = image.meta.get("values")
+    if vmeta is not None:
+        from repro.net.values import ValueTable
+
+        vsegs = {
+            name[len("values/"):]: image.segment(name)
+            for name in image.segment_names()
+            if name.startswith("values/")
+        }
+        try:
+            values = ValueTable.from_segments(vmeta, vsegs)
+        except SnapshotFormatError as exc:
+            raise TableFormatError(str(exc)) from exc
+    rib = Rib(width=width, values=values)
     rows = zip(
         value_hi.tolist(), value_lo.tolist(), length.tolist(), fib.tolist()
     )

@@ -142,6 +142,12 @@ class LookupStructure(abc.ABC):
     #: observed; the hot path is then completely untouched).
     _obs_registry = None
 
+    #: The attached :class:`~repro.net.values.ValueTable` (None = the
+    #: historical mode: leaf ids are opaque FIB indices).  The structure
+    #: itself never reads it — leaves store ids either way — so the
+    #: lookup hot paths and the kernels are unaffected.
+    values = None
+
     @classmethod
     @abc.abstractmethod
     def from_rib(cls, rib: Rib, config=None, **options) -> "LookupStructure":
@@ -219,6 +225,38 @@ class LookupStructure(abc.ABC):
     def memory_mib(self) -> float:
         return self.memory_bytes() / (1 << 20)
 
+    # -- the value plane -----------------------------------------------------
+
+    def attach_values(self, values) -> None:
+        """Attach (or detach, with ``None``) a typed value side-table.
+
+        The table gives meaning to the ids :meth:`lookup` returns; it
+        travels with the structure through :meth:`to_image` /
+        :meth:`from_image` and is resolved only at the edge
+        (:meth:`lookup_value`, the CLI, service clients).
+        """
+        from repro.net.values import ValueTable
+
+        if values is not None and not isinstance(values, ValueTable):
+            raise TypeError(
+                f"values must be a ValueTable or None, "
+                f"not {type(values).__name__}"
+            )
+        self.values = values
+
+    def lookup_value(self, key: int):
+        """Longest-prefix-match ``key`` to its *payload*.
+
+        With a value table attached this resolves the leaf id through it
+        (``None`` on a miss); without one it returns the raw id — the
+        identity value plane, which is also how images without a value
+        segment load (docs/VALUES.md).
+        """
+        index = self.lookup(key)
+        if self.values is None:
+            return index
+        return self.values.get(index)
+
     def verify_against(
         self, rib: Rib, keys: Iterable[int]
     ) -> List[int]:
@@ -254,6 +292,16 @@ class LookupStructure(abc.ABC):
                 f"{type(self).__name__} does not support table images"
             )
         meta, segments = self._image_state()
+        if self.values is not None:
+            # The value side-table rides along under a reserved segment
+            # prefix plus one meta key.  Kernels and _from_image_state
+            # select segments by name, so the extra segments are inert
+            # for them; from_image() strips and decodes them.
+            vmeta, vsegs = self.values.to_segments()
+            meta = {**meta, "values": vmeta}
+            segments = dict(segments)
+            for name, arr in vsegs.items():
+                segments[f"values/{name}"] = arr
         return TableImage.build(
             kind="structure",
             class_path=f"{type(self).__module__}:{type(self).__qualname__}",
@@ -284,10 +332,28 @@ class LookupStructure(abc.ABC):
             raise SnapshotFormatError(
                 f"image holds a {image.kind!r} payload, not a structure"
             )
-        segments = {
-            name: image.segment(name) for name in image.segment_names()
-        }
-        return cls._from_image_state(image.meta, segments, copy=copy)
+        # Split the optional value plane off before the structure hook:
+        # pre-value-plane images simply have neither the meta key nor the
+        # "values/" segments and load with values=None (identity ids).
+        meta = dict(image.meta)
+        vmeta = meta.pop("values", None)
+        segments = {}
+        vsegs = {}
+        for name in image.segment_names():
+            if name.startswith("values/"):
+                vsegs[name[len("values/"):]] = image.segment(name)
+            else:
+                segments[name] = image.segment(name)
+        if vmeta is None and vsegs:
+            raise SnapshotFormatError(
+                "image has value segments but no 'values' meta"
+            )
+        structure = cls._from_image_state(meta, segments, copy=copy)
+        if vmeta is not None:
+            from repro.net.values import ValueTable
+
+            structure.attach_values(ValueTable.from_segments(vmeta, vsegs))
+        return structure
 
     def _image_state(self):
         """Subclass hook: ``(meta, segments)`` for :meth:`to_image`.
@@ -312,7 +378,8 @@ class LookupStructure(abc.ABC):
 
         The base schema — ``name``, ``type``, ``memory_bytes``,
         ``memory_mib``, ``observed``, ``lookups``, ``batch_keys``,
-        ``batch_engine`` — is identical for every structure (the lookup counters are 0 unless
+        ``batch_engine``, ``values`` (the attached value table's
+        ``describe()``, or None) — is identical for every structure (the lookup counters are 0 unless
         :meth:`enable_obs` is active); subclasses extend it via
         :meth:`_extra_stats`.  When observability is enabled this also
         refreshes the structure's gauges in the active registry, so a
@@ -346,6 +413,9 @@ class LookupStructure(abc.ABC):
             "lookups": lookups,
             "batch_keys": batch_keys,
             "batch_engine": self.batch_engine(),
+            "values": (
+                None if self.values is None else self.values.describe()
+            ),
         }
         data.update(self._extra_stats())
         return data

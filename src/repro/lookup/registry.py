@@ -80,8 +80,29 @@ class AlgorithmEntry:
         Keyword ``overrides`` win over the registered options; unknown
         option names raise ``TypeError`` (the uniform constructor
         contract of :class:`repro.lookup.base.LookupStructure`).
+
+        ``values=`` is the one option every entry accepts identically:
+        a :class:`~repro.net.values.ValueTable` to attach to the built
+        structure (``None`` detaches).  When omitted, the RIB's own
+        attached table (``rib.values``) carries over — structures never
+        read the table, so the build itself is unchanged either way.
         """
-        return self.cls.from_rib(rib, **{**self.options, **overrides})
+        from repro.lookup.base import LookupStructure
+        from repro.net.values import ValueTable
+
+        has_values = "values" in overrides
+        values = overrides.pop("values", None)
+        if values is not None and not isinstance(values, ValueTable):
+            raise TypeError(
+                f"values must be a ValueTable or None, "
+                f"not {type(values).__name__}"
+            )
+        structure = self.cls.from_rib(rib, **{**self.options, **overrides})
+        if not has_values:
+            values = getattr(rib, "values", None)
+        if values is not None and isinstance(structure, LookupStructure):
+            structure.attach_values(values)
+        return structure
 
     @property
     def supports_image(self) -> bool:

@@ -5,7 +5,10 @@ is compiled from:
 
 - :mod:`repro.net.ip` — IPv4/IPv6 address parsing, formatting and bit algebra.
 - :mod:`repro.net.prefix` — the :class:`~repro.net.prefix.Prefix` value type.
-- :mod:`repro.net.fib` — the next-hop table (FIB) with interned indices.
+- :mod:`repro.net.values` — the typed value plane: :class:`ValueTable`
+  side-tables (country codes, ACL classes, next hops...) whose dense ids
+  are what lookup structures store in their leaves.  The FIB is now the
+  ``"nexthop"``-kinded table (:mod:`repro.net.fib` keeps shims).
 - :mod:`repro.net.rib` — the binary radix tree holding the RIB, which is the
   source of truth that Poptrie and all baseline structures compile from
   (paper, Section 3: "the routes are preserved in a separate routing table").
@@ -19,7 +22,15 @@ from repro.net.ip import (
     parse_prefix,
 )
 from repro.net.prefix import Prefix
-from repro.net.fib import NO_ROUTE, Fib, NextHop
+from repro.net.values import (
+    NO_ROUTE,
+    NO_VALUE,
+    Fib,
+    NextHop,
+    ValueTable,
+    synthetic_fib,
+    value_kind,
+)
 from repro.net.rib import Rib, RibNode
 
 __all__ = [
@@ -30,8 +41,12 @@ __all__ = [
     "parse_prefix",
     "Prefix",
     "NO_ROUTE",
+    "NO_VALUE",
     "Fib",
     "NextHop",
+    "ValueTable",
+    "synthetic_fib",
+    "value_kind",
     "Rib",
     "RibNode",
 ]

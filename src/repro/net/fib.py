@@ -1,101 +1,39 @@
-"""The forwarding information base (FIB) next-hop table.
+"""The FIB's historical module home (see :mod:`repro.net.values`).
 
-Every lookup structure in this library resolves an address to a small
-integer *FIB index* rather than to a next hop object directly, exactly as
-the paper assumes ("Poptrie is only used to look up a FIB index for the
-purpose of deciding the next hop", Section 3).  The :class:`Fib` interns
-next hops and hands out dense indices.
-
-Index ``0`` is reserved as :data:`NO_ROUTE` — the value returned when no
-prefix (not even a default route) matches.  Reserving a sentinel keeps all
-structures' "miss" behaviour identical and testable.
+The value-plane redesign folded the FIB's next-hop interning into the
+typed :class:`~repro.net.values.ValueTable` API: :class:`Fib` is now the
+``"nexthop"``-kinded table defined there.  :data:`NO_ROUTE` and
+:class:`NextHop` remain plain re-exports (they are imported throughout
+the library and their meaning did not change); the table types —
+``Fib`` and ``synthetic_fib`` — are PEP 562 deprecation shims pointing
+at the new home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+import warnings
 
-NO_ROUTE = 0
+from repro.net.values import NO_ROUTE, NextHop
 
+__all__ = ["NO_ROUTE", "NextHop"]
 
-@dataclass(frozen=True)
-class NextHop:
-    """A next hop: gateway address text and egress port.
-
-    Real routers store more (MAC rewrite info, encapsulation, counters); for
-    the purposes of lookup benchmarking the identity of the next hop is what
-    matters, so this stays a small value object.
-    """
-
-    gateway: str
-    port: int = 0
-
-    def __str__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{self.gateway}%{self.port}"
+#: Deprecated module attributes: name -> migration advice.
+_DEPRECATED = ("Fib", "synthetic_fib")
 
 
-class Fib:
-    """A next-hop table mapping dense FIB indices to next hops.
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.net.fib.{name} is deprecated; import it from "
+            "repro.net.values (the typed ValueTable home)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.net import values
 
-    >>> fib = Fib()
-    >>> a = fib.intern(NextHop("10.0.0.1"))
-    >>> b = fib.intern(NextHop("10.0.0.2"))
-    >>> fib.intern(NextHop("10.0.0.1")) == a
-    True
-    >>> fib[a].gateway
-    '10.0.0.1'
-    """
-
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        # Slot 0 is the NO_ROUTE sentinel; it has no next hop.
-        self._entries: List[Optional[NextHop]] = [None]
-        self._index: Dict[NextHop, int] = {}
-        self._max_entries = max_entries
-
-    def __len__(self) -> int:
-        """Number of real next hops (the sentinel is not counted)."""
-        return len(self._entries) - 1
-
-    def __getitem__(self, index: int) -> NextHop:
-        if index == NO_ROUTE:
-            raise KeyError("FIB index 0 is the NO_ROUTE sentinel")
-        entry = self._entries[index]
-        assert entry is not None
-        return entry
-
-    def __iter__(self) -> Iterator[NextHop]:
-        return iter(entry for entry in self._entries[1:] if entry is not None)
-
-    def intern(self, nexthop: NextHop) -> int:
-        """Return the FIB index for ``nexthop``, allocating one if new."""
-        existing = self._index.get(nexthop)
-        if existing is not None:
-            return existing
-        index = len(self._entries)
-        if self._max_entries is not None and index > self._max_entries:
-            raise OverflowError(
-                f"FIB capacity exceeded ({self._max_entries} entries)"
-            )
-        self._entries.append(nexthop)
-        self._index[nexthop] = index
-        return index
-
-    def get(self, index: int) -> Optional[NextHop]:
-        """Like ``__getitem__`` but returns ``None`` for :data:`NO_ROUTE`."""
-        if index == NO_ROUTE:
-            return None
-        return self._entries[index]
+        return getattr(values, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def synthetic_fib(count: int, base_port: int = 0) -> Fib:
-    """Build a FIB with ``count`` distinct synthetic next hops.
-
-    Used by the dataset generators: Table 1 of the paper characterises each
-    RIB by its number of distinct next hops, which is what drives leaf
-    compressibility in Poptrie.
-    """
-    fib = Fib()
-    for i in range(count):
-        fib.intern(NextHop(f"10.{(i >> 8) & 0xFF}.{i & 0xFF}.1", base_port + i))
-    return fib
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

@@ -73,11 +73,16 @@ class Rib:
     1
     """
 
-    def __init__(self, width: int = 32) -> None:
+    def __init__(self, width: int = 32, values=None) -> None:
         self.width = width
         self.root = RibNode()
         self._route_count = 0
         self._node_count = 1
+        #: Optional :class:`~repro.net.values.ValueTable` giving meaning
+        #: to the route ids stored in the nodes.  ``None`` means the ids
+        #: are opaque (the historical FIB-index-only mode); builders and
+        #: the registry propagate a table when one is attached.
+        self.values = values
 
     def __len__(self) -> int:
         """Number of routes currently installed."""
@@ -295,10 +300,10 @@ class Rib:
 
 
 def rib_from_routes(
-    routes, width: int = 32
+    routes, width: int = 32, values=None
 ) -> Rib:
     """Build a :class:`Rib` from an iterable of ``(prefix, fib_index)``."""
-    rib = Rib(width=width)
+    rib = Rib(width=width, values=values)
     for prefix, fib_index in routes:
         rib.insert(prefix, fib_index)
     return rib

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.lookup.base import LookupStructure
-from repro.net.fib import NO_ROUTE, Fib
+from repro.net.values import NO_ROUTE, Fib
 from repro.router.packet import Packet
 
 
@@ -31,7 +31,7 @@ class ForwardingPlane:
 
     >>> from repro.net.rib import Rib
     >>> from repro.net.prefix import Prefix
-    >>> from repro.net.fib import Fib, NextHop
+    >>> from repro.net.values import Fib, NextHop
     >>> from repro.core.poptrie import Poptrie
     >>> fib = Fib(); port = fib.intern(NextHop("198.51.100.1", port=2))
     >>> rib = Rib(); _ = rib.insert(Prefix.parse("192.0.2.0/24"), port)

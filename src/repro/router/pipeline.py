@@ -22,7 +22,7 @@ import numpy as np
 
 from repro import obs
 from repro.lookup.base import LookupStructure
-from repro.net.fib import NO_ROUTE, Fib
+from repro.net.values import NO_ROUTE, Fib
 from repro.obs.tracing import span
 
 

@@ -8,11 +8,12 @@ from tests.conftest import make_random_rib, naive_lpm
 from repro.core.aggregate import (
     aggregate_ortc,
     aggregate_simple,
+    aggregate_uniform,
     aggregated_rib,
 )
-from repro.net.fib import NO_ROUTE
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib, rib_from_routes
+from repro.net.values import NO_ROUTE, ValueTable
 
 
 def rib_of(*routes, width=32):
@@ -95,6 +96,105 @@ class TestSimpleAggregation:
         )
 
 
+class TestUniformAggregation:
+    """The swoiow same-value subtree pruning (docs/VALUES.md)."""
+
+    def test_span_one_is_simple(self):
+        rib = rib_of(("10.0.0.0/9", 1), ("10.128.0.0/9", 1),
+                     ("20.0.0.0/8", 2), ("20.1.0.0/16", 2))
+        assert aggregate_uniform(rib, span=1) == aggregate_simple(rib)
+
+    def test_merge_lands_on_stride_boundary(self):
+        # Four /10s collapse to a /8 — an 8-aligned depth, so span=8
+        # accepts the merge even though /9 and /10 would not be emitted.
+        rib = rib_of(
+            ("10.0.0.0/10", 1),
+            ("10.64.0.0/10", 1),
+            ("10.128.0.0/10", 1),
+            ("10.192.0.0/10", 1),
+        )
+        assert aggregate_uniform(rib, span=8) == [
+            (Prefix.parse("10.0.0.0/8"), 1)
+        ]
+
+    def test_unaligned_merge_descends_exactly(self):
+        # Two /9s merge to a /8... but with span=6 a /8 is not on a
+        # stride boundary, so the walk descends and re-emits at /12
+        # (the next multiple of 6 is unreachable without splitting; the
+        # leaves themselves are emitted).  Whatever the shape, the
+        # result must stay exact.
+        rib = rib_of(("10.0.0.0/9", 1), ("10.128.0.0/9", 1))
+        out = rib_from_routes(aggregate_uniform(rib, span=6))
+        for text in ("10.0.0.1/32", "10.200.0.1/32", "11.0.0.1/32"):
+            key = Prefix.parse(text).value
+            assert out.lookup(key) == rib.lookup(key)
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_uniform(Rib(), span=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        span=st.sampled_from([1, 2, 3, 6, 8]),
+    )
+    def test_exactness_every_span(self, seed, span):
+        """Every span produces an equivalent table (Invariant 2)."""
+        rib = make_random_rib(40, seed=seed, width=10, max_nexthop=4)
+        out = rib_from_routes(aggregate_uniform(rib, span=span), width=10)
+        for address in range(1 << 10):
+            assert out.lookup(address) == rib.lookup(address)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_wider_span_never_beats_simple(self, seed):
+        """Stride alignment can only restrict merges, never add them."""
+        rib = make_random_rib(50, seed=seed, width=12, max_nexthop=3)
+        assert len(aggregate_simple(rib)) <= len(aggregate_uniform(rib, 6))
+
+    def test_aggregated_rib_span_and_values_carry_over(self):
+        values = ValueTable("cc")
+        rib = Rib(values=values)
+        cn = values.intern("CN")
+        for text in ("10.0.0.0/10", "10.64.0.0/10",
+                     "10.128.0.0/10", "10.192.0.0/10"):
+            rib.insert(Prefix.parse(text), cn)
+        out = aggregated_rib(rib, span=8)
+        assert len(out) == 1
+        assert out.values is values
+
+
+class TestValuePayloads:
+    """Aggregation is value-agnostic: ids need not be small next hops."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        id_pool=st.lists(
+            st.integers(min_value=1, max_value=2**32 - 1),
+            min_size=1, max_size=4, unique=True,
+        ),
+    )
+    def test_simple_exact_under_u32_ids(self, seed, id_pool):
+        """Full u16/u32 id range: aggregation never renumbers or mixes."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        base = make_random_rib(40, seed=seed, width=10, max_nexthop=4)
+        rib = Rib(width=10)
+        for prefix, _ in base.routes():
+            rib.insert(prefix, rng.choice(id_pool))
+        out = rib_from_routes(aggregate_simple(rib), width=10)
+        for address in range(1 << 10):
+            assert out.lookup(address) == rib.lookup(address)
+
+    def test_emitted_ids_are_input_ids(self):
+        rib = rib_of(("10.0.0.0/9", 60_000), ("10.128.0.0/9", 60_000),
+                     ("20.0.0.0/8", 2**31))
+        for _, value in aggregate_simple(rib):
+            assert value in (60_000, 2**31)
+
+
 class TestOrtc:
     def test_classic_example(self):
         # Two /9s with hops 1,2 plus default 1: ORTC needs only 2 routes.
@@ -131,6 +231,42 @@ class TestOrtc:
         rib = rib_of(("0.0.0.0/1", 5), ("128.0.0.0/1", 5))
         routes = aggregate_ortc(rib)
         assert routes == [(Prefix.parse("0.0.0.0/0"), 5)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        id_pool=st.lists(
+            st.integers(min_value=1, max_value=2**32 - 1),
+            min_size=1, max_size=4, unique=True,
+        ),
+    )
+    def test_default_route_contract_under_value_ids(self, seed, id_pool):
+        """The pinned ORTC contract, restated for arbitrary value ids.
+
+        ORTC may cover previously-unmatched addresses (typically via a
+        synthesised default route), but any id it assigns anywhere —
+        covered space or not — must be an id the input table used.  For
+        a value plane that means ORTC can never invent a dangling
+        side-table reference.
+        """
+        import random as _random
+
+        rng = _random.Random(seed)
+        base = make_random_rib(30, seed=seed, width=10, max_nexthop=4)
+        rib = Rib(width=10)
+        for prefix, _ in base.routes():
+            rib.insert(prefix, rng.choice(id_pool))
+        routes = aggregate_ortc(rib)
+        used = set(id_pool)
+        assert {value for _, value in routes} <= used
+        out = rib_from_routes(routes, width=10)
+        for address in range(1 << 10):
+            original = rib.lookup(address)
+            result = out.lookup(address)
+            if original != NO_ROUTE:
+                assert result == original
+            else:
+                assert result == NO_ROUTE or result in used
 
 
 class TestAggregationHelpsPoptrie:

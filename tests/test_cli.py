@@ -63,6 +63,60 @@ class TestCompileAndLookup:
         assert main(["lookup", table_path, "2001:db8::1"]) == 2
 
 
+class TestValuePlaneCli:
+    @pytest.fixture()
+    def geo_table_path(self, tmp_path):
+        from repro.net.values import ValueTable
+
+        values = ValueTable("cc")
+        rib = Rib(values=values)
+        rib.insert(Prefix.parse("10.0.0.0/8"), values.intern("CN"))
+        rib.insert(Prefix.parse("10.1.0.0/16"), values.intern("JP"))
+        path = str(tmp_path / "geo.txt")
+        tableio.save_table(rib, path)
+        return path
+
+    def test_lookup_resolves_values(self, geo_table_path, capsys):
+        assert main(["lookup", geo_table_path, "10.1.2.3", "10.9.9.9",
+                     "11.0.0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "10.1.2.3 -> JP (id 2)" in out
+        assert "10.9.9.9 -> CN (id 1)" in out
+        assert "11.0.0.1 -> no route" in out
+
+    def test_lookup_geoip_demo(self, capsys):
+        assert main(["lookup", "--geoip", "--geoip-routes", "500",
+                     "--seed", "3", "8.8.8.8"]) == 0
+        captured = capsys.readouterr()
+        assert "geoip demo" in captured.err
+        assert "8.8.8.8 ->" in captured.out
+
+    def test_lookup_without_table_or_geoip_errors(self, capsys):
+        assert main(["lookup", "8.8.8.8"]) == 2
+        assert "table" in capsys.readouterr().err.lower()
+
+    def test_bench_geoip_writes_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_geoip.json")
+        assert main(["bench", "--geoip", "--geoip-routes", "800",
+                     "--queries", "2000", "--seed", "5",
+                     "--json", out]) == 0
+        assert "GeoIP value plane" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(open(out).read())
+        assert payload["scenario"] == "geoip"
+        assert payload["oracle_agreement"] is True
+        raw, simple = payload["builds"][0], payload["builds"][1]
+        assert simple["inodes"] < raw["inodes"]
+
+    def test_bench_geoip_rejects_other_modes(self, capsys):
+        assert main(["bench", "--geoip", "--kernel"]) == 2
+        assert main(["bench", "--geoip", "--workers", "2"]) == 2
+
+    def test_bench_without_table_errors(self, capsys):
+        assert main(["bench"]) == 2
+
+
 class TestInfoAndBench:
     def test_info(self, table_path, capsys):
         assert main(["info", table_path]) == 0

@@ -141,3 +141,60 @@ def test_serialize_plain_import_is_clean():
     for module in ("repro.core.serialize", "repro.data.tableio"):
         result = _run(f"import {module}")
         assert result.returncode == 0, result.stderr
+
+
+# ---------------------------------------------------------------------------
+# the value-plane fold (repro.net.fib → repro.net.values)
+# ---------------------------------------------------------------------------
+
+FIB_SHIMS = ("Fib", "synthetic_fib")
+
+
+@pytest.mark.parametrize("name", FIB_SHIMS)
+def test_fib_shim_raises_under_warnings_as_errors(name):
+    result = _run(f"import repro.net.fib; repro.net.fib.{name}")
+    assert result.returncode != 0, (
+        f"repro.net.fib.{name} did not raise under "
+        "-W error::DeprecationWarning"
+    )
+    assert "DeprecationWarning" in result.stderr
+    assert "repro.net.values" in result.stderr, (
+        "the warning must point at the new home"
+    )
+
+
+@pytest.mark.parametrize("name", FIB_SHIMS)
+def test_fib_shim_resolves_to_values_object(name):
+    import repro.net.fib as fib
+    from repro.net import values
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = getattr(fib, name)
+    assert value is getattr(values, name), (
+        f"repro.net.fib.{name} is not repro.net.values.{name}"
+    )
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), f"repro.net.fib.{name} resolved without warning"
+
+
+def test_fib_kept_names_do_not_warn():
+    """NO_ROUTE and NextHop stay importable from fib without warnings."""
+    result = _run(
+        "from repro.net.fib import NO_ROUTE, NextHop; "
+        "assert NO_ROUTE == 0 and NextHop('10.0.0.1').gateway"
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_fib_plain_import_is_clean():
+    result = _run("import repro.net.fib")
+    assert result.returncode == 0, result.stderr
+
+
+def test_fib_unknown_attribute_still_raises():
+    import repro.net.fib as fib
+
+    with pytest.raises(AttributeError):
+        fib.definitely_not_a_name

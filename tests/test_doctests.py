@@ -11,7 +11,7 @@ import repro.core.update
 import repro.errors
 import repro.mem.buddy
 import repro.mem.layout
-import repro.net.fib
+import repro.net.values
 import repro.net.ip
 import repro.net.prefix
 import repro.net.rib
@@ -26,7 +26,7 @@ MODULES = [
     repro.errors,
     repro.net.ip,
     repro.net.prefix,
-    repro.net.fib,
+    repro.net.values,
     repro.net.rib,
     repro.mem.buddy,
     repro.mem.layout,

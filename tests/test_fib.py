@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.fib import NO_ROUTE, Fib, NextHop, synthetic_fib
+from repro.net.values import NO_ROUTE, Fib, NextHop, synthetic_fib
 
 
 class TestFib:

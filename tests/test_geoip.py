@@ -1,0 +1,97 @@
+"""Tests for the GeoIP workload generator (repro.data.geoip)."""
+
+import pytest
+
+from repro.data.geoip import COUNTRY_WEIGHTS, generate_geoip_table
+from repro.net.values import NO_ROUTE
+
+
+class TestGenerator:
+    def test_route_count_and_attached_values(self):
+        rib, values = generate_geoip_table(500, seed=1)
+        assert len(rib) == 500
+        assert rib.values is values
+        assert values.kind == "cc"
+        assert 1 <= len(values) <= len(COUNTRY_WEIGHTS)
+
+    def test_deterministic_per_seed(self):
+        a, _ = generate_geoip_table(300, seed=7)
+        b, _ = generate_geoip_table(300, seed=7)
+        assert sorted(
+            (p.text, v) for p, v in a.routes()
+        ) == sorted((p.text, v) for p, v in b.routes())
+
+    def test_seeds_differ(self):
+        a, _ = generate_geoip_table(300, seed=1)
+        b, _ = generate_geoip_table(300, seed=2)
+        assert sorted(p.text for p, _ in a.routes()) != sorted(
+            p.text for p, _ in b.routes()
+        )
+
+    def test_every_route_id_resolves(self):
+        rib, values = generate_geoip_table(400, seed=3)
+        for _, route in rib.routes():
+            assert route != NO_ROUTE
+            code = values[route]
+            assert len(code) == 2 and code.isupper()
+
+    def test_n_countries_truncates_pool(self):
+        rib, values = generate_geoip_table(400, n_countries=5, seed=1)
+        allowed = {code for code, _ in COUNTRY_WEIGHTS[:5]}
+        assert {values[route] for _, route in rib.routes()} <= allowed
+
+    def test_prefix_lengths_span_blocks_and_announcements(self):
+        rib, _ = generate_geoip_table(2000, seed=1)
+        lengths = {prefix.length for prefix, _ in rib.routes()}
+        assert min(lengths) >= 8
+        assert max(lengths) <= 28
+        assert any(length <= 12 for length in lengths), "allocation blocks"
+        assert any(length >= 16 for length in lengths), "announcements"
+
+    def test_locality_validated(self):
+        with pytest.raises(ValueError):
+            generate_geoip_table(10, locality=1.5)
+
+    def test_empty_country_pool_rejected(self):
+        with pytest.raises(ValueError):
+            generate_geoip_table(10, n_countries=0)
+
+
+class TestAggregationPayoff:
+    """The workload's reason to exist: low value entropy aggregates well."""
+
+    def test_high_locality_aggregates_harder(self):
+        from repro.core.aggregate import aggregate_simple
+
+        tight, _ = generate_geoip_table(1500, seed=5, locality=0.95)
+        loose, _ = generate_geoip_table(1500, seed=5, locality=0.30)
+        assert len(aggregate_simple(tight)) < len(aggregate_simple(loose))
+
+    def test_aggregation_is_exact_on_geoip(self):
+        from repro.core.aggregate import aggregated_rib
+        from repro.data.traffic import random_addresses
+
+        rib, _ = generate_geoip_table(1200, seed=9)
+        for span in (1, 6):
+            out = aggregated_rib(rib, span=span)
+            assert out.values is rib.values
+            for key in random_addresses(3000, seed=4):
+                assert out.lookup(int(key)) == rib.lookup(int(key))
+
+    def test_structure_build_resolves_countries(self):
+        from repro.lookup.registry import get
+
+        rib, values = generate_geoip_table(800, seed=2)
+        structure = get("Poptrie18").from_rib(rib)
+        assert structure.values is values
+        hits = misses = 0
+        from repro.data.traffic import random_addresses
+
+        for key in random_addresses(2000, seed=6):
+            payload = structure.lookup_value(int(key))
+            if payload is None:
+                misses += 1
+            else:
+                assert len(payload) == 2 and payload.isupper()
+                hits += 1
+        assert hits > 0

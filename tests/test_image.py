@@ -140,6 +140,101 @@ class TestFormat:
             image.segment(name)[0] = 1
 
 
+class TestValueSegments:
+    """The value-plane extension of the format (docs/VALUES.md).
+
+    Value side-tables travel as ``values/``-prefixed segments plus one
+    ``values`` meta key.  Pre-value-plane images have neither, so they
+    must keep loading — with the identity plane (``values is None``,
+    ``lookup_value`` returns raw ids) — and half-present combinations
+    are corruption, not silently-empty tables.
+    """
+
+    def _valued_structure(self):
+        from repro.net.prefix import Prefix
+        from repro.net.rib import Rib
+        from repro.net.values import ValueTable
+
+        values = ValueTable("cc")
+        rib = Rib(values=values)
+        rib.insert(Prefix.parse("10.0.0.0/8"), values.intern("CN"))
+        rib.insert(Prefix.parse("10.1.0.0/16"), values.intern("JP"))
+        trie = Poptrie.from_rib(rib, PoptrieConfig(s=16))
+        trie.attach_values(values)
+        return trie
+
+    def test_pre_value_plane_image_loads_identity(self):
+        """The old format *is* the no-values encoding: byte-identical
+        to a seed-era image, and it loads with the identity plane."""
+        image = _sample_image()
+        assert "values" not in image.meta
+        assert not any(
+            n.startswith("values/") for n in image.segment_names()
+        )
+        rebuilt = Poptrie.from_image(TableImage.open(image.to_bytes()))
+        assert rebuilt.values is None
+        key = int(next(iter(RIB.routes()))[0].value)
+        assert rebuilt.lookup_value(key) == rebuilt.lookup(key)
+
+    def test_valued_image_round_trips_via_bytes(self):
+        trie = self._valued_structure()
+        blob = trie.to_image().to_bytes()
+        rebuilt = Poptrie.from_image(TableImage.open(blob))
+        assert rebuilt.values == trie.values
+        assert rebuilt.to_image().fingerprint() == trie.to_image().fingerprint()
+
+    def test_value_segments_without_meta_rejected(self):
+        blob = _rewrite_meta(
+            self._valued_structure().to_image().to_bytes(),
+            lambda h: h["meta"].pop("values"),
+        )
+        with pytest.raises(SnapshotFormatError, match="values"):
+            Poptrie.from_image(TableImage.open(blob, verify=False))
+
+    def test_value_count_mismatch_rejected(self):
+        def lie(header):
+            header["meta"]["values"]["count"] = 9
+
+        blob = _rewrite_meta(
+            self._valued_structure().to_image().to_bytes(), lie
+        )
+        with pytest.raises(SnapshotFormatError, match="declares 9"):
+            Poptrie.from_image(TableImage.open(blob, verify=False))
+
+    def test_unknown_value_kind_rejected(self):
+        def lie(header):
+            header["meta"]["values"]["kind"] = "zz"
+
+        blob = _rewrite_meta(
+            self._valued_structure().to_image().to_bytes(), lie
+        )
+        with pytest.raises(SnapshotFormatError, match="zz"):
+            Poptrie.from_image(TableImage.open(blob, verify=False))
+
+
+def _rewrite_meta(blob: bytes, mutate) -> bytes:
+    """Like :func:`_rewrite_header` but length-preserving (CRC not fixed).
+
+    Value-plane rejection fires *after* segment decoding starts, so the
+    recorded absolute segment offsets must stay valid: the mutated JSON
+    is space-padded back to the original header length (mutations may
+    only shrink or keep the encoding's size).
+    """
+    preamble = struct.Struct("<8sII")
+    magic, hlen, reserved = preamble.unpack_from(blob, 0)
+    header = json.loads(blob[preamble.size : preamble.size + hlen])
+    mutate(header)
+    encoded = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode()
+    assert len(encoded) <= hlen, "mutation grew the header"
+    return (
+        blob[: preamble.size]
+        + encoded.ljust(hlen, b" ")
+        + blob[preamble.size + hlen :]
+    )
+
+
 def _rewrite_header(blob: bytes, mutate) -> bytes:
     """Re-emit ``blob`` with a mutated JSON header (CRC not fixed up).
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.poptrie import Poptrie, PoptrieConfig
-from repro.net.fib import Fib, NextHop
+from repro.net.values import Fib, NextHop
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 from repro.router.pipeline import (

@@ -39,8 +39,8 @@ EXPECTED_TOP_LEVEL = {
     "SnapshotFormatError", "UpdateRejectedError", "VerificationError",
     "InjectedFault", "ProtocolError", "JournalCorrupt", "JournalGap",
     "PoolError", "ClusterError",
-    # network substrate
-    "NO_ROUTE", "Fib", "NextHop", "Prefix", "Rib",
+    # network substrate & the typed value plane
+    "NO_ROUTE", "NO_VALUE", "Fib", "NextHop", "Prefix", "Rib", "ValueTable",
     # metadata
     "__version__",
 }

@@ -94,6 +94,57 @@ class TestUniformConstructors:
             NoOptions.resolve(None, {"stray": 1})
 
 
+class TestValuePlaneOption:
+    """The uniform ``values=`` build option (docs/VALUES.md)."""
+
+    def _valued_rib(self):
+        from repro.net.values import ValueTable
+
+        shapes = make_random_rib(60, seed=33, lengths=list(range(8, 25)))
+        codes = ("US", "CN", "JP", "DE")
+        values = ValueTable("cc")
+        rib = type(shapes)(width=shapes.width, values=values)
+        for i, (prefix, _) in enumerate(shapes.routes()):
+            rib.insert(prefix, values.intern(codes[i % len(codes)]))
+        return rib, values
+
+    def test_round_trip_through_every_entry(self):
+        """Satellite: a valued RIB builds — and round-trips through the
+        image plane — for every image-capable entry, resolving the same
+        payloads the RIB holds."""
+        rib, values = self._valued_rib()
+        probe_keys = [prefix.value for prefix, _ in rib.routes()][:20]
+        for name in registry.available():
+            entry = registry.get(name)
+            structure = entry.from_rib(rib)
+            assert structure.values is values, name
+            for key in probe_keys:
+                assert structure.lookup_value(key) == values.get(
+                    rib.lookup(key)
+                ), name
+            if not entry.supports_image:
+                continue
+            rebuilt = entry.cls.from_image(structure.to_image())
+            assert rebuilt.values == values, name
+            for key in probe_keys:
+                assert rebuilt.lookup_value(key) == structure.lookup_value(
+                    key
+                ), name
+
+    def test_values_must_be_a_table(self, rib):
+        for name in ("Radix", "Poptrie18", "SAIL"):
+            with pytest.raises(TypeError, match="values"):
+                registry.get(name).from_rib(rib, values={"CN": 1})
+
+    def test_unknown_keys_still_rejected_alongside_values(self, rib):
+        from repro.net.values import ValueTable
+
+        with pytest.raises(TypeError):
+            registry.get("Poptrie18").from_rib(
+                rib, values=ValueTable("u16"), definitely_not_an_option=1
+            )
+
+
 class TestStandardRoster:
     def test_matches_legacy_behaviour(self, rib):
         roster = registry.standard_roster(rib)

@@ -83,6 +83,89 @@ class TestFormat:
         assert len(load_table(buffer)) == 1
 
 
+class TestValueDirectives:
+    """The ``# repro-values`` extension of the text format."""
+
+    def _valued_rib(self):
+        from repro.net.values import ValueTable
+
+        values = ValueTable("cc")
+        rib = Rib(values=values)
+        rib.insert(Prefix.parse("10.0.0.0/8"), values.intern("CN"))
+        rib.insert(Prefix.parse("10.1.0.0/16"), values.intern("JP"))
+        return rib
+
+    def test_text_round_trip_carries_values(self):
+        rib = self._valued_rib()
+        text = dumps_table(rib)
+        assert "# repro-values kind=cc count=2" in text
+        assert "# v 1 CN" in text and "# v 2 JP" in text
+        back = loads_table(text)
+        assert back.values == rib.values
+        assert back.lookup(Prefix.parse("10.1.2.3/32").value) == 2
+
+    def test_directives_are_comments_to_old_parsers(self):
+        """Every value line is ``#``-prefixed, so a pre-value-plane
+        parser (which skips comments) reads the same routes."""
+        for line in dumps_table(self._valued_rib()).splitlines():
+            if "repro-values" in line or line.startswith("# v "):
+                assert line.startswith("#")
+
+    def test_plain_tables_emit_no_directives(self):
+        rib = Rib()
+        rib.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert "repro-values" not in dumps_table(rib)
+        assert loads_table(dumps_table(rib)).values is None
+
+    def test_value_line_before_directive_rejected(self):
+        with pytest.raises(TableFormatError, match="directive"):
+            loads_table("# repro-table v1 width=32\n# v 1 CN\n")
+
+    def test_duplicate_directive_rejected(self):
+        text = (
+            "# repro-table v1 width=32\n"
+            "# repro-values kind=cc count=0\n"
+            "# repro-values kind=cc count=0\n"
+        )
+        with pytest.raises(TableFormatError, match="duplicate"):
+            loads_table(text)
+
+    def test_out_of_order_ids_rejected(self):
+        text = (
+            "# repro-table v1 width=32\n"
+            "# repro-values kind=cc count=2\n"
+            "# v 2 JP\n"
+        )
+        with pytest.raises(TableFormatError, match="interning order"):
+            loads_table(text)
+
+    def test_bad_payload_reports_line_number(self):
+        text = (
+            "# repro-table v1 width=32\n"
+            "# repro-values kind=cc count=1\n"
+            "# v 1 TOOLONG\n"
+        )
+        with pytest.raises(TableFormatError, match="line 3"):
+            loads_table(text)
+
+    def test_rib_image_round_trip_carries_values(self):
+        rib = self._valued_rib()
+        image = rib_to_image(rib)
+        assert "values" in image.meta
+        back = rib_from_image(image)
+        assert back.values == rib.values
+        assert sorted(p.text for p, _ in back.routes()) == sorted(
+            p.text for p, _ in rib.routes()
+        )
+
+    def test_save_table_image_round_trip_carries_values(self, tmp_path):
+        rib = self._valued_rib()
+        path = str(tmp_path / "geo.img")
+        save_table_image(rib, path)
+        back = load_table(path)
+        assert back.values == rib.values
+
+
 class TestRibImage:
     """The binary snapshot path: rib → RPIMG001 image → rib."""
 
