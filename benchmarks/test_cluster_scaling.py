@@ -35,6 +35,7 @@ def test_cluster_scaling_artifact():
         shard_counts=(1, 2),
         replica_counts=(0, 1),
         failover_replicas=(1, 2),
+        quorum_insync=(0, 1),
         updates=200,
         seed=7,
     )
@@ -53,6 +54,13 @@ def test_cluster_scaling_artifact():
             f"{cell['read_blackout_ms']:.1f} ms, promotion "
             f"{cell['promotion_ms']:.1f} ms"
         )
+    for cell in result["quorum"]:
+        latency = cell["write_latency_us"]
+        print(
+            f"writes with min_insync={cell['min_insync']}: "
+            f"p50 {latency['p50']:.0f} us, p99 {latency['p99']:.0f} us "
+            f"({cell['quorum_sheds']} sheds)"
+        )
 
     # The scenario's contract: sharded routing answers exactly like the
     # global table, and a primary kill costs zero failed lookups.
@@ -65,9 +73,19 @@ def test_cluster_scaling_artifact():
         assert cell["mismatched"] == 0
         assert cell["promoted_seqno"] == cell["seqno_at_failover"]
         assert cell["post_failover_seqno"] > cell["seqno_at_failover"]
+    # The quorum cost curve: every batch acked (no sheds with a healthy
+    # replica), and the quorum-on cell really replicated the stream.
+    for cell in result["quorum"]:
+        assert cell["quorum_sheds"] == 0
+        assert cell["write_latency_us"]["p50"] > 0
+        if cell["min_insync"]:
+            assert cell["replica_seqno_at_close"] >= cell["updates"]
 
     # The artifact on disk is the same JSON the test saw.
     persisted = json.loads(path.read_text())
     assert persisted["scenario"] == "cluster"
     assert len(persisted["grid"]) == 4
     assert len(persisted["failover"]) == 2
+    assert len(persisted["quorum"]) == 2
+    for cell in persisted["quorum"]:
+        assert {"mean", "p50", "p90", "p99"} <= set(cell["write_latency_us"])

@@ -19,6 +19,13 @@ Two questions this scenario answers with one JSON artifact
    :func:`~repro.cluster.router.elect_and_promote`, then proves the
    promoted node accepts writes.
 
+3. **Quorum cost** — the write-latency price of ``--min-insync``: the
+   same update stream is driven over the wire against a one-replica
+   cluster with quorum acknowledgement off (``min_insync=0``, ack after
+   the local journal flush) and on (``min_insync=1``, ack only after the
+   replica's durable ACK returns), yielding the per-batch ``OP_UPDATE``
+   latency percentiles for both durability modes side by side.
+
 Everything runs in one process on loopback — the numbers characterise
 the protocol and router overheads, not a datacentre network.
 """
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import tempfile
 import time
@@ -54,6 +62,7 @@ def run_cluster_bench(
     shard_counts: Sequence[int] = (1, 2),
     replica_counts: Sequence[int] = (0, 1),
     failover_replicas: Sequence[int] = (1, 2),
+    quorum_insync: Sequence[int] = (0, 1),
     updates: int = 200,
     seed: int = 7,
 ) -> dict:
@@ -68,6 +77,7 @@ def run_cluster_bench(
             shard_counts=tuple(shard_counts),
             replica_counts=tuple(replica_counts),
             failover_replicas=tuple(failover_replicas),
+            quorum_insync=tuple(quorum_insync),
             updates=updates,
             seed=seed,
         )
@@ -83,6 +93,7 @@ async def _run(
     shard_counts: Tuple[int, ...],
     replica_counts: Tuple[int, ...],
     failover_replicas: Tuple[int, ...],
+    quorum_insync: Tuple[int, ...],
     updates: int,
     seed: int,
 ) -> dict:
@@ -104,6 +115,9 @@ async def _run(
                 rib, replicas, duration, rate, batch, updates, seed
             )
         )
+    quorum = []
+    for min_insync in quorum_insync:
+        quorum.append(await _quorum_cell(rib, min_insync, updates, seed))
     return {
         "scenario": "cluster",
         "routes": len(rib),
@@ -114,11 +128,13 @@ async def _run(
             "shard_counts": list(shard_counts),
             "replica_counts": list(replica_counts),
             "failover_replicas": list(failover_replicas),
+            "quorum_insync": list(quorum_insync),
             "updates": updates,
             "seed": seed,
         },
         "grid": grid,
         "failover": failover,
+        "quorum": quorum,
     }
 
 
@@ -309,6 +325,93 @@ async def _failover_cell(
         "errors": report.errors,
         "mismatched": report.mismatched,
         "router_failovers": router.failovers,
+    }
+
+
+#: Updates per OP_UPDATE batch in the quorum cost cells — small batches
+#: so the per-write quorum round trip dominates, not apply time.
+QUORUM_WRITE_BATCH = 4
+
+
+async def _quorum_cell(rib, min_insync: int, updates: int, seed: int) -> dict:
+    """Write-latency percentiles for one durability mode.
+
+    One primary + one replica; the update stream goes over the wire in
+    :data:`QUORUM_WRITE_BATCH`-sized ``OP_UPDATE`` requests.  With
+    ``min_insync=0`` the ack returns after the local journal flush; with
+    ``min_insync=1`` it additionally waits for the replica's durable
+    ACK, so the delta between the two cells is the quorum round trip.
+    """
+    from repro.cluster.replication import QuorumConfig
+    from repro.data.updates import generate_update_stream
+    from repro.server import protocol
+    from repro.server.loadgen import _Connection
+
+    quorum = (
+        QuorumConfig(min_insync=min_insync, timeout_s=10.0)
+        if min_insync
+        else None
+    )
+    stream = generate_update_stream(rib, count=updates, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        primary_dir = os.path.join(tmp, "primary")
+        os.makedirs(primary_dir)
+        journal = Journal(primary_dir)
+        journal.checkpoint(rib)
+        journal.close()
+        primary = Replica(primary_dir, name="primary", quorum=quorum)
+        (host, port), (repl_host, repl_port) = await primary.start()
+        replica = Replica(
+            os.path.join(tmp, "replica0"),
+            primary=(repl_host, repl_port),
+            name="replica0",
+        )
+        await replica.start()
+        await _wait_synced([primary, replica], len(rib), primary.applied_seqno)
+        conn = _Connection()
+        conn.host, conn.port = host, port
+        await conn.ensure_open()
+        latencies = []
+        sheds = 0
+        try:
+            for i in range(0, len(stream), QUORUM_WRITE_BATCH):
+                started = time.perf_counter()
+                response = await conn.request(
+                    protocol.OP_UPDATE,
+                    updates=stream[i:i + QUORUM_WRITE_BATCH],
+                    timeout=30,
+                )
+                latencies.append((time.perf_counter() - started) * 1e6)
+                if response.status == protocol.STATUS_QUORUM_TIMEOUT:
+                    sheds += 1
+                elif response.status != protocol.STATUS_OK:
+                    raise ClusterError(
+                        f"update refused: status {response.status}"
+                    )
+        finally:
+            await conn.close()
+        replicated = replica.applied_seqno
+        await replica.stop()
+        await primary.stop()
+
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        rank = max(0, math.ceil(len(ordered) * q / 100) - 1)
+        return round(ordered[min(rank, len(ordered) - 1)], 3)
+
+    return {
+        "min_insync": min_insync,
+        "write_batches": len(latencies),
+        "updates": len(stream),
+        "quorum_sheds": sheds,
+        "replica_seqno_at_close": replicated,
+        "write_latency_us": {
+            "mean": round(sum(ordered) / len(ordered), 3),
+            "p50": pct(50),
+            "p90": pct(90),
+            "p99": pct(99),
+        },
     }
 
 

@@ -164,6 +164,21 @@ def _add_endpoint_args(
                        help=f"TCP port (default {default_port}; 0 = ephemeral)")
 
 
+def _add_quorum_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("write durability (see docs/CLUSTER.md)")
+    group.add_argument("--min-insync", type=int, default=0, metavar="N",
+                       help="hold each OP_UPDATE ack until N replicas ack "
+                            "the batch (default 0 = async replication)")
+    group.add_argument("--quorum-timeout", type=float, default=1000.0,
+                       metavar="MS",
+                       help="quorum wait deadline in milliseconds "
+                            "(default 1000)")
+    group.add_argument("--quorum-degrade", action="store_true",
+                       help="on quorum timeout, degrade to async (gauge "
+                            "repro_cluster_degraded goes up) instead of "
+                            "shedding with STATUS_QUORUM_TIMEOUT")
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.dataset:
         from repro.data.datasets import load_dataset
@@ -695,6 +710,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.repl_port is not None and not args.journal:
         raise _UsageError("--repl-port requires --journal (the shipped WAL)")
+    if args.min_insync and args.repl_port is None:
+        raise _UsageError(
+            "--min-insync requires --repl-port (the quorum is counted "
+            "over replication subscribers)"
+        )
     rebuild = None
     txn = journal = None
     if args.journal:
@@ -794,6 +814,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"replicating {args.journal} on {repl_host}:{repl_bound}",
                 flush=True,
             )
+            quorum = _quorum_config(args)
+            if quorum is not None:
+                from repro.cluster import QuorumGate
+
+                server.quorum = QuorumGate(publisher, quorum)
+                print(
+                    f"quorum: min-insync {quorum.min_insync}, timeout "
+                    f"{quorum.timeout_s * 1000:.0f} ms, on timeout "
+                    f"{quorum.on_timeout}",
+                    flush=True,
+                )
         print(f"serving {handle.name} ({routes}) on {host}:{port}", flush=True)
         # SIGTERM (the supervisor/CI stop signal) drains like Ctrl-C so
         # the pool's shared-memory segments are unlinked on the way out.
@@ -825,6 +856,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(obs.registry().render())
         obs.disable()
     return 0
+
+
+def _quorum_config(args: argparse.Namespace):
+    """The durability policy asked for on the command line, or ``None``.
+
+    Shared by ``serve`` and ``replica``: ``--min-insync 0`` (the
+    default) means plain asynchronous replication and returns ``None``
+    so no gate is constructed at all.
+    """
+    if not args.min_insync:
+        return None
+    from repro.cluster import QuorumConfig
+
+    return QuorumConfig(
+        min_insync=args.min_insync,
+        timeout_s=args.quorum_timeout / 1000.0,
+        on_timeout="degrade" if args.quorum_degrade else "shed",
+    )
 
 
 def _recover_for_serve(args: argparse.Namespace, table_path: Optional[str]):
@@ -1054,6 +1103,7 @@ def cmd_replica(args: argparse.Namespace) -> int:
         fsync_every=args.fsync_every,
         checkpoint_every=args.checkpoint_every,
         name=args.name,
+        quorum=_quorum_config(args),
     )
 
     async def _main() -> None:
@@ -1137,6 +1187,45 @@ def cmd_promote(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(summary, indent=2))
     return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Failover monitor daemon: probe the primary, promote on loss.
+
+    Prints one JSON event per line (state transitions, the election
+    summary, the shard-map rewrite) — a machine-readable stream for
+    supervisors and the chaos suite.  With ``--promote-on-failure`` the
+    process exits 0 once a failover completes (restart it against the
+    new primary); without it the monitor observes forever.
+    """
+    import asyncio
+    import json
+
+    from repro.cluster.router import FailoverMonitor
+    from repro.errors import ClusterError
+
+    def emit(event: dict) -> None:
+        print(json.dumps(event), flush=True)
+
+    monitor = FailoverMonitor(
+        args.primary,
+        args.replicas,
+        probe_timeout=args.probe_timeout,
+        misses_to_fail=args.misses_to_fail,
+        interval_s=args.interval,
+        promote=args.promote_on_failure,
+        shard_map_path=args.shard_map,
+        on_event=emit,
+    )
+    try:
+        state = asyncio.run(monitor.run())
+    except KeyboardInterrupt:
+        print("monitor interrupted", file=sys.stderr)
+        return 0
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0 if state == "failed_over" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1264,6 +1353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repl-port", type=int, default=None, metavar="PORT",
                    help="with --journal: also publish the WAL to replicas "
                         "on this port (0 = ephemeral)")
+    _add_quorum_args(p)
     p.add_argument("--metrics", action="store_true",
                    help="dump Prometheus metrics on shutdown")
     p.set_defaults(func=cmd_serve)
@@ -1322,6 +1412,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0 = never)")
     p.add_argument("--name", default="replica",
                    help="node name in logs/metrics (default 'replica')")
+    _add_quorum_args(p)
     p.set_defaults(func=cmd_replica)
 
     p = sub.add_parser(
@@ -1347,6 +1438,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0,
                    help="per-endpoint survey timeout in seconds (default 5)")
     p.set_defaults(func=cmd_promote)
+
+    p = sub.add_parser(
+        "monitor",
+        help="failover monitor daemon: probe the primary, promote on loss",
+    )
+    p.add_argument("--primary", required=True, metavar="HOST:PORT",
+                   help="the primary's replication endpoint to probe")
+    p.add_argument("--replica", action="append", required=True,
+                   dest="replicas", metavar="HOST:PORT",
+                   help="candidate replica replication endpoint (repeat "
+                        "once per replica)")
+    p.add_argument("--shard-map", metavar="PATH",
+                   help="rewrite + atomically republish this shard map to "
+                        "the survivors' serve endpoints after a promotion")
+    p.add_argument("--promote-on-failure", action="store_true",
+                   help="drive elect-and-promote when the primary goes "
+                        "down (without this the monitor only observes)")
+    p.add_argument("--interval", type=float, default=0.5, metavar="S",
+                   help="seconds between probes (default 0.5)")
+    p.add_argument("--probe-timeout", type=float, default=1.0, metavar="S",
+                   help="per-probe timeout in seconds (default 1)")
+    p.add_argument("--misses-to-fail", type=int, default=3, metavar="K",
+                   help="consecutive failed probes before suspect becomes "
+                        "down (default 3; this is the flap damping)")
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser(
         "recover",

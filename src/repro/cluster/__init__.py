@@ -5,7 +5,9 @@ Three layers, each usable on its own:
 - **WAL shipping** (:mod:`repro.cluster.replication`): a primary node
   streams its checkpoint plus journal tail — seqno-watermarked and
   CRC-chained — to any number of read replicas over a dedicated
-  replication channel.
+  replication channel; replicas ack their durable watermark back, which
+  feeds the quorum write path (:class:`QuorumConfig` /
+  :class:`QuorumGate`, ``serve --min-insync N``).
 - **Replica nodes** (:mod:`repro.cluster.replica`): each replica
   re-journals the shipped records locally, applies them through the
   transactional update engine, and publishes through the same RCU
@@ -13,39 +15,59 @@ Three layers, each usable on its own:
   so every replica is promotion-ready at all times.
 - **Client-side routing** (:mod:`repro.cluster.router` +
   :mod:`repro.cluster.shard`): a contiguous prefix-range shard map
-  (skew-aware splits at route-count quantiles) and a router that
+  (skew-aware splits at route-count quantiles), a router that
   partitions key batches, fails over down each shard's replica set
-  under a retry budget, and reassembles results in input order.
+  under a retry budget, and reassembles results in input order — and a
+  :class:`FailoverMonitor` daemon (``python -m repro monitor``) that
+  probes the primary and drives :func:`elect_and_promote` on sustained
+  loss.
 
-See ``docs/CLUSTER.md`` for the replication protocol, the failover
-state machine, and the shard-map file format.
+See ``docs/CLUSTER.md`` for the replication protocol, the durability
+modes, the failover state machine, and the shard-map file format.
 """
 
-from repro.cluster.replica import Replica
-from repro.cluster.replication import (
-    ReplicationPublisher,
-    query_info,
-    request_promote,
-    request_retarget,
-)
-from repro.cluster.router import (
-    ClusterRouter,
-    FailoverMonitor,
-    RouterConfig,
-    elect_and_promote,
-)
-from repro.cluster.shard import (
-    Shard,
-    ShardMap,
-    build_shard_map,
-    naive_shard_map,
-    shard_balance,
-    shard_rib,
-)
+# Everything is exposed lazily (PEP 562, matching ``repro`` itself):
+# importing repro.cluster must not pay for — or depend on — the journal,
+# server, and router stacks until a name is actually used.
+_LAZY = {
+    "Replica": "repro.cluster.replica",
+    "QuorumConfig": "repro.cluster.replication",
+    "QuorumGate": "repro.cluster.replication",
+    "ReplicationPublisher": "repro.cluster.replication",
+    "query_info": "repro.cluster.replication",
+    "request_promote": "repro.cluster.replication",
+    "request_retarget": "repro.cluster.replication",
+    "ClusterRouter": "repro.cluster.router",
+    "FailoverMonitor": "repro.cluster.router",
+    "RouterConfig": "repro.cluster.router",
+    "elect_and_promote": "repro.cluster.router",
+    "Shard": "repro.cluster.shard",
+    "ShardMap": "repro.cluster.shard",
+    "build_shard_map": "repro.cluster.shard",
+    "naive_shard_map": "repro.cluster.shard",
+    "shard_balance": "repro.cluster.shard",
+    "shard_rib": "repro.cluster.shard",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "ClusterRouter",
     "FailoverMonitor",
+    "QuorumConfig",
+    "QuorumGate",
     "Replica",
     "ReplicationPublisher",
     "RouterConfig",

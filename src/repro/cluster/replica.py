@@ -74,6 +74,7 @@ class Replica:
         reconnect_backoff: float = 0.05,
         checkpoint_every: int = 0,
         name: str = "replica",
+        quorum: Optional[replication.QuorumConfig] = None,
     ) -> None:
         self.directory = directory
         self.primary = primary
@@ -87,6 +88,7 @@ class Replica:
         self.reconnect_backoff = reconnect_backoff
         self.checkpoint_every = checkpoint_every
         self.name = name
+        self.quorum = quorum
 
         self.role = "primary" if primary is None else "replica"
         self.txn: Optional[TransactionalPoptrie] = None
@@ -99,10 +101,14 @@ class Replica:
         self.records_rejected = 0
         self.resyncs = 0
         self.connects = 0
+        self.acks_sent = 0
         self.primary_seqno = 0
         self.last_heartbeat: Optional[float] = None
+        self.serve_endpoint: Optional[Tuple[str, int]] = None
+        self.repl_endpoint: Optional[Tuple[str, int]] = None
 
         self._chain = 0
+        self._acked = -1
         self._force_snapshot = False
         self._follow_task: Optional[asyncio.Task] = None
         self._stopping = False
@@ -144,6 +150,15 @@ class Replica:
             watermark=lambda: self.applied_seqno,
         )
         repl = await self.publisher.start()
+        self.serve_endpoint = serve
+        self.repl_endpoint = repl
+        if self.quorum is not None:
+            # A promoted replica inherits the same durability policy
+            # the primary served under — the gate reads this node's own
+            # publisher, which gains subscribers after the retargets.
+            self.server.quorum = replication.QuorumGate(
+                self.publisher, self.quorum
+            )
         if self.role == "replica":
             self._follow_task = asyncio.create_task(self._follow())
         return serve, repl
@@ -240,8 +255,12 @@ class Replica:
             backoff = self.reconnect_backoff
             self.connects += 1
             self._chain = 0
+            # New session, new publisher-side subscription record: re-ack
+            # our watermark on the first heartbeat so the (possibly new)
+            # primary learns where we stand.
+            self._acked = -1
             try:
-                await self._consume(reader)
+                await self._consume(reader, writer)
             except asyncio.CancelledError:
                 raise
             except (
@@ -259,8 +278,18 @@ class Replica:
                 except (ConnectionError, OSError):
                     pass
 
-    async def _consume(self, reader: asyncio.StreamReader) -> None:
-        """Apply one subscription session until it breaks or we promote."""
+    async def _consume(
+        self,
+        reader: asyncio.StreamReader,
+        writer: Optional[asyncio.StreamWriter] = None,
+    ) -> None:
+        """Apply one subscription session until it breaks or we promote.
+
+        Acks flow back on the same connection: whenever this replica's
+        *own* journal makes shipped state durable (the heartbeat-paced
+        flush, or a checkpoint install), an ACK naming the durable seqno
+        goes upstream — the primary's quorum input.
+        """
         while self.role == "replica" and not self._stopping:
             frame = await asyncio.wait_for(
                 protocol.read_frame(reader, replication.REPL_MAX_FRAME),
@@ -271,13 +300,28 @@ class Replica:
             kind, operands = replication.decode_frame(frame)
             if kind == replication.FRAME_CHECKPOINT:
                 await self._install_checkpoint(*operands)
+                await self._send_ack(writer, operands[0])
             elif kind == replication.FRAME_RECORD:
                 self._apply_record(*operands)
             elif kind == replication.FRAME_HEARTBEAT:
-                self._observe_heartbeat(operands[0])
+                durable = self._observe_heartbeat(operands[0])
+                await self._send_ack(writer, durable)
             else:
                 self._diverged(f"unexpected frame type {kind} in stream")
             await asyncio.sleep(0)  # let queued lookups interleave
+
+    async def _send_ack(
+        self, writer: Optional[asyncio.StreamWriter], durable: int
+    ) -> None:
+        """Tell the publisher the highest seqno our journal made durable."""
+        if writer is None or durable <= self._acked:
+            return
+        writer.write(
+            protocol.frame_bytes(replication.encode_ack(durable))
+        )
+        await writer.drain()
+        self._acked = durable
+        self.acks_sent += 1
 
     def _diverged(self, reason: str) -> None:
         """Force the next session to re-sync from a checkpoint."""
@@ -333,16 +377,18 @@ class Replica:
         self.records_applied += 1
         self._publish_applied()
 
-    def _observe_heartbeat(self, watermark: int) -> None:
+    def _observe_heartbeat(self, watermark: int) -> int:
+        """Flush our journal; returns the durable seqno (the ack value)."""
         self.last_heartbeat = time.monotonic()
         self.primary_seqno = watermark
+        durable = 0
         if self.journal is not None:
             # Heartbeats pace the replica's own durability: shipped
             # records applied since the last beat reach its segment file
             # here, so downstream (chained) tailers and a post-crash
             # recover() lag the stream by at most one heartbeat.
             with self._mutate:
-                self.journal.flush()
+                durable = self.journal.flush()
         if watermark < self.applied_seqno:
             # The primary is *behind* us (e.g. restarted from older
             # durable state).  Our extra records are not part of its
@@ -351,6 +397,7 @@ class Replica:
                 f"primary watermark {watermark} behind applied "
                 f"{self.applied_seqno}"
             )
+        return durable
 
     # -- control (the publisher's owner callbacks) ----------------------------
 
@@ -363,6 +410,16 @@ class Replica:
         return {
             "name": self.name,
             "role": self.role,
+            "serve": (
+                f"{self.serve_endpoint[0]}:{self.serve_endpoint[1]}"
+                if self.serve_endpoint
+                else None
+            ),
+            "repl": (
+                f"{self.repl_endpoint[0]}:{self.repl_endpoint[1]}"
+                if self.repl_endpoint
+                else None
+            ),
             "applied_seqno": self.applied_seqno,
             "checkpoint_seqno": (
                 self.journal.checkpoint_seqno if self.journal else 0
@@ -378,6 +435,7 @@ class Replica:
             "records_rejected": self.records_rejected,
             "resyncs": self.resyncs,
             "connects": self.connects,
+            "acks_sent": self.acks_sent,
             "routes": len(self.txn.rib) if self.txn is not None else 0,
         }
 

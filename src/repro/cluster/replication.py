@@ -14,12 +14,23 @@ Subscription stream (all integers big-endian)::
     server -> CHECKPOINT u64 seqno | u32 crc32(image) | rib image bytes
     server -> RECORD     u64 seqno | u32 chain | 24-byte update payload
     server -> HEARTBEAT  u64 watermark    (primary's applied seqno)
+    client -> ACK        u64 seqno        (durably applied on the
+                                           subscriber; quorum input)
 
 The subscriber names the highest sequence number it has durably applied;
 the publisher replies with either the journal tail from there (records
 ``from_seqno+1, from_seqno+2, ...`` — gapless by construction of the
 journal) or, when that tail has been truncated by a checkpoint, a full
 CHECKPOINT frame followed by the records after it.
+
+ACK frames flow back on the same subscription connection: a subscriber
+sends one after each durable flush of its own journal, naming the
+highest seqno that flush made durable.  The publisher tracks the acked
+watermark per subscriber, which is what :meth:`ReplicationPublisher.
+wait_quorum` — and through it the ``serve --min-insync N`` bounded-loss
+write path (:class:`QuorumGate`) — waits on.  Subscribers that never
+ack (or publishers that ignore acks) interoperate unchanged: the
+watermark simply never advances.
 
 Two integrity layers protect the stream beyond TCP's own checksums:
 
@@ -44,8 +55,10 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import time
 import zlib
-from typing import Callable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.data import tableio
 from repro.errors import ClusterError, JournalGap
@@ -60,6 +73,7 @@ FRAME_QUERY = 5
 FRAME_INFO = 6
 FRAME_PROMOTE = 7
 FRAME_RETARGET = 8
+FRAME_ACK = 9
 
 #: HELLO from_seqno sentinel: "I have nothing; start with a checkpoint."
 SYNC_FROM_SCRATCH = (1 << 64) - 1
@@ -107,6 +121,10 @@ def encode_heartbeat(watermark: int) -> bytes:
     return _TYPE.pack(FRAME_HEARTBEAT) + _U64.pack(watermark)
 
 
+def encode_ack(seqno: int) -> bytes:
+    return _TYPE.pack(FRAME_ACK) + _U64.pack(seqno)
+
+
 def encode_query() -> bytes:
     return _TYPE.pack(FRAME_QUERY)
 
@@ -125,14 +143,27 @@ def encode_retarget(host: str, port: int) -> bytes:
     return _RETARGET_HEAD.pack(FRAME_RETARGET, port) + host.encode("utf-8")
 
 
-def decode_frame(payload: bytes) -> Tuple[int, tuple]:
-    """``(frame_type, operands)`` of one replication frame."""
+def decode_frame(
+    payload: bytes, max_frame: int = REPL_MAX_FRAME
+) -> Tuple[int, tuple]:
+    """``(frame_type, operands)`` of one replication frame.
+
+    Every malformation is a typed :class:`~repro.errors.ClusterError`:
+    empty and truncated frames, frames longer than ``max_frame``,
+    payload-size mismatches, CRC failures, and unknown frame types —
+    nothing escapes as a raw ``struct.error`` or decode exception.
+    """
     if not payload:
         raise ClusterError("empty replication frame")
+    if len(payload) > max_frame:
+        raise ClusterError(
+            f"oversized replication frame ({len(payload)} bytes "
+            f"> {max_frame})"
+        )
     kind = payload[0]
     body = payload[1:]
     try:
-        if kind in (FRAME_HELLO, FRAME_HEARTBEAT, FRAME_PROMOTE):
+        if kind in (FRAME_HELLO, FRAME_HEARTBEAT, FRAME_PROMOTE, FRAME_ACK):
             (seqno,) = _U64.unpack(body)
             return kind, (seqno,)
         if kind == FRAME_CHECKPOINT:
@@ -193,6 +224,19 @@ def _checkpoint_image(directory: str) -> Tuple[int, bytes]:
     return seqno, tableio.rib_to_image(rib).to_bytes()
 
 
+class _Subscription:
+    """One live subscriber's quorum bookkeeping."""
+
+    __slots__ = ("peer", "acked")
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        #: Highest seqno this subscriber reported durably applied; -1
+        #: until the first ACK, so a mute (pre-ACK) subscriber never
+        #: counts toward a quorum — not even for seqno 0.
+        self.acked = -1
+
+
 class ReplicationPublisher:
     """Stream a journal directory's checkpoint + tail to subscribers.
 
@@ -203,6 +247,13 @@ class ReplicationPublisher:
     ``retarget(host, port)`` methods, each returning a JSON-ready dict.
     ``watermark`` reports the writer's applied sequence number for
     heartbeats (defaults to the shipped position).
+
+    Each subscription also *reads*: ACK frames coming back name the
+    highest seqno the subscriber has made durable, tracked per
+    subscriber and exposed through :meth:`insync_count` /
+    :meth:`acked_watermarks`.  :meth:`wait_quorum` blocks until at
+    least ``min_insync`` subscribers have acked a seqno (or the timeout
+    passes) — the primitive under the bounded-loss write path.
     """
 
     def __init__(
@@ -227,9 +278,12 @@ class ReplicationPublisher:
         self.batch = batch
         self.subscribers = 0
         self.records_shipped = 0
+        self.acks_received = 0
         self.checkpoints_shipped = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: set = set()
+        self._subscriptions: Dict[object, _Subscription] = {}
+        self._ack_event: Optional[asyncio.Event] = None
 
     async def start(self) -> Tuple[str, int]:
         if self._server is not None:
@@ -262,11 +316,20 @@ class ReplicationPublisher:
                 return
             kind, operands = decode_frame(payload)
             if kind == FRAME_HELLO:
+                peername = writer.get_extra_info("peername")
+                peer = (
+                    f"{peername[0]}:{peername[1]}"
+                    if isinstance(peername, tuple) and len(peername) >= 2
+                    else f"subscriber-{id(writer):x}"
+                )
+                subscription = _Subscription(peer)
+                self._subscriptions[writer] = subscription
                 self.subscribers += 1
                 try:
-                    await self._stream(writer, operands[0])
+                    await self._stream(reader, writer, operands[0], subscription)
                 finally:
                     self.subscribers -= 1
+                    self._subscriptions.pop(writer, None)
             else:
                 await self._control(reader, writer, kind, operands)
         except (ConnectionError, OSError, ClusterError, asyncio.CancelledError):
@@ -317,8 +380,72 @@ class ReplicationPublisher:
         self.checkpoints_shipped += 1
         return seqno, zlib.crc32(image)
 
-    async def _stream(self, writer, from_seqno: int) -> None:
-        """One subscriber: sync, then follow the journal tail forever."""
+    async def _stream(
+        self,
+        reader,
+        writer,
+        from_seqno: int,
+        subscription: _Subscription,
+    ) -> None:
+        """One subscriber: sync, then follow the journal tail forever.
+
+        A companion task drains the subscriber's ACK frames off
+        ``reader`` and advances its acked watermark; after every
+        shipped record batch a HEARTBEAT follows immediately, because
+        subscribers flush their journal (and ack) on heartbeats — that
+        prompt flush is what keeps quorum-gated write latency at about
+        one round trip instead of one ``heartbeat_s``.
+        """
+        ack_task = asyncio.create_task(
+            self._drain_acks(reader, subscription)
+        )
+        try:
+            await self._ship(writer, from_seqno)
+        finally:
+            ack_task.cancel()
+            try:
+                await ack_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _drain_acks(
+        self, reader, subscription: _Subscription
+    ) -> None:
+        """Advance one subscriber's acked watermark from its ACK frames.
+
+        Anything other than an ACK coming upstream ends the drain (the
+        watermark then simply stops advancing, which is also how
+        pre-ACK subscribers interoperate).
+        """
+        from repro import obs
+
+        while True:
+            payload = await protocol.read_frame(reader, REPL_MAX_FRAME)
+            if payload is None:
+                return
+            try:
+                kind, operands = decode_frame(payload)
+            except ClusterError:
+                return
+            if kind != FRAME_ACK:
+                return
+            if operands[0] > subscription.acked:
+                subscription.acked = operands[0]
+            self.acks_received += 1
+            mark = (
+                self.watermark()
+                if self.watermark is not None
+                else subscription.acked
+            )
+            obs.registry().gauge(
+                "repro_cluster_replication_lag",
+                "Publisher watermark minus the subscriber's acked seqno.",
+                peer=subscription.peer,
+            ).set(float(max(0, mark - subscription.acked)))
+            if self._ack_event is not None:
+                self._ack_event.set()
+
+    async def _ship(self, writer, from_seqno: int) -> None:
         from repro.robust.journal import encode_update
 
         chain = 0
@@ -354,6 +481,9 @@ class ReplicationPublisher:
                     position = seqno
                 await writer.drain()
                 self.records_shipped += len(records)
+                # Force the next heartbeat out immediately (see
+                # ``_stream``): subscribers flush-and-ack on beats.
+                last_beat = -self.heartbeat_s
             else:
                 await asyncio.sleep(self.poll_s)
             now = loop.time()
@@ -365,6 +495,50 @@ class ReplicationPublisher:
                 await writer.drain()
                 last_beat = now
 
+    # -- quorum state ------------------------------------------------------
+
+    def insync_count(self, seqno: int) -> int:
+        """How many live subscribers have acked ``seqno`` or beyond."""
+        return sum(
+            1 for sub in self._subscriptions.values() if sub.acked >= seqno
+        )
+
+    def acked_watermarks(self) -> Dict[str, int]:
+        """``{peer: highest acked seqno}`` per live subscription.
+
+        ``-1`` marks a subscriber that has not acked anything yet.
+        """
+        return {
+            sub.peer: sub.acked for sub in self._subscriptions.values()
+        }
+
+    async def wait_quorum(
+        self, seqno: int, min_insync: int, timeout: float
+    ) -> bool:
+        """Block until ``min_insync`` subscribers have acked ``seqno``.
+
+        Returns ``True`` when the quorum forms within ``timeout``
+        seconds and ``False`` otherwise.  ``min_insync <= 0`` is
+        trivially satisfied — that is plain asynchronous replication.
+        """
+        if min_insync <= 0 or self.insync_count(seqno) >= min_insync:
+            return True
+        if self._ack_event is None:
+            self._ack_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            self._ack_event.clear()
+            if self.insync_count(seqno) >= min_insync:
+                return True
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(self._ack_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return self.insync_count(seqno) >= min_insync
+
     def describe(self) -> dict:
         checkpoint_seqno, _ = _newest_checkpoint(self.directory)
         return {
@@ -372,8 +546,147 @@ class ReplicationPublisher:
             "directory": self.directory,
             "subscribers": self.subscribers,
             "records_shipped": self.records_shipped,
+            "acks_received": self.acks_received,
+            "acked": self.acked_watermarks(),
             "checkpoints_shipped": self.checkpoints_shipped,
             "checkpoint_seqno": checkpoint_seqno,
+        }
+
+
+# -- the quorum gate -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Durability policy for the replicated write path.
+
+    ``min_insync`` subscribers must ack each applied batch's final
+    seqno before the client sees success; ``on_timeout`` picks the
+    degraded behaviour when they have not within ``timeout_s``:
+
+    - ``"shed"`` — fail the write with the retryable
+      ``STATUS_QUORUM_TIMEOUT``.  The batch *is* applied and journaled
+      locally; route updates are idempotent, so the client's retry is
+      safe whichever way the race went.
+    - ``"degrade"`` — acknowledge the write anyway (asynchronous
+      replication) while the ``repro_cluster_degraded`` gauge is up,
+      until a quorum is observed again.
+
+    ``min_insync=0`` disables the gate entirely.
+    """
+
+    min_insync: int = 1
+    timeout_s: float = 1.0
+    on_timeout: str = "shed"
+
+    def __post_init__(self) -> None:
+        if self.min_insync < 0:
+            raise ClusterError(
+                f"min_insync must be >= 0, got {self.min_insync}"
+            )
+        if self.timeout_s <= 0:
+            raise ClusterError(
+                f"quorum timeout must be positive, got {self.timeout_s}"
+            )
+        if self.on_timeout not in ("shed", "degrade"):
+            raise ClusterError(
+                f"on_timeout must be 'shed' or 'degrade', "
+                f"got {self.on_timeout!r}"
+            )
+
+
+class QuorumGate:
+    """Apply a :class:`QuorumConfig` against a publisher's acked state.
+
+    ``await wait(seqno)`` returns one of:
+
+    - ``"ok"`` — the quorum acked in time (this also exits degraded
+      mode when the ``degrade`` policy had entered it);
+    - ``"timeout"`` — the quorum missed the deadline and the policy is
+      ``shed``: the caller should fail the write retryably;
+    - ``"degraded"`` — the quorum is missing and the policy is
+      ``degrade``: the caller proceeds asynchronously.  Degraded mode
+      never blocks the write path again; each write probes the acked
+      state non-blockingly so the gate recovers (and the
+      ``repro_cluster_degraded`` gauge drops) as soon as a quorum
+      reappears.
+    """
+
+    def __init__(
+        self, publisher: ReplicationPublisher, config: QuorumConfig
+    ) -> None:
+        self.publisher = publisher
+        self.config = config
+        self.degraded = False
+        self.waits = 0
+        self.timeouts = 0
+        #: Seqno of the previous gated write — the degraded-mode
+        #: recovery probe.  The *current* write's seqno can never be
+        #: acked at probe time, but a quorum that has caught up will
+        #: have acked the previous one.
+        self._probe_seqno = 0
+
+    def _set_degraded(self, value: bool) -> None:
+        from repro import obs
+
+        if value == self.degraded:
+            return
+        self.degraded = value
+        registry = obs.registry()
+        registry.gauge(
+            "repro_cluster_degraded",
+            "1 while the quorum write path is degraded to async.",
+        ).set(1.0 if value else 0.0)
+        registry.counter(
+            "repro_cluster_degraded_transitions_total",
+            "Entries into and exits from quorum-degraded mode.",
+            direction="enter" if value else "exit",
+        ).inc()
+
+    async def wait(self, seqno: int) -> str:
+        from repro import obs
+        from repro.obs.metrics import LATENCY_US_BUCKETS
+
+        config = self.config
+        if config.min_insync <= 0:
+            return "ok"
+        self.waits += 1
+        started = time.perf_counter()
+        if (
+            self.degraded
+            and self.publisher.insync_count(self._probe_seqno)
+            < config.min_insync
+        ):
+            # Still degraded: never block the write path again until
+            # the non-blocking probe sees the quorum back in sync.
+            met = False
+        else:
+            met = await self.publisher.wait_quorum(
+                seqno, config.min_insync, config.timeout_s
+            )
+        self._probe_seqno = seqno
+        obs.registry().histogram(
+            "repro_cluster_quorum_wait_us",
+            "Time OP_UPDATE spent waiting for the replica quorum.",
+            buckets=LATENCY_US_BUCKETS,
+        ).observe((time.perf_counter() - started) * 1e6)
+        if met:
+            self._set_degraded(False)
+            return "ok"
+        self.timeouts += 1
+        if config.on_timeout == "degrade":
+            self._set_degraded(True)
+            return "degraded"
+        return "timeout"
+
+    def describe(self) -> dict:
+        return {
+            "min_insync": self.config.min_insync,
+            "timeout_s": self.config.timeout_s,
+            "on_timeout": self.config.on_timeout,
+            "degraded": self.degraded,
+            "waits": self.waits,
+            "timeouts": self.timeouts,
         }
 
 
@@ -439,6 +752,7 @@ async def request_retarget(
 
 
 __all__ = [
+    "FRAME_ACK",
     "FRAME_CHECKPOINT",
     "FRAME_HEARTBEAT",
     "FRAME_HELLO",
@@ -447,11 +761,14 @@ __all__ = [
     "FRAME_QUERY",
     "FRAME_RECORD",
     "FRAME_RETARGET",
+    "QuorumConfig",
+    "QuorumGate",
     "REPL_MAX_FRAME",
     "SYNC_FROM_SCRATCH",
     "ReplicationPublisher",
     "chain_crc",
     "decode_frame",
+    "encode_ack",
     "encode_checkpoint",
     "encode_heartbeat",
     "encode_hello",

@@ -236,6 +236,12 @@ async def elect_and_promote(
     somehow lost records refuses promotion instead of rolling the
     cluster's history back.  The remaining survivors are retargeted at
     the winner.  Returns a JSON-ready summary.
+
+    **Tie-break rule**: among candidates sharing the maximum
+    ``applied_seqno``, the lexicographically-lowest endpoint string
+    wins.  The rule is deterministic so two monitors racing the same
+    failover converge on the same winner — the loser's PROMOTE is then
+    an idempotent no-op on an already-promoted node.
     """
     surveys: List[Tuple[str, dict]] = []
     for endpoint in repl_endpoints:
@@ -249,9 +255,16 @@ async def elect_and_promote(
         raise ClusterError(
             f"no replica answered out of {len(list(repl_endpoints))}"
         )
-    surveys.sort(key=lambda item: item[1].get("applied_seqno", 0))
-    winner_endpoint, winner_info = surveys[-1]
-    others = surveys[:-1]
+    top = max(info.get("applied_seqno", 0) for _, info in surveys)
+    winner_endpoint, winner_info = min(
+        (
+            (endpoint, info)
+            for endpoint, info in surveys
+            if info.get("applied_seqno", 0) == top
+        ),
+        key=lambda item: item[0],
+    )
+    others = [item for item in surveys if item[0] != winner_endpoint]
     min_seqno = max(
         (info.get("applied_seqno", 0) for _, info in others), default=0
     )
@@ -286,9 +299,24 @@ class FailoverMonitor:
     """Poll the primary's replication channel; promote on sustained loss.
 
     The monitor embodies the cluster's failover state machine
-    (docs/CLUSTER.md): HEALTHY while the primary answers QUERY probes,
-    SUSPECT after a miss, and after ``misses_to_fail`` consecutive
-    misses it runs :func:`elect_and_promote` over the replicas.
+    (docs/CLUSTER.md): ``healthy`` while the primary answers QUERY
+    probes, ``suspect`` after a miss, ``down`` only after
+    ``misses_to_fail`` *consecutive* misses — one successful probe
+    resets the count, so a flapping primary (probe fails, succeeds,
+    fails…) oscillates ``healthy``/``suspect`` forever and is never
+    promoted away from.  On ``down`` with ``promote`` set it runs
+    :func:`elect_and_promote`, optionally rewrites + atomically
+    republishes ``shard_map_path`` to the survivors' serve endpoints
+    (promoted node first, dead primary dropped), and parks in the
+    terminal ``failed_over`` state.  With ``promote`` off it is a pure
+    observer: ``down`` is sticky only until the primary answers again.
+
+    Every state change and failover action is appended to ``events``
+    (JSON-ready dicts) and handed to ``on_event`` — the machine-
+    readable stream ``python -m repro monitor`` prints — and counted on
+    the ``repro_cluster_monitor_transitions_total{from,to}`` metric.
+    ``run()`` is the daemon loop: probe every ``interval_s`` seconds
+    until failed over (or forever as an observer).
     """
 
     def __init__(
@@ -298,14 +326,44 @@ class FailoverMonitor:
         *,
         probe_timeout: float = 1.0,
         misses_to_fail: int = 3,
+        interval_s: float = 0.5,
+        promote: bool = True,
+        shard_map_path: Optional[str] = None,
+        on_event=None,
     ) -> None:
         self.primary = primary
         self.replicas = list(replicas)
         self.probe_timeout = probe_timeout
         self.misses_to_fail = misses_to_fail
+        self.interval_s = interval_s
+        self.promote = promote
+        self.shard_map_path = shard_map_path
+        self.on_event = on_event
         self.misses = 0
         self.state = "healthy"
         self.promotion: Optional[dict] = None
+        self.events: List[dict] = []
+
+    def _emit(self, kind: str, **fields) -> None:
+        event = {"event": kind, "primary": self.primary, **fields}
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _transition(self, new: str) -> None:
+        if new == self.state:
+            return
+        from repro import obs
+
+        old, self.state = self.state, new
+        obs.registry().counter(
+            "repro_cluster_monitor_transitions_total",
+            "Failover monitor state-machine transitions.",
+            **{"from": old, "to": new},
+        ).inc()
+        self._emit(
+            "transition", **{"from": old, "to": new, "misses": self.misses}
+        )
 
     async def check_once(self) -> str:
         """One probe tick; returns the state after it."""
@@ -318,16 +376,78 @@ class FailoverMonitor:
             )
         except (ClusterError, ConnectionError, OSError, asyncio.TimeoutError):
             self.misses += 1
-            self.state = (
+            self._transition(
                 "suspect" if self.misses < self.misses_to_fail else "down"
             )
         else:
             self.misses = 0
-            self.state = "healthy"
+            self._transition("healthy")
             return self.state
-        if self.state == "down":
-            self.promotion = await elect_and_promote(self.replicas)
-            self.state = "failed_over"
+        if self.state == "down" and self.promote:
+            self.promotion = await elect_and_promote(
+                self.replicas, timeout=self.probe_timeout
+            )
+            self._emit("promoted", **self.promotion)
+            await self._republish_shard_map()
+            self._transition("failed_over")
+        return self.state
+
+    async def _republish_shard_map(self) -> None:
+        """Point every shard at the survivors (promoted node first).
+
+        Survivor *serve* endpoints come from the nodes' own ``info()``
+        (the monitor only knows replication endpoints), which assumes
+        the shared-replica-set layout ``repro shardmap`` clusters use:
+        every node serves every shard.  The rewrite is atomic
+        (tmp + rename), so routers re-loading the map never observe a
+        torn file.
+        """
+        if self.shard_map_path is None or self.promotion is None:
+            return
+        order = [self.promotion["promoted"]] + [
+            endpoint
+            for endpoint, outcome in self.promotion["retargets"].items()
+            if outcome.get("retargeted")
+        ]
+        serve_endpoints: List[str] = []
+        for endpoint in order:
+            host, port = _parse_endpoint(endpoint)
+            try:
+                info = await replication.query_info(
+                    host, port, timeout=self.probe_timeout
+                )
+            except (
+                ClusterError, ConnectionError, OSError, asyncio.TimeoutError
+            ):
+                continue
+            serve = info.get("serve")
+            if serve and serve not in serve_endpoints:
+                serve_endpoints.append(serve)
+        if not serve_endpoints:
+            self._emit(
+                "shard_map_unchanged",
+                path=self.shard_map_path,
+                reason="no survivor reported a serve endpoint",
+            )
+            return
+        shard_map = ShardMap.load(self.shard_map_path)
+        shard_map = shard_map.with_endpoints(
+            [serve_endpoints] * len(shard_map.shards)
+        )
+        shard_map.save(self.shard_map_path)
+        self._emit(
+            "shard_map_republished",
+            path=self.shard_map_path,
+            endpoints=serve_endpoints,
+        )
+
+    async def run(self) -> str:
+        """The daemon loop: probe until failed over; returns the state."""
+        while self.state != "failed_over":
+            await self.check_once()
+            if self.state == "failed_over":
+                break
+            await asyncio.sleep(self.interval_s)
         return self.state
 
 

@@ -381,18 +381,24 @@ class Journal:
             self.flush()
         return self.last_seqno
 
-    def flush(self) -> None:
-        """Push buffered records to stable storage (fsync)."""
+    def flush(self) -> int:
+        """Push buffered records to stable storage (fsync).
+
+        Returns the highest durable sequence number — after a flush
+        that is ``last_seqno`` itself, which is exactly the value a
+        replica acks upstream for the quorum write path.
+        """
         if self._stream is None or self._unsynced == 0:
             if self._stream is not None:
                 self._stream.flush()
-            return
+            return self.last_seqno
         self._stream.flush()
         faults.fault_point("fsync")
         os.fsync(self._stream.fileno())
         self.stats.fsyncs += 1
         self._unsynced = 0
         self._count("repro_journal_fsyncs_total")
+        return self.last_seqno
 
     def _rotate(self) -> None:
         self.flush()

@@ -94,11 +94,23 @@ STATUS_SERVER_ERROR = 4   #: the lookup engine raised
 STATUS_SHUTTING_DOWN = 5  #: request arrived while the server was stopping
 STATUS_OVERLOAD = 6       #: admission refused: dispatcher queue is full
 STATUS_DEADLINE_EXCEEDED = 7  #: deadline expired while the request queued
+#: An OP_UPDATE batch was journaled locally but the configured replica
+#: quorum (``serve --min-insync N``) did not acknowledge it in time.
+STATUS_QUORUM_TIMEOUT = 8
 
-#: Statuses a client may transparently retry (after backoff): the request
-#: was never served, so retrying cannot double-apply anything.
+#: Statuses a client may transparently retry (after backoff).  For
+#: lookup statuses the request was never served, so retrying cannot
+#: double-apply anything; STATUS_QUORUM_TIMEOUT means the update *is*
+#: durable locally but under-replicated — route updates are idempotent
+#: (re-announcing a route is a no-op state change, re-withdrawing a gone
+#: route is skipped), so resending until the quorum acks is safe.
 RETRYABLE_STATUSES = frozenset(
-    {STATUS_OVERLOAD, STATUS_DEADLINE_EXCEEDED, STATUS_SHUTTING_DOWN}
+    {
+        STATUS_OVERLOAD,
+        STATUS_DEADLINE_EXCEEDED,
+        STATUS_SHUTTING_DOWN,
+        STATUS_QUORUM_TIMEOUT,
+    }
 )
 
 _LEN = struct.Struct("!I")

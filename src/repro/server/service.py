@@ -106,6 +106,9 @@ class ServerStats:
     shed_overload: int = 0
     #: Requests shed because their deadline expired while queued.
     shed_deadline: int = 0
+    #: OP_UPDATE batches journaled locally but refused (retryably)
+    #: because the replica quorum missed its deadline.
+    shed_quorum: int = 0
     #: Responses destroyed by an armed FaultPlan (chaos testing only).
     dropped_responses: int = 0
     torn_responses: int = 0
@@ -159,6 +162,11 @@ class LookupServer:
         self.config = config or ServerConfig()
         self.rebuild = rebuild
         self.apply_updates = apply_updates
+        #: Optional :class:`repro.cluster.replication.QuorumGate`; when
+        #: set, OP_UPDATE acks are held until the replica quorum acks
+        #: (attached post-construction by the serve CLI / Replica, which
+        #: create the publisher after the server).
+        self.quorum = None
         self._update_lock: Optional[asyncio.Lock] = None
         self.stats = ServerStats()
         self._pending: deque = deque()
@@ -457,6 +465,24 @@ class LookupServer:
         self.stats.updates_applied += int(report.get("applied", 0))
         self.stats.updates_rejected += int(report.get("rejected", 0))
         self._count("repro_server_updates_total", kind="applied")
+        # Durability policy (``serve --min-insync N``): the batch is
+        # journaled and applied locally by now; hold the client's ack
+        # until the configured replica quorum has acked the seqno.
+        seqno = int(report.get("seqno", 0))
+        if self.quorum is not None and seqno:
+            outcome = await self.quorum.wait(seqno)
+            if outcome == "timeout":
+                self.stats.shed_quorum += 1
+                self._count_shed("quorum")
+                return protocol.encode_response(
+                    request.request_id,
+                    protocol.STATUS_QUORUM_TIMEOUT,
+                    generation=self.handle.generation,
+                    text=json.dumps({**report, "quorum": "timeout"}),
+                    version=request.version,
+                )
+            if outcome == "degraded":
+                report["quorum"] = "degraded"
         return protocol.encode_response(
             request.request_id,
             generation=self.handle.generation,
@@ -640,6 +666,10 @@ class LookupServer:
             "updates_rejected": self.stats.updates_rejected,
             "shed_overload": self.stats.shed_overload,
             "shed_deadline": self.stats.shed_deadline,
+            "shed_quorum": self.stats.shed_quorum,
+            "quorum": (
+                self.quorum.describe() if self.quorum is not None else None
+            ),
         }
 
     def _count_shed(self, reason: str) -> None:

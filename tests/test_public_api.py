@@ -67,6 +67,8 @@ EXPECTED_CLUSTER = {
     # one node, the shipping channel, and its client helpers
     "Replica", "ReplicationPublisher",
     "query_info", "request_promote", "request_retarget",
+    # the quorum write path (serve --min-insync N)
+    "QuorumConfig", "QuorumGate",
     # client-side routing and failover coordination
     "ClusterRouter", "FailoverMonitor", "RouterConfig", "elect_and_promote",
     # prefix-space shard maps
@@ -110,6 +112,22 @@ EXPECTED_PROTOCOL = {
     "STATUS_SHUTTING_DOWN": 5,
     "STATUS_OVERLOAD": 6,
     "STATUS_DEADLINE_EXCEEDED": 7,
+    "STATUS_QUORUM_TIMEOUT": 8,
+}
+
+#: Replication frame types are wire-frozen the same way: a replica built
+#: against an old primary must still parse the stream (or refuse it with
+#: a typed error), so renumbering is a compatibility break.
+EXPECTED_REPLICATION_FRAMES = {
+    "FRAME_HELLO": 1,
+    "FRAME_CHECKPOINT": 2,
+    "FRAME_RECORD": 3,
+    "FRAME_HEARTBEAT": 4,
+    "FRAME_QUERY": 5,
+    "FRAME_INFO": 6,
+    "FRAME_PROMOTE": 7,
+    "FRAME_RETARGET": 8,
+    "FRAME_ACK": 9,
 }
 
 
@@ -155,13 +173,23 @@ def test_protocol_constants_are_frozen():
 
     for name, value in EXPECTED_PROTOCOL.items():
         assert getattr(protocol, name) == value, GUIDANCE
+    # Quorum timeouts are retryable: the batch IS applied and journaled
+    # locally, and route updates are idempotent on re-send.
     assert protocol.RETRYABLE_STATUSES == frozenset(
         {
             protocol.STATUS_OVERLOAD,
             protocol.STATUS_DEADLINE_EXCEEDED,
             protocol.STATUS_SHUTTING_DOWN,
+            protocol.STATUS_QUORUM_TIMEOUT,
         }
     )
+
+
+def test_replication_frame_types_are_frozen():
+    from repro.cluster import replication
+
+    for name, value in EXPECTED_REPLICATION_FRAMES.items():
+        assert getattr(replication, name) == value, GUIDANCE
 
 
 def test_journal_corrupt_taxonomy():
@@ -194,6 +222,15 @@ def test_lazy_cluster_exports_resolve():
     assert repro.build_shard_map is build_shard_map
     assert repro.JournalTailer is JournalTailer
     assert "ClusterRouter" in dir(repro)
+
+
+def test_lazy_quorum_exports_resolve():
+    import repro.cluster as cluster
+    from repro.cluster.replication import QuorumConfig, QuorumGate
+
+    assert cluster.QuorumConfig is QuorumConfig
+    assert cluster.QuorumGate is QuorumGate
+    assert "QuorumConfig" in dir(cluster)
 
 
 def test_cluster_error_taxonomy():
