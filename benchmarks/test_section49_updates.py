@@ -19,7 +19,7 @@ from benchmarks.conftest import SCALE, dataset, emit
 from repro.bench.report import Table
 from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
-from repro.data.updates import apply_updates, generate_update_stream
+from repro.data.updates import replay_updates, generate_update_stream
 from repro.net.rib import Rib
 
 PAPER = {
@@ -44,7 +44,7 @@ def test_section49_incremental_updates(benchmark):
     up = UpdatablePoptrie(PoptrieConfig(s=18), rib=_copy(ds.rib))
 
     start = time.perf_counter()
-    apply_updates(up, stream)
+    replay_updates(up, stream)
     elapsed = time.perf_counter() - start
 
     top, leaves, inodes = up.stats.per_update()
@@ -70,7 +70,7 @@ def test_section49_incremental_updates(benchmark):
     assert leaves > inodes
 
     benchmark.pedantic(
-        lambda: apply_updates(
+        lambda: replay_updates(
             up, generate_update_stream(up.rib, 50, seed=99)
         ),
         rounds=1,
@@ -111,7 +111,7 @@ def test_section49_full_route_insertion(benchmark):
     assert rebuilt.leaf_count == up.trie.leaf_count
 
     benchmark.pedantic(
-        lambda: apply_updates(
+        lambda: replay_updates(
             up, generate_update_stream(up.rib, 25, seed=1)
         ),
         rounds=1,

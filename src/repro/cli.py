@@ -398,6 +398,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 structure.stats()  # refresh the per-structure gauges
     print(table.render())
     if args.metrics:
+        # One short churn burst against an updatable structure so the
+        # update-latency histogram shows up in the dump alongside the
+        # lookup metrics (Poptrie exercises the incremental engine; any
+        # other entry would demonstrate the rebuild fallback).
+        from repro.data.updates import generate_stream
+
+        target = roster.get("Poptrie18") or next(
+            (s for s in roster.values() if s is not None), None
+        )
+        if target is not None and target.update_rib is not None:
+            target.apply_updates(
+                generate_stream(target.update_rib, count=64, seed=args.seed)
+            )
+            target.stats()
         print()
         print(obs.registry().render())
         obs.disable()
@@ -661,6 +675,38 @@ def cmd_stats(args: argparse.Namespace) -> int:
             txn.announce(probe, 1)
             txn.withdraw(probe)
 
+            # 2b. The journaled update pipeline: replay a short stream
+            # through a write-ahead journal so the update-latency
+            # histogram (repro_update_latency_us, per stage) and the
+            # journal backpressure signals (pending-fsync-bytes gauge,
+            # flush-stall counter) are populated in the dump.
+            import tempfile
+
+            from repro.data.updates import generate_stream
+            from repro.robust.journal import Journal
+
+            with tempfile.TemporaryDirectory() as jdir:
+                journal = Journal(jdir, fsync_every=16)
+                jtxn = TransactionalPoptrie(
+                    rib=aggregated_rib(rib), journal=journal
+                )
+                stream = generate_stream(
+                    jtxn.rib, count=120, seed=args.seed
+                )
+                t0 = time.perf_counter()
+                jtxn.apply_stream(stream, on_error="skip")
+                t1 = time.perf_counter()
+                journal.flush()
+                t2 = time.perf_counter()
+                _observe_update_stages(
+                    jtxn.trie.name,
+                    {
+                        "apply": (t1 - t0) * 1e6,
+                        "fsync": (t2 - t1) * 1e6,
+                    },
+                )
+                journal.close()
+
             # 3. The forwarding pipeline (ring occupancy, latency, drops).
             if fib is not None:
                 poptrie = roster.get("Poptrie18") or next(
@@ -693,6 +739,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
     finally:
         obs.disable()
     return 0
+
+
+def _observe_update_stages(table: str, stages_us: dict) -> None:
+    """Mirror one update batch's per-stage latencies into the
+    ``repro_update_latency_us`` histogram (no-op while observability is
+    off).  The server core records ``stage="total"`` for the same batch;
+    together they give the wire → fsync → apply → publish breakdown."""
+    from repro import obs
+
+    reg = obs.registry()
+    for stage, elapsed_us in stages_us.items():
+        reg.histogram(
+            "repro_update_latency_us",
+            "Route-update batch latency by pipeline stage.",
+            buckets=obs.LATENCY_US_BUCKETS,
+            table=table,
+            stage=stage,
+        ).observe(elapsed_us)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -763,7 +827,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         handle = TableHandle(structure)
     apply_updates = None
-    if txn is not None and pool is None:
+    if txn is not None:
         if journal is not None:
             handle.set_seqno(journal.applied_seqno)
 
@@ -771,17 +835,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
             # Runs in a worker thread, serialised by the server's update
             # lock.  Journal-then-apply, then flush so the batch is
             # durable (and visible to replication tailers) before the
-            # acknowledgement goes out.
+            # acknowledgement goes out.  Stage timings feed the
+            # repro_update_latency_us histogram and ride back to the
+            # client in the report, so the churn harness can split
+            # engine-apply cost from fsync and RCU-publish cost.
+            t0 = time.perf_counter()
             report = txn.apply_stream(updates, on_error="skip")
+            t1 = time.perf_counter()
             journal.flush()
-            if txn.trie is not handle.structure:
+            t2 = time.perf_counter()
+            swapped = False
+            if pool is not None:
+                # Shared-memory workers serve a frozen image: an applied
+                # batch must be republished to the pool (RCU generation
+                # swap across every worker), then the handle flips to
+                # the fresh view.
+                if report.applied:
+                    handle.swap(
+                        pool.publish_structure(txn.trie), wait=False
+                    )
+                    swapped = True
+            elif txn.trie is not handle.structure:
                 # Degraded to a full rebuild: swap the fresh object in.
                 handle.swap(txn.trie, wait=False)
+                swapped = True
+            t3 = time.perf_counter()
             handle.set_seqno(journal.applied_seqno)
+            stages_us = {
+                "apply": (t1 - t0) * 1e6,
+                "fsync": (t2 - t1) * 1e6,
+                "publish": (t3 - t2) * 1e6,
+            }
+            _observe_update_stages(handle.name, stages_us)
             return {
                 "applied": report.applied,
                 "rejected": report.rejected,
                 "seqno": journal.applied_seqno,
+                "swapped": swapped,
+                "stages_us": {
+                    k: round(v, 3) for k, v in stages_us.items()
+                },
             }
     server = LookupServer(
         handle,
@@ -794,6 +887,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rebuild=rebuild,
         apply_updates=apply_updates,
     )
+    if journal is not None:
+        server.stats_extra = lambda: {"journal": journal.describe()}
 
     async def _main() -> None:
         import signal
@@ -1012,6 +1107,134 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             stream.write("\n")
         print(f"wrote {args.json}")
     return 1 if report.errors or report.mismatched else 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Measure lookup latency and convergence under sustained churn.
+
+    Two modes (see docs/CHURN.md):
+
+    - ``--port`` drives an already-running ``serve --journal`` process:
+      one churn stream is scheduled onto the wire while an open-loop
+      load generator measures lookup latency — the CI churn-smoke job's
+      mode.  ``--table`` (the file the server was started with) makes
+      withdrawals target live routes; without it the stream is
+      announce-heavy against the server's unknown table.
+    - Without ``--port`` the registry engines are swept through
+      in-process servers (:func:`repro.bench.churn_scenario.run_churn_bench`)
+      and the per-engine comparison is printed — incremental Poptrie
+      surgery versus the measured rebuild fallback.
+    """
+    import asyncio
+    import json
+
+    from repro.bench.churn_scenario import (
+        DEFAULT_ENGINES,
+        drive_churn,
+        run_churn_bench,
+    )
+    from repro.data.updates import UpdateStream, arrival_offsets, generate_stream
+    from repro.server import LoadGenConfig
+
+    regime = args.regime or "steady"
+    stream = UpdateStream(
+        count=args.updates,
+        seed=args.seed,
+        regime=regime,
+        rate=args.update_rate,
+        burst_length=args.burst_length,
+        burst_idle_s=args.burst_idle,
+    )
+    if args.port is not None:
+        if args.table_pos or args.table_opt:
+            rib = tableio.load_table(_require_table(args))
+        else:
+            from repro.data.synth import generate_table
+
+            rib, _ = generate_table(
+                n_prefixes=2000, n_nexthops=16, seed=args.seed
+            )
+        updates = generate_stream(rib, stream)
+        lookup = LoadGenConfig(
+            connections=args.connections,
+            rate=args.lookup_rate,
+            duration=stream.duration_estimate() + 0.5,
+            batch=args.batch,
+            seed=args.seed,
+        )
+        try:
+            result = asyncio.run(
+                drive_churn(
+                    args.host,
+                    args.port,
+                    updates=updates,
+                    offsets=arrival_offsets(stream),
+                    update_batch=args.update_batch,
+                    lookup=lookup,
+                    width=rib.width,
+                )
+            )
+        except (ConnectionError, OSError) as error:
+            print(
+                f"error: cannot reach {args.host}:{args.port} ({error})",
+                file=sys.stderr,
+            )
+            return 1
+        result = {
+            "scenario": "churn_convergence",
+            "target": f"{args.host}:{args.port}",
+            "regime": regime,
+            "rows": [result],
+        }
+        rows = result["rows"]
+    else:
+        result = run_churn_bench(
+            engines=tuple(args.engines) if args.engines else DEFAULT_ENGINES,
+            regimes=(args.regime,) if args.regime else ("steady", "bursty"),
+            update_count=args.updates,
+            update_rate=args.update_rate,
+            update_batch=args.update_batch,
+            burst_length=args.burst_length,
+            burst_idle_s=args.burst_idle,
+            lookup_rate=args.lookup_rate,
+            lookup_connections=args.connections,
+            lookup_batch=args.batch,
+            seed=args.seed,
+        )
+        rows = result["rows"]
+    for row in rows:
+        updates_ = row["updates"]
+        conv = row["convergence"]
+        label = row.get("engine", result.get("target", "server"))
+        lag = (
+            f"{conv['lag_s'] * 1e3:.1f}ms"
+            if conv.get("lag_s") is not None
+            else "not observed"
+        )
+        print(
+            f"{label:>12} {row.get('regime', regime):>7}: "
+            f"updates {updates_['applied']} applied "
+            f"{updates_['rejected']} rejected "
+            f"(wire p99 {updates_['wire_latency_us']['p99']:.0f}us), "
+            f"lookup p99 {row['lookup_during_churn_us']['p99']:.0f}us, "
+            f"{row['rcu']['swap_rate_hz']:.1f} swaps/s, "
+            f"convergence {lag}"
+        )
+    total_lookup_errors = sum(r["lookup"]["errors"] for r in rows)
+    total_applied = sum(r["updates"]["applied"] for r in rows)
+    if args.json:
+        with open(args.json, "w") as stream_out:
+            json.dump(result, stream_out, indent=2)
+            stream_out.write("\n")
+        print(f"wrote {args.json}")
+    if total_lookup_errors or not total_applied:
+        print(
+            f"error: {total_lookup_errors} lookup errors, "
+            f"{total_applied} updates applied",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -1390,6 +1613,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON (e.g. BENCH_server.json)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "churn",
+        help="measure lookup latency and convergence under route churn",
+    )
+    _add_table_arg(p, required=False,
+                   help="table the target server serves (makes withdrawals "
+                        "target live routes; external mode only)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="drive this running 'serve --journal' endpoint; "
+                        "omit to sweep registry engines in-process")
+    p.add_argument("--engines", nargs="+", metavar="NAME",
+                   help="registry engines for the in-process sweep "
+                        "(default: Poptrie18 Poptrie16 SAIL DIR-24-8)")
+    p.add_argument("--regime", choices=("steady", "bursty"), default=None,
+                   help="arrival regime (default: steady externally, "
+                        "both in the sweep)")
+    p.add_argument("--updates", type=int, default=1024,
+                   help="updates in the churn stream (default 1024)")
+    p.add_argument("--update-rate", type=float, default=1500.0,
+                   help="update arrivals per second (default 1500)")
+    p.add_argument("--update-batch", type=int, default=16,
+                   help="updates per OP_UPDATE wire batch (default 16)")
+    p.add_argument("--burst-length", type=int, default=64,
+                   help="updates per flap storm (bursty regime, default 64)")
+    p.add_argument("--burst-idle", type=float, default=0.25,
+                   help="idle seconds between storms (default 0.25)")
+    p.add_argument("--lookup-rate", type=float, default=1200.0,
+                   help="concurrent lookup requests per second (default 1200)")
+    p.add_argument("--connections", type=int, default=2,
+                   help="load-generator connections (default 2)")
+    p.add_argument("--batch", type=int, default=16,
+                   help="keys per lookup request (default 16)")
+    p.add_argument("--seed", type=int, default=52)
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the result as JSON (e.g. BENCH_churn.json)")
+    p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser(
         "replica",

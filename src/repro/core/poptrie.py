@@ -481,6 +481,43 @@ class Poptrie(LookupStructure):
         validate(trie)
         return trie
 
+    # -- incremental updates -------------------------------------------------
+
+    def _apply_updates(self, updates: list):
+        """Incremental engine hook: route the batch through the
+        transactional subtree-surgery path (Section 3.5).
+
+        A :class:`~repro.robust.txn.TransactionalPoptrie` is created
+        lazily around *this* trie (``trie=`` adoption, no recompilation)
+        and cached on the instance; messages apply with staged-then-
+        commit semantics, one bad message rolls back alone and is
+        counted ``rejected``.  When the engine degrades to a full
+        rebuild it swaps in a fresh trie object — its state is adopted
+        back into ``self`` so callers holding this reference (a server
+        handle, a bench roster) keep seeing the updated table.
+        """
+        from repro.robust.txn import TransactionalPoptrie
+
+        engine = self.__dict__.get("_txn_engine")
+        if engine is None or engine.rib is not self.update_rib:
+            engine = TransactionalPoptrie(
+                self.config, width=self.width, rib=self.update_rib,
+                trie=self,
+            )
+            self.__dict__["_txn_engine"] = engine
+        report = engine.apply_stream(updates, on_error="skip")
+        if engine.trie is not self:
+            # The engine degraded to a rebuild and published a new trie.
+            self._adopt_state(engine.trie)
+            self.__dict__["_txn_engine"] = engine
+            engine.trie = self
+        return {
+            "applied": report.applied,
+            "rejected": report.rejected,
+            "degraded": report.degraded,
+            "engine": "incremental",
+        }
+
     # -- self-verification -------------------------------------------------
 
     def verify(self, rib=None, samples: int = 1000, seed: int = 20150817):

@@ -104,9 +104,17 @@ class UpdatablePoptrie:
         config: PoptrieConfig = PoptrieConfig(),
         width: int = 32,
         rib: Optional[Rib] = None,
+        trie: Optional[Poptrie] = None,
     ) -> None:
         self.rib = rib if rib is not None else Rib(width=width)
-        self.trie = Poptrie.from_rib(self.rib, config)
+        #: ``trie`` adopts an already-compiled Poptrie instead of
+        #: recompiling — the caller guarantees it agrees with ``rib``
+        #: (the registry's ``apply_updates`` path wraps the live served
+        #: structure this way, so updates land in place).
+        if trie is not None:
+            self.trie = trie
+        else:
+            self.trie = Poptrie.from_rib(self.rib, config)
         self.stats = UpdateStats()
         #: Incremented once per committed update; a reader observing the same
         #: generation before and after a lookup saw a consistent structure.

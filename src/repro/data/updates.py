@@ -7,6 +7,14 @@ against any dataset: withdrawals remove existing routes, announcements
 either add new prefixes (drawn from the same length mix as the table) or
 re-announce existing prefixes with a different next hop, which is what
 most BGP churn looks like.
+
+Stream generation is configured through the frozen :class:`UpdateStream`
+dataclass (same convention as the registry's ``StructureConfig``: typed
+fields, ``resolve()`` merging, ``TypeError`` on unknown keys).  Besides
+the composition knobs it carries an *arrival regime* — ``"steady"``
+(Poisson arrivals at ``rate``) or ``"bursty"`` (back-to-back flap storms
+separated by idle gaps) — which :func:`arrival_offsets` turns into a
+deterministic wall-clock schedule for the churn harness.
 """
 
 from __future__ import annotations
@@ -17,12 +25,92 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.update import UpdatablePoptrie
 from repro.errors import UpdateRejectedError
+from repro.lookup.base import StructureConfig
 from repro.net.prefix import Prefix
 from repro.net.rib import Rib
 
 #: The published stream composition.
 PAPER_UPDATE_COUNT = 23446
 PAPER_ANNOUNCE_FRACTION = 18141 / 23446
+
+#: Arrival regimes understood by :func:`arrival_offsets`.
+STREAM_REGIMES = ("steady", "bursty")
+
+
+@dataclass(frozen=True)
+class UpdateStream(StructureConfig):
+    """Typed, frozen configuration of one synthetic update stream.
+
+    Replaces the ad-hoc keyword surface of the original
+    ``generate_update_stream`` signature; unknown keys raise
+    ``TypeError`` through :meth:`StructureConfig.resolve`, exactly like
+    a structure build config.
+
+    Composition knobs (``count``, ``seed``, ``announce_fraction``,
+    ``max_nexthop``, ``churn_depth_bias``) select *which* updates are
+    generated; the regime knobs (``regime``, ``rate``, ``burst_length``,
+    ``burst_idle_s``) select *when* they arrive (see
+    :func:`arrival_offsets`).
+    """
+
+    #: Updates in the stream (the paper's replay is 23,446).
+    count: int = PAPER_UPDATE_COUNT
+    seed: int = 52
+    #: Fraction of announce messages (the rest withdraw); the paper's
+    #: replay is 18,141 / 23,446 ≈ 77 %.
+    announce_fraction: float = PAPER_ANNOUNCE_FRACTION
+    #: Largest next-hop index announcements may use (None = the table's
+    #: current maximum).
+    max_nexthop: Optional[int] = None
+    #: Acceptance probability for short (≤ /18) prefixes when a live
+    #: route must be chosen; 1.0 disables the long-prefix bias.
+    churn_depth_bias: float = 0.12
+    #: ``"steady"`` — Poisson arrivals at ``rate`` — or ``"bursty"`` —
+    #: flap storms of ``burst_length`` back-to-back updates at ``rate``,
+    #: separated by ``burst_idle_s`` of silence.
+    regime: str = "steady"
+    #: Target update arrivals per second (within a burst, for bursty).
+    rate: float = 1000.0
+    #: Updates per burst (bursty regime only).
+    burst_length: int = 64
+    #: Idle seconds between bursts (bursty regime only).
+    burst_idle_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.regime not in STREAM_REGIMES:
+            raise ValueError(
+                f"unknown regime {self.regime!r} "
+                f"(expected one of {STREAM_REGIMES})"
+            )
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if not 0.0 <= self.announce_fraction <= 1.0:
+            raise ValueError(
+                f"announce_fraction must be in [0, 1], "
+                f"got {self.announce_fraction}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst_length < 1:
+            raise ValueError(
+                f"burst_length must be >= 1, got {self.burst_length}"
+            )
+        if self.burst_idle_s < 0:
+            raise ValueError(
+                f"burst_idle_s must be >= 0, got {self.burst_idle_s}"
+            )
+
+    def duration_estimate(self) -> float:
+        """Expected seconds the schedule spans (mean, not a bound)."""
+        if self.count == 0:
+            return 0.0
+        if self.regime == "bursty":
+            bursts = (self.count + self.burst_length - 1) // self.burst_length
+            return (
+                self.count / self.rate
+                + max(0, bursts - 1) * self.burst_idle_s
+            )
+        return self.count / self.rate
 
 
 @dataclass(frozen=True)
@@ -59,26 +147,28 @@ def validate_update(update: Update) -> None:
             )
 
 
-def generate_update_stream(
-    rib: Rib,
-    count: int,
-    seed: int = 52,
-    announce_fraction: float = PAPER_ANNOUNCE_FRACTION,
-    max_nexthop: Optional[int] = None,
-    churn_depth_bias: float = 0.12,
+def generate_stream(
+    rib: Rib, config: Optional[UpdateStream] = None, **options
 ) -> List[Update]:
-    """Synthesise ``count`` updates applicable in order to ``rib``'s table.
+    """Synthesise a stream of updates applicable in order to ``rib``.
 
-    The function tracks the evolving route set so every withdrawal targets
-    a live prefix and announcements of new prefixes do not collide.
+    ``config`` is an :class:`UpdateStream`; the same fields may be given
+    as keywords instead, and unknown names raise ``TypeError``.
 
-    Real BGP churn is dominated by long prefixes — flapping customer /24s,
-    not stable /8 aggregates (the paper's replay touches the top-level
-    direct array on only 4.1 % of updates).  ``churn_depth_bias`` is the
-    acceptance probability for selecting a short (≤ /18) prefix when a
-    live route must be chosen; 1.0 disables the bias.
+    The generator tracks the evolving route set so every withdrawal
+    targets a live prefix and announcements of new prefixes do not
+    collide.  Real BGP churn is dominated by long prefixes — flapping
+    customer /24s, not stable /8 aggregates (the paper's replay touches
+    the top-level direct array on only 4.1 % of updates) —
+    ``churn_depth_bias`` is the acceptance probability for selecting a
+    short (≤ /18) prefix when a live route must be chosen.
     """
-    rng = random.Random(seed)
+    stream = UpdateStream.resolve(config, options)
+    count = stream.count
+    announce_fraction = stream.announce_fraction
+    max_nexthop = stream.max_nexthop
+    churn_depth_bias = stream.churn_depth_bias
+    rng = random.Random(stream.seed)
     live: List[Tuple[Prefix, int]] = list(rib.routes())
     live_index = {prefix: i for i, (prefix, _) in enumerate(live)}
     if max_nexthop is None:
@@ -132,10 +222,74 @@ def generate_update_stream(
     return updates
 
 
-def apply_updates(
+def generate_update_stream(
+    rib: Rib,
+    count: int,
+    seed: int = 52,
+    announce_fraction: float = PAPER_ANNOUNCE_FRACTION,
+    max_nexthop: Optional[int] = None,
+    churn_depth_bias: float = 0.12,
+) -> List[Update]:
+    """Compatibility wrapper over :func:`generate_stream`.
+
+    The historical positional signature; new callers should build an
+    :class:`UpdateStream` and call :func:`generate_stream`.
+    """
+    return generate_stream(
+        rib,
+        UpdateStream(
+            count=count,
+            seed=seed,
+            announce_fraction=announce_fraction,
+            max_nexthop=max_nexthop,
+            churn_depth_bias=churn_depth_bias,
+        ),
+    )
+
+
+def arrival_offsets(
+    config: Optional[UpdateStream] = None, **options
+) -> List[float]:
+    """Deterministic wall-clock arrival schedule for a stream.
+
+    Returns ``count`` non-decreasing offsets in seconds from the start
+    of the run; the churn harness fires update ``i`` at ``start +
+    offsets[i]``.
+
+    - ``"steady"``: Poisson arrivals (exponential gaps) at ``rate`` —
+      the open-loop shape the load generator also uses.
+    - ``"bursty"``: flap storms — ``burst_length`` updates separated by
+      exponential gaps at ``rate``, then ``burst_idle_s`` of silence
+      (jittered ±50 %) before the next storm.  This is the shape of real
+      BGP session resets: long quiet, then a correlated wave.
+    """
+    stream = UpdateStream.resolve(config, options)
+    rng = random.Random(stream.seed ^ 0xA331)
+    offsets: List[float] = []
+    t = 0.0
+    for i in range(stream.count):
+        if (
+            stream.regime == "bursty"
+            and i
+            and i % stream.burst_length == 0
+        ):
+            t += stream.burst_idle_s * rng.uniform(0.5, 1.5)
+        else:
+            t += rng.expovariate(stream.rate)
+        offsets.append(t)
+    return offsets
+
+
+def replay_updates(
     target: UpdatablePoptrie, updates: Iterable[Update]
 ) -> int:
-    """Apply a stream to an :class:`UpdatablePoptrie`; returns the count."""
+    """Replay a stream against an update engine; returns the count.
+
+    Works against anything exposing ``announce``/``withdraw``
+    (:class:`UpdatablePoptrie` and subclasses).  For the uniform
+    registry-wide surface use
+    :meth:`repro.lookup.base.LookupStructure.apply_updates` instead.
+    """
     n = 0
     for update in updates:
         validate_update(update)
@@ -145,3 +299,26 @@ def apply_updates(
             target.withdraw(update.prefix)
         n += 1
     return n
+
+
+#: Renamed in PR 10: the module-level helper is now ``replay_updates``,
+#: freeing the ``apply_updates`` name for the registry-wide structure
+#: method.  The old spelling resolves with a DeprecationWarning.
+_RENAMED = {"apply_updates": "replay_updates"}
+
+
+def __getattr__(name: str):
+    if name in _RENAMED:
+        import warnings
+
+        new = _RENAMED[name]
+        warnings.warn(
+            f"repro.data.updates.{name} is deprecated; "
+            f"use repro.data.updates.{new}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[new]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.errors import UpdateRejectedError
 from repro.mem.layout import AccessTrace
 from repro.net.rib import Rib
 
@@ -265,6 +267,166 @@ class LookupStructure(abc.ABC):
         whole IPv4 space; the integration tests use this hook."""
         return [key for key in keys if self.lookup(key) != rib.lookup(key)]
 
+    # -- route updates -------------------------------------------------------
+
+    #: The RIB :meth:`apply_updates` keeps in sync (None = not updatable;
+    #: :meth:`bind_rib` or the registry's ``from_rib`` set it).
+    update_rib = None
+
+    #: Rebuild closure installed by :meth:`bind_rib` — recompiles this
+    #: structure from the (mutated) RIB with its original build options.
+    #: None falls back to ``type(self).from_rib`` with default options.
+    _update_rebuild = None
+
+    #: Update accounting for :meth:`stats` (class attrs double as zeros
+    #: for never-updated instances).
+    _update_batches = 0
+    _updates_applied = 0
+
+    def bind_rib(self, rib: Rib, rebuild=None) -> "LookupStructure":
+        """Bind the RIB that :meth:`apply_updates` mutates.
+
+        ``rebuild``, when given, is a callable ``rib -> structure``
+        recompiling this structure class with the same build options —
+        the rebuild-fallback engine uses it to stay faithful to how the
+        instance was originally built.  The registry's
+        ``AlgorithmEntry.from_rib`` binds both automatically, so
+        registry-built structures are updatable out of the box.
+        Returns ``self`` for chaining.
+        """
+        self.update_rib = rib
+        self._update_rebuild = rebuild
+        return self
+
+    @classmethod
+    def supports_incremental(cls) -> bool:
+        """True when this structure has a real incremental update engine
+        (it overrides the :meth:`_apply_updates` hook, like Poptrie's
+        transactional subtree surgery).  Structures without one still
+        accept :meth:`apply_updates` — through the correct, measured
+        rebuild fallback — so the flag distinguishes *cost*, not
+        *capability*.  The registry mirrors this as
+        ``AlgorithmEntry.supports_incremental``."""
+        return cls._apply_updates is not LookupStructure._apply_updates
+
+    def update_engine(self) -> str:
+        """Which engine an :meth:`apply_updates` call would use:
+        ``"incremental"`` (surgical subtree replacement) or ``"rebuild"``
+        (mutate the bound RIB, recompile once per batch).  Reported in
+        ``stats()["update_engine"]``."""
+        return "incremental" if self.supports_incremental() else "rebuild"
+
+    def apply_updates(self, updates) -> Dict[str, object]:
+        """Apply a batch of route updates through one uniform surface.
+
+        ``updates`` is an iterable of :class:`repro.data.updates.Update`
+        messages.  Requires a bound RIB (:meth:`bind_rib`); the batch is
+        dispatched to the :meth:`_apply_updates` engine hook — Poptrie
+        routes to the transactional incremental engine, everything else
+        mutates the RIB and recompiles once per batch.  Returns a report
+        dict with at least ``applied``, ``rejected`` and ``engine``
+        keys.  Individually malformed or inapplicable messages (unknown
+        kind, withdraw of an absent prefix) are counted in ``rejected``,
+        never raised — one bad message must not take down the batch.
+        """
+        if self.update_rib is None:
+            raise UpdateRejectedError(
+                f"{type(self).__name__} has no RIB bound; call "
+                "bind_rib(rib) (the registry's from_rib does this "
+                "automatically)"
+            )
+        started = time.perf_counter()
+        report = self._apply_updates(list(updates))
+        self._update_batches += 1
+        self._updates_applied += int(report.get("applied", 0))
+        from repro import obs
+
+        if obs.enabled():
+            obs.registry().histogram(
+                "repro_update_latency_us",
+                "Route-update batch latency by pipeline stage.",
+                buckets=obs.LATENCY_US_BUCKETS,
+                table=self.name,
+                stage="apply",
+            ).observe((time.perf_counter() - started) * 1e6)
+        return report
+
+    def _apply_updates(self, updates: list) -> Dict[str, object]:
+        """Engine hook: apply a batch of updates against the bound RIB.
+
+        The default is the rebuild fallback: validate and fold every
+        message into :attr:`update_rib`, then recompile the structure
+        once per batch and adopt the result in place (callers holding a
+        reference — a server handle, a bench roster — keep seeing the
+        same object).  Subclasses with a cheaper engine override this
+        (and thereby flip :meth:`supports_incremental`).
+        """
+        from repro.data.updates import validate_update
+
+        rib = self.update_rib
+        applied = rejected = 0
+        for update in updates:
+            try:
+                validate_update(update)
+                if update.kind == "A":
+                    rib.insert(update.prefix, update.nexthop)
+                else:
+                    rib.delete(update.prefix)
+            except (UpdateRejectedError, KeyError):
+                rejected += 1
+            else:
+                applied += 1
+        if applied:
+            self._rebuild_from_rib()
+        return {"applied": applied, "rejected": rejected,
+                "engine": "rebuild"}
+
+    def _rebuild_from_rib(self) -> None:
+        """Recompile from the bound RIB and adopt the result in place."""
+        rebuild = self._update_rebuild
+        if rebuild is not None:
+            rebuilt = rebuild(self.update_rib)
+        else:
+            rebuilt = type(self).from_rib(self.update_rib)
+        self._adopt_state(rebuilt)
+
+    def _adopt_state(self, rebuilt: "LookupStructure") -> None:
+        """Take over ``rebuilt``'s state while keeping ``self``'s identity.
+
+        Works for every structure in the registry because none of them
+        define ``__slots__`` — instance state lives entirely in
+        ``__dict__``.  The update bindings, counters and per-instance
+        observability survive the adoption (wrappers are re-installed
+        against the new state).
+
+        The replacement state is assembled off to the side and published
+        with a single ``__dict__`` rebind: under the GIL that store is
+        atomic, so a concurrent reader (a served structure mid
+        ``lookup_batch`` on another thread) sees either the old complete
+        state or the new complete state, never an empty or half-copied
+        one.
+        """
+        if type(rebuilt) is not type(self):
+            raise TypeError(
+                f"cannot adopt {type(rebuilt).__name__} state into "
+                f"{type(self).__name__}"
+            )
+        reg = self._obs_registry
+        values = self.values
+        new = dict(rebuilt.__dict__)
+        # The donor's own wrappers/bindings must not leak through.
+        for key in ("lookup", "lookup_batch", "_obs_registry"):
+            new.pop(key, None)
+        new["update_rib"] = self.update_rib
+        new["_update_rebuild"] = self._update_rebuild
+        new["_update_batches"] = self._update_batches
+        new["_updates_applied"] = self._updates_applied
+        if new.get("values") is None and values is not None:
+            new["values"] = values
+        self.__dict__ = new
+        if reg is not None:
+            self.enable_obs(reg)
+
     # -- zero-copy table images ----------------------------------------------
 
     @classmethod
@@ -378,7 +540,8 @@ class LookupStructure(abc.ABC):
 
         The base schema — ``name``, ``type``, ``memory_bytes``,
         ``memory_mib``, ``observed``, ``lookups``, ``batch_keys``,
-        ``batch_engine``, ``values`` (the attached value table's
+        ``batch_engine``, ``update_engine``, ``updates_applied``,
+        ``values`` (the attached value table's
         ``describe()``, or None) — is identical for every structure (the lookup counters are 0 unless
         :meth:`enable_obs` is active); subclasses extend it via
         :meth:`_extra_stats`.  When observability is enabled this also
@@ -413,6 +576,8 @@ class LookupStructure(abc.ABC):
             "lookups": lookups,
             "batch_keys": batch_keys,
             "batch_engine": self.batch_engine(),
+            "update_engine": self.update_engine(),
+            "updates_applied": self._updates_applied,
             "values": (
                 None if self.values is None else self.values.describe()
             ),
@@ -522,8 +687,11 @@ class LookupStructure(abc.ABC):
 
     def __getstate__(self):
         """Drop per-instance instrumentation: wrappers are closures over
-        live registry objects and must not travel across processes."""
+        live registry objects and must not travel across processes.
+        The rebuild closure goes for the same reason (it captures build
+        options by reference); the bound RIB itself pickles fine."""
         state = self.__dict__.copy()
-        for key in ("lookup", "lookup_batch", "_obs_registry"):
+        for key in ("lookup", "lookup_batch", "_obs_registry",
+                    "_update_rebuild", "_txn_engine"):
             state.pop(key, None)
         return state

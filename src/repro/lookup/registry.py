@@ -86,6 +86,12 @@ class AlgorithmEntry:
         structure (``None`` detaches).  When omitted, the RIB's own
         attached table (``rib.values``) carries over — structures never
         read the table, so the build itself is unchanged either way.
+
+        The built structure comes back with ``rib`` bound for updates
+        (:meth:`~repro.lookup.base.LookupStructure.bind_rib`, with a
+        rebuild closure reproducing these exact build options), so
+        ``structure.apply_updates(batch)`` works out of the box on every
+        registry entry.
         """
         from repro.lookup.base import LookupStructure
         from repro.net.values import ValueTable
@@ -97,11 +103,16 @@ class AlgorithmEntry:
                 f"values must be a ValueTable or None, "
                 f"not {type(values).__name__}"
             )
-        structure = self.cls.from_rib(rib, **{**self.options, **overrides})
+        merged = {**self.options, **overrides}
+        structure = self.cls.from_rib(rib, **merged)
         if not has_values:
             values = getattr(rib, "values", None)
-        if values is not None and isinstance(structure, LookupStructure):
-            structure.attach_values(values)
+        if isinstance(structure, LookupStructure):
+            if values is not None:
+                structure.attach_values(values)
+            structure.bind_rib(
+                rib, rebuild=lambda r: self.cls.from_rib(r, **merged)
+            )
         return structure
 
     @property
@@ -111,6 +122,15 @@ class AlgorithmEntry:
         ``from_image()``) — the capability gate for snapshotting and the
         shared-memory :class:`~repro.parallel.WorkerPool`."""
         probe = getattr(self.cls, "supports_image", None)
+        return bool(probe()) if callable(probe) else False
+
+    @property
+    def supports_incremental(self) -> bool:
+        """True when instances service :meth:`apply_updates` with a real
+        incremental engine (Poptrie's transactional subtree surgery);
+        False means the correct, measured rebuild fallback — see
+        ``stats()["update_engine"]`` and docs/ALGORITHMS.md."""
+        probe = getattr(self.cls, "supports_incremental", None)
         return bool(probe()) if callable(probe) else False
 
     @property

@@ -252,6 +252,10 @@ class JournalStats:
     checkpoints: int = 0
     #: Torn-tail bytes truncated when the journal was (re)opened.
     torn_bytes_discarded: int = 0
+    #: Flushes whose fsync exceeded the stall threshold — the journal's
+    #: backpressure signal: a slow disk shows up here before it shows up
+    #: as update-latency tail.
+    flush_stalls: int = 0
 
 
 class Journal:
@@ -293,6 +297,11 @@ class Journal:
         self._stream = None
         self._stream_bytes = 0
         self._unsynced = 0
+        self._unsynced_bytes = 0
+        #: An fsync slower than this (seconds) counts as a flush stall.
+        #: 10 ms is ~2 spinning-disk seeks — anything beyond it means the
+        #: device is queueing and update latency is about to follow.
+        self.stall_threshold_s = 0.010
         os.makedirs(directory, exist_ok=True)
         self._recover_append_position()
 
@@ -375,8 +384,10 @@ class Journal:
         self.stats.bytes_written += len(record)
         self._stream_bytes += len(record)
         self._unsynced += 1
+        self._unsynced_bytes += len(record)
         self._count("repro_journal_appends_total")
         self._count("repro_journal_bytes_total", len(record))
+        self._gauge_pending()
         if self.fsync_every and self._unsynced >= self.fsync_every:
             self.flush()
         return self.last_seqno
@@ -394,10 +405,17 @@ class Journal:
             return self.last_seqno
         self._stream.flush()
         faults.fault_point("fsync")
+        started = time.perf_counter()
         os.fsync(self._stream.fileno())
+        stalled = time.perf_counter() - started > self.stall_threshold_s
         self.stats.fsyncs += 1
         self._unsynced = 0
+        self._unsynced_bytes = 0
         self._count("repro_journal_fsyncs_total")
+        if stalled:
+            self.stats.flush_stalls += 1
+            self._count("repro_journal_flush_stalls_total")
+        self._gauge_pending()
         return self.last_seqno
 
     def _rotate(self) -> None:
@@ -540,7 +558,17 @@ class Journal:
             "rotations": self.stats.rotations,
             "checkpoints": self.stats.checkpoints,
             "torn_bytes_discarded": self.stats.torn_bytes_discarded,
+            "flush_stalls": self.stats.flush_stalls,
+            "pending_fsync_bytes": self.pending_fsync_bytes,
         }
+
+    @property
+    def pending_fsync_bytes(self) -> int:
+        """Bytes appended but not yet fsynced — the write-side queue
+        depth.  Nonzero between flushes whenever ``fsync_every > 1`` (or
+        0, caller-owned flushing); sustained growth means the flush
+        cadence is losing to the append rate."""
+        return self._unsynced_bytes
 
     def _count(self, name: str, amount: int = 1) -> None:
         from repro import obs
@@ -549,6 +577,15 @@ class Journal:
             name, "Route-update journal write-side totals.",
             journal=os.path.basename(os.path.normpath(self.directory)),
         ).inc(amount)
+
+    def _gauge_pending(self) -> None:
+        from repro import obs
+
+        obs.registry().gauge(
+            "repro_journal_pending_fsync_bytes",
+            "Bytes appended to the journal but not yet fsynced.",
+            journal=os.path.basename(os.path.normpath(self.directory)),
+        ).set(self._unsynced_bytes)
 
 
 # -- recovery ------------------------------------------------------------------

@@ -152,8 +152,9 @@ class TransactionalPoptrie(UpdatablePoptrie):
         rebuild_threshold: Optional[int] = None,
         fallback_rebuild: bool = True,
         journal=None,
+        trie: Optional[Poptrie] = None,
     ) -> None:
-        super().__init__(config, width, rib)
+        super().__init__(config, width, rib, trie=trie)
         self.rebuild_threshold = rebuild_threshold
         self.fallback_rebuild = fallback_rebuild
         self.txn_stats = TxnStats()

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -82,6 +83,12 @@ class TableHandle:
         self.name = name or getattr(structure, "name", "table")
         self.swaps = 0
         self._seqno: Optional[int] = None
+        #: Epoch-drain accounting: how long retired versions took to shed
+        #: their last reader.  ``last_drain_s`` is the most recent swap's
+        #: drain; the total divided by ``swaps`` is the mean RCU
+        #: reclamation delay the churn harness reports.
+        self.drain_seconds_total = 0.0
+        self.last_drain_s = 0.0
 
     # -- reader side --------------------------------------------------------
 
@@ -147,11 +154,14 @@ class TableHandle:
         ``timeout`` seconds (the swap itself is already visible then).
         """
         old = self._publish(structure)
-        if wait and not old._drained.wait(timeout):
-            raise TimeoutError(
-                f"old table generation {old.generation} still has "
-                f"{old.readers} readers after {timeout}s"
-            )
+        if wait:
+            started = time.perf_counter()
+            if not old._drained.wait(timeout):
+                raise TimeoutError(
+                    f"old table generation {old.generation} still has "
+                    f"{old.readers} readers after {timeout}s"
+                )
+            self._record_drain(time.perf_counter() - started)
         return self._current.generation
 
     async def swap_async(
@@ -159,13 +169,17 @@ class TableHandle:
     ) -> int:
         """Like :meth:`swap` but drains without blocking the event loop."""
         old = self._publish(structure)
-        if not old._drained.is_set():
+        if old._drained.is_set():
+            self._record_drain(0.0)
+        else:
+            started = time.perf_counter()
             drained = await asyncio.to_thread(old._drained.wait, timeout)
             if not drained:
                 raise TimeoutError(
                     f"old table generation {old.generation} still has "
                     f"{old.readers} readers after {timeout}s"
                 )
+            self._record_drain(time.perf_counter() - started)
         return self._current.generation
 
     # -- introspection ------------------------------------------------------
@@ -202,7 +216,25 @@ class TableHandle:
             }
             if self._seqno is not None:
                 out["applied_seqno"] = self._seqno
+            out["drain_seconds_total"] = self.drain_seconds_total
+            out["last_drain_s"] = self.last_drain_s
             return out
+
+    def _record_drain(self, seconds: float) -> None:
+        """Account one completed epoch drain (waited swaps only —
+        ``swap(wait=False)`` never learns when its old version died)."""
+        self.drain_seconds_total += seconds
+        self.last_drain_s = seconds
+        from repro import obs
+
+        if obs.enabled():
+            obs.registry().histogram(
+                "repro_server_drain_seconds",
+                "Seconds a retired table version took to shed its last "
+                "reader after a swap.",
+                buckets=obs.SECONDS_BUCKETS,
+                table=self.name,
+            ).observe(seconds)
 
     def _publish_obs(self) -> None:
         """Mirror a completed swap into the metrics registry (no-op when

@@ -167,6 +167,11 @@ class LookupServer:
         #: (attached post-construction by the serve CLI / Replica, which
         #: create the publisher after the server).
         self.quorum = None
+        #: Optional zero-argument callable merged into :meth:`describe`
+        #: (and therefore the OP_STATS wire body) — the serve CLI hooks
+        #: the journal's backpressure snapshot in here so remote churn
+        #: drivers can read fsync/stall counters over the wire.
+        self.stats_extra = None
         self._update_lock: Optional[asyncio.Lock] = None
         self.stats = ServerStats()
         self._pending: deque = deque()
@@ -455,6 +460,7 @@ class LookupServer:
             )
         if self._update_lock is None:
             self._update_lock = asyncio.Lock()
+        started = time.perf_counter()
         # One update batch at a time: the journal and the update engine
         # are single-writer; lookups keep flowing concurrently because
         # the apply runs in a thread and publishes via the RCU handle.
@@ -465,6 +471,7 @@ class LookupServer:
         self.stats.updates_applied += int(report.get("applied", 0))
         self.stats.updates_rejected += int(report.get("rejected", 0))
         self._count("repro_server_updates_total", kind="applied")
+        self._observe_update_latency(started)
         # Durability policy (``serve --min-insync N``): the batch is
         # journaled and applied locally by now; hold the client's ack
         # until the configured replica quorum has acked the seqno.
@@ -670,7 +677,7 @@ class LookupServer:
             "quorum": (
                 self.quorum.describe() if self.quorum is not None else None
             ),
-        }
+        } | (self.stats_extra() if self.stats_extra is not None else {})
 
     def _count_shed(self, reason: str) -> None:
         from repro import obs
@@ -724,4 +731,21 @@ class LookupServer:
             "Server-side request latency (decode to response encode).",
             buckets=obs.LATENCY_US_BUCKETS,
             table=self.handle.name,
+        ).observe(elapsed_us)
+
+    def _observe_update_latency(self, start: float) -> None:
+        """One OP_UPDATE batch finished its local apply: record the
+        end-to-end server-side latency (queue for the single-writer
+        lock + journal append/fsync + engine apply + RCU publish) under
+        ``stage="total"``; the serve closure records the per-stage
+        breakdown under the same histogram name."""
+        from repro import obs
+
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        obs.registry().histogram(
+            "repro_update_latency_us",
+            "Route-update batch latency by pipeline stage.",
+            buckets=obs.LATENCY_US_BUCKETS,
+            table=self.handle.name,
+            stage="total",
         ).observe(elapsed_us)

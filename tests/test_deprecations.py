@@ -198,3 +198,47 @@ def test_fib_unknown_attribute_still_raises():
 
     with pytest.raises(AttributeError):
         fib.definitely_not_a_name
+
+
+# ---------------------------------------------------------------------------
+# the route-update API redesign (repro.data.updates.apply_updates →
+# replay_updates; the old name now belongs to LookupStructure.apply_updates)
+# ---------------------------------------------------------------------------
+
+
+def test_updates_shim_raises_under_warnings_as_errors():
+    result = _run(
+        "import repro.data.updates; repro.data.updates.apply_updates"
+    )
+    assert result.returncode != 0, (
+        "repro.data.updates.apply_updates did not raise under "
+        "-W error::DeprecationWarning"
+    )
+    assert "DeprecationWarning" in result.stderr
+    assert "replay_updates" in result.stderr, (
+        "the warning must point at the new name"
+    )
+
+
+def test_updates_shim_resolves_to_replay_updates():
+    from repro.data import updates
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = updates.apply_updates
+    assert value is updates.replay_updates
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), "repro.data.updates.apply_updates resolved without warning"
+
+
+def test_updates_plain_import_is_clean():
+    result = _run("import repro.data.updates")
+    assert result.returncode == 0, result.stderr
+
+
+def test_updates_unknown_attribute_still_raises():
+    from repro.data import updates
+
+    with pytest.raises(AttributeError):
+        updates.definitely_not_a_name

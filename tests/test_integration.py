@@ -16,7 +16,7 @@ from repro.core.poptrie import Poptrie, PoptrieConfig
 from repro.core.update import UpdatablePoptrie
 from repro.data.datasets import load_dataset, load_dataset_v6
 from repro.data.traffic import random_addresses, real_trace, repeated_addresses
-from repro.data.updates import apply_updates, generate_update_stream
+from repro.data.updates import replay_updates, generate_update_stream
 from repro.lookup.dxr import Dxr
 from repro.net.rib import Rib
 
@@ -89,7 +89,7 @@ class TestUpdateFlowEndToEnd:
             rib.insert(prefix, hop)
         up = UpdatablePoptrie(PoptrieConfig(s=16), rib=rib)
         stream = generate_update_stream(dataset.rib, 300, seed=6)
-        apply_updates(up, stream)
+        replay_updates(up, stream)
         # After the churn, the incremental structure equals a rebuild.
         rebuilt = Poptrie.from_rib(up.rib, up.trie.config)
         for key in random_keys(3000, seed=7):

@@ -281,6 +281,51 @@ def test_kernels_registry_round_trip():
         )
 
 
+#: Engines with a native incremental update path; everything else takes
+#: the measured rebuild fallback.  Growing this set is an improvement;
+#: shrinking it is a capability regression this snapshot catches.
+EXPECTED_INCREMENTAL = {"Poptrie0", "Poptrie16", "Poptrie18"}
+
+
+def test_incremental_registry_round_trip():
+    """``supports_incremental`` mirrors the class's template hook."""
+    incremental = set()
+    for name in registry.available():
+        entry = registry.get(name)
+        assert entry.supports_incremental == entry.cls.supports_incremental()
+        if entry.supports_incremental:
+            incremental.add(name)
+    assert incremental == EXPECTED_INCREMENTAL, GUIDANCE
+
+
+def test_apply_updates_surface_is_frozen():
+    """The update surface every structure now carries (see docs/CHURN.md)."""
+    from repro.lookup.base import LookupStructure
+
+    for name in ("apply_updates", "bind_rib", "supports_incremental",
+                 "update_engine"):
+        assert hasattr(LookupStructure, name), GUIDANCE
+
+
+def test_update_stream_config_is_typed_and_frozen():
+    """UpdateStream follows the StructureConfig contract: frozen fields,
+    TypeError on unknown keys, resolve() merging."""
+    import dataclasses
+
+    import pytest
+
+    from repro.data import updates
+    from repro.lookup.base import StructureConfig
+
+    assert issubclass(updates.UpdateStream, StructureConfig)
+    stream = updates.UpdateStream(count=5)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        stream.count = 6
+    with pytest.raises(TypeError):
+        updates.UpdateStream.resolve(None, {"definitely_not_a_knob": 1})
+    assert updates.UpdateStream.resolve(stream, {}) is stream
+
+
 def test_lookup_package_exports():
     from repro import lookup
 

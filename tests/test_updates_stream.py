@@ -9,7 +9,7 @@ from repro.data.updates import (
     PAPER_ANNOUNCE_FRACTION,
     PAPER_UPDATE_COUNT,
     Update,
-    apply_updates,
+    replay_updates,
     generate_update_stream,
 )
 from repro.net.rib import Rib
@@ -71,7 +71,7 @@ class TestReplay:
     def test_apply_updates_keeps_fib_consistent(self, table):
         up = UpdatablePoptrie(PoptrieConfig(s=16), rib=_copy(table))
         stream = generate_update_stream(table, 400, seed=7)
-        count = apply_updates(up, stream)
+        count = replay_updates(up, stream)
         assert count == 400
         import random
 
@@ -82,7 +82,7 @@ class TestReplay:
 
     def test_stats_accumulate(self, table):
         up = UpdatablePoptrie(PoptrieConfig(s=16), rib=_copy(table))
-        apply_updates(up, generate_update_stream(table, 200, seed=9))
+        replay_updates(up, generate_update_stream(table, 200, seed=9))
         assert up.stats.updates >= 190  # same-hop re-announces are no-ops
 
 
